@@ -1,0 +1,139 @@
+// Ablation study of the design choices DESIGN.md §6 calls out.
+//
+//   A. Memory-latency sweep: as DRAM gets slower relative to the pipeline,
+//      MRAM-resident mroutines keep a constant invocation cost while
+//      DRAM-resident handlers degrade linearly — the architectural argument
+//      for collocating MRAM with the fetch unit (paper §2.2).
+//   B. Decode-stage replacement on/off across handler body sizes: isolates
+//      the §2.2 optimization from MRAM placement.
+//   C. TLB-reach sweep under the custom-page-table walker: how the software
+//      walker's cost scales with miss rate (paper §3.2).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "cpu/creg.h"
+#include "ext/cpt.h"
+#include "support/strings.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr int kIterations = 1000;
+
+double TransitionOverhead(const CoreConfig& config) {
+  const char* kMcode = R"(
+      .mentry 1, handler
+    handler:
+      addi a1, a1, 1
+      mexit
+  )";
+  uint64_t cycles[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    MetalSystem system(config);
+    system.AddMcode(kMcode);
+    const std::string source = StrFormat(variant == 0 ? R"(
+      _start:
+        li t0, %d
+      loop:
+        menter 1
+        addi t0, t0, -1
+        bnez t0, loop
+        halt zero
+    )"
+                                                      : R"(
+      _start:
+        li t0, %d
+      loop:
+        addi t0, t0, -1
+        bnez t0, loop
+        halt zero
+    )",
+                                         kIterations);
+    DieIfError(system.LoadProgramSource(source), "load");
+    cycles[variant] = RunOrDie(system).cycles;
+  }
+  return static_cast<double>(cycles[0] - cycles[1]) / kIterations;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablations: MRAM placement, decode replacement, TLB reach",
+              "DESIGN.md §6 (supports paper §2.2 / §3.2)");
+
+  std::printf("\nA. One-instruction mroutine invocation cost vs. DRAM latency\n");
+  std::printf("%12s %10s %14s %16s\n", "DRAM cycles", "Metal", "trap (cached)",
+              "PALcode (uncached)");
+  for (const uint32_t dram : {5u, 10u, 20u, 50u, 100u, 200u}) {
+    CoreConfig metal;
+    metal.dram_latency = dram;
+    CoreConfig trap = metal;
+    trap.mroutine_storage = MroutineStorage::kDramCached;
+    CoreConfig palcode = metal;
+    palcode.mroutine_storage = MroutineStorage::kDramUncached;
+    std::printf("%12u %10.2f %14.2f %16.2f\n", dram, TransitionOverhead(metal),
+                TransitionOverhead(trap), TransitionOverhead(palcode));
+  }
+  std::printf("Metal's cost is latency-INDEPENDENT; PALcode-style handlers degrade\n"
+              "linearly with memory distance — why MRAM sits next to the fetch unit.\n");
+
+  std::printf("\nB. Decode-stage replacement (fast transitions) on vs. off\n");
+  std::printf("%12s %10s %10s\n", "", "fast on", "fast off");
+  CoreConfig fast_on;
+  CoreConfig fast_off;
+  fast_off.fast_transition = false;
+  std::printf("%12s %10.2f %10.2f   (cycles per 1-instruction mroutine call)\n", "",
+              TransitionOverhead(fast_on), TransitionOverhead(fast_off));
+
+  std::printf("\nC. Software TLB-walker cost vs. TLB reach (64-page working set)\n");
+  std::printf("%12s %14s %14s\n", "TLB entries", "total cycles", "TLB fills");
+  for (const uint32_t entries : {8u, 16u, 32u, 64u, 128u}) {
+    CoreConfig config;
+    config.tlb_entries = entries;
+    MetalSystem system(config);
+    DieIfError(CustomPageTable::Install(system, 0), "install");
+    DieIfError(system.LoadProgramSource(R"(
+      _start:
+        li s0, 20
+      round:
+        li t0, 0x00800000
+        li s1, 64
+        li t2, 4096
+      touch:
+        lw t1, 0(t0)
+        add t0, t0, t2
+        addi s1, s1, -1
+        bnez s1, touch
+        addi s0, s0, -1
+        bnez s0, round
+        halt zero
+    )"),
+               "load");
+    DieIfError(system.Boot(), "boot");
+    Core& core = system.core();
+    CustomPageTable cpt(core, 0x00400000, 0x00100000);
+    const uint32_t root = UnwrapOrDie(cpt.CreateAddressSpace(), "root");
+    for (uint32_t page = 0; page < 16; ++page) {
+      DieIfError(cpt.Map(root, page * 4096, page * 4096, kPteR | kPteW | kPteX), "map");
+    }
+    for (uint32_t page = 0; page < 64; ++page) {
+      const uint32_t addr = 0x00800000 + page * 4096;
+      DieIfError(cpt.Map(root, addr, addr, kPteR | kPteW), "map");
+    }
+    DieIfError(cpt.Activate(root), "activate");
+    core.metal().WriteCreg(kCrPgEnable, 1);
+    const RunResult result = system.Run(50'000'000);
+    if (result.reason != RunResult::Reason::kHalted) {
+      std::fprintf(stderr, "ablation C failed: %s\n", result.fatal_message.c_str());
+      return 1;
+    }
+    std::printf("%12u %14llu %14u\n", entries,
+                static_cast<unsigned long long>(result.cycles),
+                UnwrapOrDie(cpt.FillCount(), "fills"));
+  }
+  std::printf("Once the working set fits (>= 64 + code entries), fills collapse to the\n"
+              "cold-start minimum and the walker vanishes from the profile.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Engineering benchmark: simulator throughput (google-benchmark).
+//
+// Not a paper experiment — this measures how many simulated instructions per
+// wall-clock second the cycle-level model achieves, for the configurations
+// the other benches use heavily.
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.h"
+#include "cpu/core.h"
+#include "metal/system.h"
+
+namespace msim {
+namespace {
+
+const char* kAluLoop = R"(
+  _start:
+    li t0, 100000
+  loop:
+    addi a0, a0, 1
+    xor a1, a1, a0
+    addi t0, t0, -1
+    bnez t0, loop
+    halt zero
+)";
+
+const char* kMetalLoop = R"(
+  _start:
+    li t0, 50000
+  loop:
+    menter 1
+    addi t0, t0, -1
+    bnez t0, loop
+    halt zero
+)";
+
+const char* kNoopMroutine = R"(
+    .mentry 1, noop
+  noop:
+    mexit
+)";
+
+void BM_AluLoop(benchmark::State& state) {
+  const auto program = Assemble(kAluLoop);
+  for (auto _ : state) {
+    Core core;
+    (void)core.LoadProgram(*program);
+    const RunResult result = core.Run(5'000'000);
+    benchmark::DoNotOptimize(result.exit_code);
+    state.counters["sim_instr"] = static_cast<double>(result.instret);
+  }
+  state.SetItemsProcessed(state.iterations() * 400'002);
+}
+BENCHMARK(BM_AluLoop)->Unit(benchmark::kMillisecond);
+
+void BM_MetalTransitionLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    MetalSystem system;
+    system.AddMcode(kNoopMroutine);
+    (void)system.LoadProgramSource(kMetalLoop);
+    const RunResult result = system.Run(5'000'000);
+    benchmark::DoNotOptimize(result.exit_code);
+  }
+  state.SetItemsProcessed(state.iterations() * 200'002);
+}
+BENCHMARK(BM_MetalTransitionLoop)->Unit(benchmark::kMillisecond);
+
+void BM_Assembler(benchmark::State& state) {
+  std::string source = "_start:\n";
+  for (int i = 0; i < 1000; ++i) {
+    source += "  addi a0, a0, 1\n";
+  }
+  source += "  halt a0\n";
+  for (auto _ : state) {
+    auto program = Assemble(source);
+    benchmark::DoNotOptimize(program.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 1002);
+}
+BENCHMARK(BM_Assembler)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace msim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,157 @@
+// §3.3 "Transactional Memory": throughput and abort behaviour of the
+// interception-based STM.
+//
+// The paper: "neither compilers nor developers need to replace loads and
+// stores with calls into an STM library. Instead, Metal turns on and off
+// interception of loads and stores at runtime ... Our implementation is
+// under 100 instructions and closely resembles TL2."
+//
+// Workload: transactions that read-modify-write K words of a shared array.
+// A simulated remote core injects conflicting commits at a configurable
+// rate (the host advances the global version clock and stamps a location
+// in the working set). Baseline: the same RMW protected by a global
+// test-and-set lock (no interception).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "ext/stm.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr uint32_t kClockAddr = 0x00700000;
+constexpr uint32_t kVtblAddr = 0x00704000;
+constexpr uint32_t kVtblWords = 1024;
+constexpr uint32_t kShared = 0x00600000;
+constexpr int kTransactions = 300;
+
+struct StmRunResult {
+  uint64_t cycles = 0;
+  uint32_t commits = 0;
+  uint32_t aborts = 0;
+};
+
+// STM workload: each transaction increments words [0, k) of the shared array.
+StmRunResult RunStm(int k, double inject_probability, uint64_t seed) {
+  MetalSystem system;
+  DieIfError(StmExtension::Install(system, kClockAddr, kVtblAddr, kVtblWords), "install");
+  const std::string source = StrFormat(R"(
+    _start:
+      li s0, %d              # transactions to commit
+    next_tx:
+      la a0, on_abort
+      menter 24              # tstart
+      li s1, %d              # words per transaction
+      li t5, 0x00600000
+    rmw:
+      lw t6, 0(t5)
+      addi t6, t6, 1
+      sw t6, 0(t5)
+      addi t5, t5, 4
+      addi s1, s1, -1
+      bnez s1, rmw
+      menter 27              # tcommit
+      addi s0, s0, -1
+      bnez s0, next_tx
+      halt zero
+    on_abort:
+      j next_tx
+  )",
+                                       kTransactions, k);
+  DieIfError(system.LoadProgramSource(source), "load");
+  DieIfError(system.Boot(), "boot");
+  Core& core = system.core();
+
+  // Interleave execution with remote commits: every chunk of cycles, a
+  // simulated second core commits to word 0 with probability p.
+  Rng rng(seed);
+  constexpr uint64_t kChunk = 400;
+  uint64_t total_cycles = 0;
+  while (!core.halted() && total_cycles < 100'000'000) {
+    (void)core.Run(kChunk);
+    total_cycles += kChunk;
+    if (!core.halted() && rng.NextDouble() < inject_probability) {
+      DieIfError(StmExtension::InjectRemoteCommit(core, kClockAddr, kVtblAddr, kVtblWords,
+                                                  kShared, 0),
+                 "inject");
+    }
+  }
+  StmRunResult result;
+  result.cycles = core.stats().cycles;
+  result.commits = UnwrapOrDie(StmExtension::Commits(core), "commits");
+  result.aborts = UnwrapOrDie(StmExtension::Aborts(core), "aborts");
+  return result;
+}
+
+// Global-lock baseline: no interception, lock word guards the RMW.
+uint64_t RunLockBaseline(int k) {
+  MetalSystem system;
+  const std::string source = StrFormat(R"(
+    .equ LOCK, 0x00610000
+    _start:
+      li s0, %d
+    next:
+      # acquire (uncontended test-and-set)
+      li t0, 0x00610000
+    acquire:
+      lw t1, 0(t0)
+      bnez t1, acquire
+      li t1, 1
+      sw t1, 0(t0)
+      li s1, %d
+      li t5, 0x00600000
+    rmw:
+      lw t6, 0(t5)
+      addi t6, t6, 1
+      sw t6, 0(t5)
+      addi t5, t5, 4
+      addi s1, s1, -1
+      bnez s1, rmw
+      sw zero, 0(t0)       # release
+      addi s0, s0, -1
+      bnez s0, next
+      halt zero
+  )",
+                                       kTransactions, k);
+  DieIfError(system.LoadProgramSource(source), "load");
+  return RunOrDie(system).cycles;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Software transactional memory via instruction interception",
+              "paper §3.3 (TL2-style STM; <100-instruction implementation)");
+
+  const uint32_t instr_count = UnwrapOrDie(StmExtension::InstructionCount(), "count");
+  std::printf("\nInstalled STM mroutines: %u instructions "
+              "(paper claims <100; ours adds register save/restore + statistics)\n",
+              instr_count);
+
+  std::printf("\nThroughput, no conflicts (cycles per committed transaction):\n");
+  std::printf("%8s %14s %14s %10s\n", "tx size", "STM cyc/tx", "lock cyc/tx", "overhead");
+  for (const int k : {1, 2, 4, 8, 16}) {
+    const StmRunResult stm = RunStm(k, 0.0, 1);
+    const uint64_t lock_cycles = RunLockBaseline(k);
+    const double stm_per = static_cast<double>(stm.cycles) / stm.commits;
+    const double lock_per = static_cast<double>(lock_cycles) / kTransactions;
+    std::printf("%8d %14.1f %14.1f %9.1fx\n", k, stm_per, lock_per, stm_per / lock_per);
+  }
+
+  std::printf("\nConflict sweep (tx size 4, %d commits):\n", kTransactions);
+  std::printf("%18s %10s %10s %14s\n", "inject probability", "commits", "aborts", "cyc/commit");
+  for (const double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+    const StmRunResult stm = RunStm(4, p, 42);
+    std::printf("%18.2f %10u %10u %14.1f\n", p, stm.commits, stm.aborts,
+                static_cast<double>(stm.cycles) / stm.commits);
+  }
+
+  std::printf(
+      "\nThe STM pays a constant per-access interception cost (tread/twrite\n"
+      "mroutines) but needs no compiler support; aborts grow with the conflict\n"
+      "rate and every abort rolls back buffered writes, as in TL2.\n");
+  return 0;
+}

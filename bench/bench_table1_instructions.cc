@@ -1,0 +1,57 @@
+// Paper Table 1: "New Metal instructions."
+//
+// Prints the implemented Metal instruction set straight from the ISA tables,
+// as a documentation/consistency artifact: the paper's Table 1 lists menter,
+// mexit, rmr, wmr, mld and mst, with menter usable from normal mode and the
+// rest Metal-mode only. We additionally list the architectural-feature
+// instructions our processor exposes to Metal mode (paper §2.3 describes
+// them as implementation-chosen).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "isa/isa.h"
+
+using namespace msim;
+
+namespace {
+
+void PrintRow(InstrKind kind, const char* description) {
+  const InstrInfo& info = GetInstrInfo(kind);
+  std::printf("  %-10s %-12s %-46s %s\n", info.mnemonic,
+              info.format == InstrFormat::kR   ? "R-type"
+              : info.format == InstrFormat::kI ? "I-type"
+              : info.format == InstrFormat::kS ? "S-type"
+                                               : "?",
+              description, info.metal_only ? "Metal mode only" : "normal mode");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table 1: New Metal instructions", "paper Table 1 (and §2.3 exposed features)");
+
+  std::printf("\nMetal core instructions (paper Table 1):\n");
+  PrintRow(InstrKind::kMenter, "enter Metal mode via mroutine entry number");
+  PrintRow(InstrKind::kMexit, "exit Metal mode; resume at address in m31");
+  PrintRow(InstrKind::kRmr, "read Metal register into GPR");
+  PrintRow(InstrKind::kWmr, "write GPR into Metal register");
+  PrintRow(InstrKind::kMld, "load from the MRAM data segment");
+  PrintRow(InstrKind::kMst, "store to the MRAM data segment");
+
+  std::printf("\nArchitectural features exposed to Metal mode (paper §2.3):\n");
+  PrintRow(InstrKind::kPlw, "physical (untranslated) word load");
+  PrintRow(InstrKind::kPsw, "physical (untranslated) word store");
+  PrintRow(InstrKind::kTlbwr, "write TLB entry (vaddr, PTE)");
+  PrintRow(InstrKind::kTlbinv, "invalidate TLB entries for vaddr");
+  PrintRow(InstrKind::kTlbflush, "flush the TLB (all, or one ASID)");
+  PrintRow(InstrKind::kTlbrd, "probe the TLB");
+  PrintRow(InstrKind::kMintset, "configure instruction interception");
+  PrintRow(InstrKind::kMopr, "read intercepted-instruction operand");
+  PrintRow(InstrKind::kMopw, "write intercepted instruction's rd");
+  PrintRow(InstrKind::kRcr, "read control register");
+  PrintRow(InstrKind::kWcr, "write control register");
+
+  std::printf("\nSimulator-only:\n");
+  PrintRow(InstrKind::kHalt, "stop the simulation (exit code in rs1)");
+  return 0;
+}

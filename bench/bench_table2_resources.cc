@@ -1,0 +1,43 @@
+// Paper Table 2: "Hardware resources for adding Metal to our 5-stage
+// pipelined processor."
+//
+// The paper synthesizes Verilog with Yosys + the Synopsys standard cell
+// library and reports: baseline 170,264 wires / 180,546 cells; with Metal
+// 197,705 wires (+16.1%) / 206,384 cells (+14.3%). We evaluate the
+// structural hardware-resource model (src/synth): the component inventory of
+// both designs, calibrated to the paper's baseline row (DESIGN.md §2
+// documents the substitution).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "synth/designs.h"
+
+using namespace msim;
+
+int main() {
+  PrintHeader("Table 2: Hardware resources (wires and cells)", "paper Table 2 / §2.4");
+
+  const Table2Result table = GenerateTable2();
+  std::printf("\nOur model:\n%s\n", FormatTable2(table).c_str());
+
+  std::printf("Paper reference:\n");
+  std::printf("%-18s %12.0f %12.0f %9.1f%%\n", "Number of Wires",
+              Table2Reference::kBaselineWires, Table2Reference::kMetalWires, 16.1);
+  std::printf("%-18s %12.0f %12.0f %9.1f%%\n\n", "Number of Cells",
+              Table2Reference::kBaselineCells, Table2Reference::kMetalCells, 14.3);
+
+  std::printf("Component inventory added by Metal (abstract units):\n");
+  const Design baseline = BaselineProcessorDesign();
+  const Design metal = MetalProcessorDesign();
+  for (size_t i = baseline.components().size(); i < metal.components().size(); ++i) {
+    const Component& component = metal.components()[i];
+    std::printf("  %-52s cells %8.0f  wires %8.0f\n", component.name.c_str(), component.cells,
+                component.wires);
+  }
+  std::printf("\nBaseline inventory (abstract units):\n");
+  for (const Component& component : baseline.components()) {
+    std::printf("  %-52s cells %8.0f  wires %8.0f\n", component.name.c_str(), component.cells,
+                component.wires);
+  }
+  return 0;
+}

@@ -1,0 +1,113 @@
+// §2.2 "Fast Metal Mode Transition": invocation overhead of an mroutine.
+//
+// The paper's claims:
+//   * decode-stage replacement of menter/mexit makes a round trip cost
+//     "virtually zero" cycles;
+//   * an Alpha PALcode no-op call costs ~18 cycles (handler fetched from
+//     main memory), making low-latency instruction encapsulation
+//     impractical without MRAM.
+//
+// We measure the per-invocation overhead of an mroutine whose body is N
+// no-ops, for four configurations:
+//   1. Metal (MRAM + decode-stage replacement)        -- the paper's design
+//   2. Metal without fast transitions (ablation)      -- MRAM, jump-like
+//   3. trap-style handler in cached DRAM              -- conventional traps
+//   4. PALcode-style handler in uncached main memory  -- the Alpha datum
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "support/strings.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr int kIterations = 2000;
+
+// Per-invocation overhead of `menter 1` whose mroutine body is `body_nops`
+// no-ops, under `config`.
+double MeasureOverhead(const CoreConfig& config, int body_nops) {
+  std::string mcode = "  .mentry 1, handler\nhandler:\n";
+  for (int i = 0; i < body_nops; ++i) {
+    mcode += "  nop\n";
+  }
+  mcode += "  mexit\n";
+
+  const std::string with_call = StrFormat(R"(
+    _start:
+      li t0, %d
+    loop:
+      menter 1
+      addi t0, t0, -1
+      bnez t0, loop
+      halt zero
+  )",
+                                          kIterations);
+  const std::string without_call = StrFormat(R"(
+    _start:
+      li t0, %d
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      halt zero
+  )",
+                                             kIterations);
+
+  uint64_t cycles[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    MetalSystem system(config);
+    system.AddMcode(mcode);
+    DieIfError(system.LoadProgramSource(variant == 0 ? with_call : without_call), "load");
+    cycles[variant] = RunOrDie(system).cycles;
+  }
+  return static_cast<double>(cycles[0] - cycles[1]) / kIterations;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Metal mode transition overhead (cycles per invocation)",
+              "paper §2.2 (fast transitions; PALcode ~18-cycle no-op call, §5)");
+
+  CoreConfig metal_fast;
+  CoreConfig metal_slow;
+  metal_slow.fast_transition = false;
+  CoreConfig trap;
+  trap.mroutine_storage = MroutineStorage::kDramCached;
+  CoreConfig palcode;
+  palcode.mroutine_storage = MroutineStorage::kDramUncached;
+
+  struct Config {
+    const char* name;
+    const CoreConfig* config;
+  };
+  const Config configs[] = {
+      {"Metal (MRAM, decode replacement)", &metal_fast},
+      {"Metal w/o fast transition (ablation)", &metal_slow},
+      {"trap handler, cached DRAM", &trap},
+      {"PALcode-style, uncached DRAM", &palcode},
+  };
+
+  std::printf("\n%-40s", "handler body (instructions):");
+  const int kBodies[] = {0, 1, 2, 4, 8, 16, 32, 64};
+  for (const int body : kBodies) {
+    std::printf("%8d", body);
+  }
+  std::printf("\n");
+  for (const Config& config : configs) {
+    std::printf("%-40s", config.name);
+    for (const int body : kBodies) {
+      std::printf("%8.2f", MeasureOverhead(*config.config, body));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nInterpretation: the Metal row at body=0 is the paper's \"virtually zero\n"
+      "overhead\" no-op round trip; the PALcode row at body=0 corresponds to the\n"
+      "~18-cycle Alpha no-op PAL call the paper cites (§5). Longer bodies show\n"
+      "that MRAM-resident code executes at pipeline speed while PALcode-style\n"
+      "handlers pay main-memory latency on every fetch.\n");
+  return 0;
+}

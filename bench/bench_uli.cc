@@ -1,0 +1,210 @@
+// §3.4 "User Level Interrupt": delivery latency and polling cost.
+//
+// The paper's motivation: DPDK/SPDK poll devices from user mode, which
+// "consumes all cores used by the application"; with user-level interrupts
+// the process is notified only when data is available. We measure:
+//
+//   Experiment 1 — delivery latency: cycles from packet arrival at the NIC
+//   to the first instruction of the receiving user handler, for (a) Metal
+//   user-level interrupts (the uli_dispatch mroutine mexits straight into
+//   the user handler) and (b) a conventional kernel-mediated path (the
+//   kernel interrupt handler saves context and "delivers a signal" before
+//   the user handler runs).
+//
+//   Experiment 2 — CPU occupancy: useful work completed while receiving
+//   packets, polling vs. interrupt-driven, across packet inter-arrival
+//   times.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "cpu/creg.h"
+#include "ext/uli.h"
+#include "support/strings.h"
+
+using namespace msim;
+
+namespace {
+
+// rdcycle helper mroutine for timestamps taken from normal mode.
+constexpr const char* kRdcycleMcode = R"(
+    .mentry 7, rdcycle
+  rdcycle:
+    rcr a0, 9
+    mexit
+)";
+
+constexpr uint64_t kArrival = 5000;
+
+// Returns delivery latency in cycles: handler timestamp - arrival cycle.
+uint64_t MeasureDelivery(bool user_level) {
+  MetalSystem system;
+  DieIfError(UliExtension::Install(system), "install");
+  system.AddMcode(kRdcycleMcode);
+  // The kernel-mediated variant burns a realistic context-save/dispatch cost
+  // (~150 instructions) before handing control to the user handler.
+  const char* source = user_level ? R"(
+    _start:
+      li a0, 1
+      la a1, rx_handler
+      li a2, 1
+      menter 34            # uli_register: direct user delivery
+    wait:
+      j wait
+    rx_handler:
+      menter 7             # rdcycle -> a0
+      halt a0
+  )"
+                                  : R"(
+    _start:
+      la a0, kirq
+      menter 35            # kernel fallback only
+    wait:
+      j wait
+    kirq:
+      # conventional kernel path: save "trap frame", look up the process,
+      # post a signal, switch back to user mode
+      li t0, 150
+    dispatch:
+      addi t0, t0, -1
+      bnez t0, dispatch
+      li t0, 0xF0000008
+      li t1, 2
+      sw t1, 0(t0)         # ack NIC
+      j rx_handler
+    rx_handler:
+      menter 7
+      halt a0
+  )";
+  DieIfError(system.LoadProgramSource(source), "load");
+  DieIfError(system.Boot(), "boot");
+  Core& core = system.core();
+  core.metal().WriteCreg(kCrIenable, 0xFFFFFFFF);
+  core.nic().SchedulePacket(kArrival, {1, 2, 3, 4});
+  const RunResult result = system.Run(1'000'000);
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "delivery run failed: %s\n", result.fatal_message.c_str());
+    std::exit(1);
+  }
+  return result.exit_code - kArrival;
+}
+
+struct OccupancyResult {
+  uint64_t work_units = 0;
+  uint64_t packets = 0;
+};
+
+// Runs for a fixed budget with packets arriving every `interval` cycles.
+// Returns useful-work units completed and packets processed.
+OccupancyResult MeasureOccupancy(bool polling, uint64_t interval) {
+  MetalSystem system;
+  DieIfError(UliExtension::Install(system), "install");
+  const char* source = polling ? R"(
+    .equ NIC_COUNT, 0xF0002000
+    .equ NIC_DROP, 0xF000200C
+    _start:
+      la s0, counters
+    loop:
+      # poll the NIC (DPDK-style)
+      li t0, 0xF0002000
+      lw t1, 0(t0)
+      beqz t1, work
+      li t0, 0xF000200C
+      sw zero, 0(t0)       # consume the packet
+      lw t1, 4(s0)
+      addi t1, t1, 1
+      sw t1, 4(s0)
+    work:
+      # one unit of useful work
+      lw t1, 0(s0)
+      addi t1, t1, 1
+      sw t1, 0(s0)
+      j loop
+    .data
+    counters: .word 0, 0
+  )"
+                               : R"(
+    _start:
+      la s0, counters
+      li a0, 1
+      la a1, rx_handler
+      li a2, 1
+      menter 34
+    loop:
+      # one unit of useful work; packets arrive via interrupts
+      lw t1, 0(s0)
+      addi t1, t1, 1
+      sw t1, 0(s0)
+      j loop
+    rx_handler:
+      addi sp, sp, -8
+      sw t0, 0(sp)
+      sw t1, 4(sp)
+      li t0, 0xF000200C
+      sw zero, 0(t0)       # consume
+      lw t1, 4(s0)
+      addi t1, t1, 1
+      sw t1, 4(s0)
+      li t0, 0xF0000008
+      li t1, 2
+      sw t1, 0(t0)
+      lw t0, 0(sp)
+      lw t1, 4(sp)
+      addi sp, sp, 8
+      menter 33
+    .data
+    counters: .word 0, 0
+  )";
+  DieIfError(system.LoadProgramSource(source), "load");
+  DieIfError(system.Boot(), "boot");
+  Core& core = system.core();
+  core.WriteReg(2, 0x9000);  // sp
+  if (!polling) {
+    core.metal().WriteCreg(kCrIenable, 0xFFFFFFFF);
+  }
+  constexpr uint64_t kBudget = 200'000;
+  for (uint64_t at = 1000; at < kBudget; at += interval) {
+    core.nic().SchedulePacket(at, {0xAB});
+  }
+  (void)system.Run(kBudget);
+  const uint32_t counters = *system.Symbol("counters");
+  OccupancyResult result;
+  result.work_units = core.bus().dram().Read32(counters).value_or(0);
+  result.packets = core.bus().dram().Read32(counters + 4).value_or(0);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("User-level interrupts: delivery latency and CPU occupancy",
+              "paper §3.4 (kernel-bypass IO without polling)");
+
+  std::printf("\nExperiment 1: NIC interrupt -> user handler latency (cycles)\n");
+  const uint64_t uli = MeasureDelivery(/*user_level=*/true);
+  const uint64_t kernel = MeasureDelivery(/*user_level=*/false);
+  std::printf("%-46s %8llu\n", "Metal user-level interrupt (uli_dispatch)",
+              static_cast<unsigned long long>(uli));
+  std::printf("%-46s %8llu\n", "kernel-mediated delivery (trap + dispatch)",
+              static_cast<unsigned long long>(kernel));
+  std::printf("%-46s %8.1fx\n", "speedup", static_cast<double>(kernel) / uli);
+
+  std::printf("\nExperiment 2: useful work while receiving (200k-cycle budget)\n");
+  std::printf("%12s %16s %16s %12s %12s\n", "pkt interval", "poll work", "intr work",
+              "poll pkts", "intr pkts");
+  for (const uint64_t interval : {500u, 1000u, 2000u, 5000u, 20000u}) {
+    const OccupancyResult poll = MeasureOccupancy(/*polling=*/true, interval);
+    const OccupancyResult intr = MeasureOccupancy(/*polling=*/false, interval);
+    std::printf("%12llu %16llu %16llu %12llu %12llu\n",
+                static_cast<unsigned long long>(interval),
+                static_cast<unsigned long long>(poll.work_units),
+                static_cast<unsigned long long>(intr.work_units),
+                static_cast<unsigned long long>(poll.packets),
+                static_cast<unsigned long long>(intr.packets));
+  }
+  std::printf(
+      "\nPolling burns cycles probing the (mostly empty) NIC on every loop\n"
+      "iteration; interrupt-driven receive does useful work until a packet\n"
+      "actually arrives — the paper's DPDK/SPDK argument. At very high packet\n"
+      "rates the gap narrows, which is why DPDK polls in the first place.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench prints the paper-style rows it reproduces (see DESIGN.md §1 and
+// EXPERIMENTS.md). Results are simulated cycle counts — deterministic, not
+// wall clock — so the output is stable across runs and machines.
+#ifndef MSIM_BENCH_BENCH_UTIL_H_
+#define MSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "metal/system.h"
+
+namespace msim {
+
+// Aborts the bench with a message if a Status/Result is an error.
+template <typename T>
+T UnwrapOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void DieIfError(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// Runs to halt or dies with the fatal message.
+inline RunResult RunOrDie(MetalSystem& system, uint64_t max_cycles = 50'000'000) {
+  const RunResult result = system.Run(max_cycles);
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "simulation did not halt: %s\n", result.fatal_message.c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("Reproduces: %s\n", paper_ref);
+  std::printf("==============================================================================\n");
+}
+
+inline const char* StorageName(MroutineStorage storage) {
+  switch (storage) {
+    case MroutineStorage::kMram:
+      return "Metal (MRAM)";
+    case MroutineStorage::kDramCached:
+      return "trap handler (cached DRAM)";
+    case MroutineStorage::kDramUncached:
+      return "PALcode-style (uncached DRAM)";
+  }
+  return "?";
+}
+
+}  // namespace msim
+
+#endif  // MSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,189 @@
+// Custom page tables (paper §3.2): software-walked radix tree + demand zero.
+//
+// There is no hardware page-table walker in the processor. The mcode walker
+// (installed by CustomPageTable::Install) services every TLB miss from an
+// x86-style two-level tree. This example adds an OS layer that implements
+// DEMAND-ZERO paging on top: the heap is not mapped until first touch; the
+// OS fault handler asks the "kernel allocator" (an mroutine invoked via
+// menter) for a fresh frame, maps it, and retries.
+//
+// Build & run:  ./build/examples/custom_page_tables
+#include <cstdio>
+
+#include "cpu/creg.h"
+#include "ext/cpt.h"
+#include "metal/system.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr uint32_t kTableRegion = 0x00400000;
+constexpr uint32_t kFramePool = 0x00500000;  // frames handed out on demand
+constexpr uint32_t kHeapVaddr = 0x40000000;  // virtual heap, unmapped at boot
+
+// OS mroutines (entries 4 and 5): frame allocator and page mapper. Mapping
+// means writing the PTE into the radix tree with physical stores, then
+// letting the walker TLB-fill on retry — the OS manages its *own* format.
+constexpr const char* kOsMcode = R"(
+    .equ D_NEXT_FRAME, 16      # example-private MRAM data slot
+    .equ D_ROOT, 20
+    .equ D_DEMAND_COUNT, 24
+
+    .mentry 4, os_alloc_frame  # -> a0 = fresh zeroed frame
+  os_alloc_frame:
+    mld t0, D_NEXT_FRAME(zero)
+    mv a0, t0
+    # zero the frame
+    li t1, 1024
+  zero_loop:
+    psw zero, 0(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, zero_loop
+    mld t0, D_NEXT_FRAME(zero)
+    li t1, 4096
+    add t0, t0, t1
+    mst t0, D_NEXT_FRAME(zero)
+    mexit
+
+    .mentry 5, os_map_page     # a0 = vaddr, a1 = frame -> maps RW
+  os_map_page:
+    mld t0, D_ROOT(zero)
+    srli t1, a0, 22
+    slli t1, t1, 2
+    add t0, t0, t1             # &PDE
+    plw t2, 0(t0)
+    andi t3, t2, 1
+    bnez t3, have_l2
+    # allocate a level-2 table from the frame pool
+    mld t2, D_NEXT_FRAME(zero)
+    mv t4, t2
+    li t5, 1024
+  zero_l2:
+    psw zero, 0(t4)
+    addi t4, t4, 4
+    addi t5, t5, -1
+    bnez t5, zero_l2
+    mld t4, D_NEXT_FRAME(zero)
+    li t5, 4096
+    add t4, t4, t5
+    mst t4, D_NEXT_FRAME(zero)
+    ori t2, t2, 1              # present
+    psw t2, 0(t0)
+  have_l2:
+    li t3, -4096
+    and t2, t2, t3             # level-2 table frame
+    srli t1, a0, 12
+    andi t1, t1, 0x3FF
+    slli t1, t1, 2
+    add t2, t2, t1             # &PTE
+    li t3, -4096
+    and t1, a1, t3
+    ori t1, t1, 0x19           # R | W | present (0x8 | 0x10 | 0x1)
+    psw t1, 0(t2)
+    mld t0, D_DEMAND_COUNT(zero)
+    addi t0, t0, 1
+    mst t0, D_DEMAND_COUNT(zero)
+    mexit
+)";
+
+// User program: writes then sums 8 heap pages that do not exist yet.
+constexpr const char* kProgram = R"(
+    .equ HEAP, 0x40000000
+  _start:
+    li s0, 8               # pages
+    li s1, HEAP
+    li s2, 0
+  fill:
+    sw s2, 0(s1)           # first touch: demand-zero fault -> os_fault
+    li t0, 0x10000
+    add s1, s1, t0         # stride 64 KiB: eight distinct unmapped pages
+    addi s2, s2, 1
+    addi s0, s0, -1
+    bnez s0, fill
+    # sum the pages back
+    li s0, 8
+    li s1, HEAP
+    li a0, 0
+  sum:
+    lw t1, 0(s1)
+    add a0, a0, t1
+    li t0, 0x10000
+    add s1, s1, t0
+    addi s0, s0, -1
+    bnez s0, sum
+    halt a0                # 0+1+...+7 = 28
+
+  os_fault:                # a0 = faulting vaddr (from the walker)
+    # demand-zero: allocate a frame and map it, then retry the access
+    mv s6, a0              # remember the vaddr
+    mv s7, a1              # faulting pc = retry target
+    menter 4               # os_alloc_frame -> a0 = frame
+    mv a1, a0
+    mv a0, s6
+    menter 5               # os_map_page(vaddr, frame)
+    jr s7                  # retry the faulting instruction
+)";
+
+}  // namespace
+
+int main() {
+  MetalSystem system;
+  const auto program = Assemble(kProgram);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assemble: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = CustomPageTable::Install(system, program->symbols.at("os_fault"));
+      !status.ok()) {
+    std::fprintf(stderr, "install: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  system.AddMcode(kOsMcode);
+  if (Status status = system.LoadProgram(*program); !status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = system.Boot(); !status.ok()) {
+    std::fprintf(stderr, "boot: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  Core& core = system.core();
+  // Build the initial address space: identity-map program text/data only.
+  CustomPageTable cpt(core, kTableRegion, 0x00100000);
+  const auto root = cpt.CreateAddressSpace();
+  if (!root.ok()) {
+    std::fprintf(stderr, "root: %s\n", root.status().ToString().c_str());
+    return 1;
+  }
+  for (uint32_t page = 0; page < 16; ++page) {
+    (void)cpt.Map(*root, page * 4096, page * 4096, kPteR | kPteW | kPteX);
+  }
+  for (uint32_t page = 0; page < 4; ++page) {  // .data region
+    const uint32_t addr = 0x00100000 + page * 4096;
+    (void)cpt.Map(*root, addr, addr, kPteR | kPteW);
+  }
+  (void)cpt.Activate(*root);
+  // Boot data for the OS mroutines: frame pool cursor and the tree root.
+  (void)core.mram().WriteData32(16, kFramePool);
+  (void)core.mram().WriteData32(20, *root);
+  (void)core.mram().WriteData32(24, 0);
+  core.metal().WriteCreg(kCrPgEnable, 1);
+
+  const RunResult result = system.Run();
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "run failed: %s\n", result.fatal_message.c_str());
+    return 1;
+  }
+  std::printf("heap sum = %u (expected 28)\n", result.exit_code);
+  std::printf("demand-zero pages mapped by the OS: %u\n",
+              core.mram().ReadData32(24).value_or(0));
+  std::printf("TLB fills by the mcode walker: %u\n",
+              core.mram().ReadData32(CustomPageTable::kDataFillCount).value_or(0));
+  std::printf("TLB stats: %llu hits, %llu misses\n",
+              static_cast<unsigned long long>(core.mmu().tlb().stats().hits),
+              static_cast<unsigned long long>(core.mmu().tlb().stats().misses));
+  return 0;
+}

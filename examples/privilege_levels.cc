@@ -1,0 +1,105 @@
+// User-defined privilege levels (paper §3.1): a miniature OS.
+//
+// The kernel/user split is built entirely from mroutines (kenter/kexit,
+// Figure 2). The "OS" provides three system calls:
+//   0  sys_putc(ch)   write a character to the console (an MMIO device the
+//                     kernel owns)
+//   1  sys_getpid()   return the current process id
+//   2  sys_halt(code) shut down
+// The user program prints a message through syscalls and exits. Undefined
+// syscalls divert to the kernel fault entry.
+//
+// Build & run:  ./build/examples/privilege_levels
+#include <cstdio>
+
+#include "ext/privilege.h"
+#include "metal/system.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr const char* kOsAndUser = R"(
+    .equ CONSOLE_PUTC, 0xF0003000
+
+  # ---------------- userspace ----------------
+  _start:
+    li sp, 0x8000
+    la s0, message
+  print_loop:
+    lbu a1, 0(s0)
+    beqz a1, printed
+    li a0, 0              # sys_putc
+    menter 8              # kenter: switch to the kernel
+    addi s0, s0, 1
+    j print_loop
+  printed:
+    li a0, 1              # sys_getpid
+    menter 8
+    mv s1, a0             # pid
+    li a0, 2              # sys_halt(pid)
+    mv a1, s1
+    menter 8
+    halt zero             # unreachable: sys_halt stops the machine
+
+  # ---------------- kernel ----------------
+  sys_putc:               # a1 = character
+    li t0, CONSOLE_PUTC
+    sw a1, 0(t0)
+    menter 9              # kexit: back to userspace (return address in ra)
+  sys_getpid:
+    li a0, 42
+    menter 9
+  sys_halt:
+    halt a1
+  kfault:
+    li a0, 0xEE
+    halt a0
+
+  .data
+  syscall_table:
+    .word sys_putc
+    .word sys_getpid
+    .word sys_halt
+  message:
+    .asciz "hello from userspace via kenter/kexit!\n"
+)";
+
+}  // namespace
+
+int main() {
+  MetalSystem system;
+  const auto program = Assemble(kOsAndUser);
+  if (!program.ok()) {
+    std::fprintf(stderr, "assemble: %s\n", program.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = PrivilegeExtension::Install(
+          system, program->symbols.at("syscall_table"), /*syscall_count=*/3,
+          program->symbols.at("kfault"));
+      !status.ok()) {
+    std::fprintf(stderr, "install: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = system.LoadProgram(*program); !status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  const RunResult result = system.Run();
+  Core& core = system.core();
+  std::printf("console output: %s", core.console().output().c_str());
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "run failed: %s\n", result.fatal_message.c_str());
+    return 1;
+  }
+  std::printf("machine halted by sys_halt with pid = %u\n\n", result.exit_code);
+  std::printf("syscalls made: %llu menter/mexit pairs in %llu cycles "
+              "(%.1f cycles per privilege crossing)\n",
+              static_cast<unsigned long long>(core.stats().menters),
+              static_cast<unsigned long long>(result.cycles),
+              static_cast<double>(result.cycles) / core.stats().menters);
+  std::printf("current privilege level (m0): %u (%s)\n", core.metal().ReadMreg(0),
+              core.metal().ReadMreg(0) == PrivilegeExtension::kKernelLevel ? "kernel" : "user");
+  return 0;
+}

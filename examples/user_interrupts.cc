@@ -1,0 +1,125 @@
+// User-level interrupts (paper §3.4): a DPDK-style packet receiver without
+// polling and without the kernel.
+//
+// The process registers a handler for the NIC interrupt line. When packets
+// arrive, the uli_dispatch mroutine delivers the interrupt STRAIGHT to the
+// user handler (no kernel transition); the handler drains the packet into a
+// ring buffer and resumes the interrupted computation with `menter uli_ret`.
+//
+// Build & run:  ./build/examples/user_interrupts
+#include <cstdio>
+#include <string>
+
+#include "cpu/creg.h"
+#include "ext/uli.h"
+#include "metal/system.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr const char* kProgram = R"(
+    .equ NIC_RX_LEN, 0xF0002004
+    .equ NIC_RX_POP, 0xF0002008
+    .equ INTC_ACK, 0xF0000008
+  _start:
+    li sp, 0x9000
+    li a0, 1               # NIC line
+    la a1, rx_handler
+    li a2, 1               # allow privilege level 0
+    menter 34              # uli_register
+    bnez a0, fail
+    # main loop: count work units until 4 packets have been received
+  work:
+    lw t0, 0(gp)           # gp -> counters (set by host)
+    addi t0, t0, 1
+    sw t0, 0(gp)
+    lw t1, 4(gp)           # packets received so far
+    li t2, 4
+    blt t1, t2, work
+    lw a0, 0(gp)
+    halt a0                # exit code: work units completed
+
+  rx_handler:              # runs at user level; a0 = line number
+    addi sp, sp, -12
+    sw t0, 0(sp)
+    sw t1, 4(sp)
+    sw t2, 8(sp)
+    # drain one packet word into the ring buffer
+    li t0, 0xF0002008
+    lw t1, 0(t0)           # pop (word 1 of the 4-byte packets we send)
+    lw t2, 4(gp)
+    slli t0, t2, 2
+    add t0, t0, gp
+    sw t1, 8(t0)           # ring[packets] (offset 8 from counters)
+    addi t2, t2, 1
+    sw t2, 4(gp)
+    # acknowledge the NIC line
+    li t0, 0xF0000008
+    li t1, 2
+    sw t1, 0(t0)
+    lw t0, 0(sp)
+    lw t1, 4(sp)
+    lw t2, 8(sp)
+    addi sp, sp, 12
+    menter 33              # uli_ret: resume exactly where we were
+
+  fail:
+    li a0, 0xE1
+    halt a0
+
+  .data
+  counters: .word 0, 0     # [work_units, packets], then the ring buffer
+  ring: .word 0, 0, 0, 0
+)";
+
+}  // namespace
+
+int main() {
+  MetalSystem system;
+  if (Status status = UliExtension::Install(system); !status.ok()) {
+    std::fprintf(stderr, "install: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = system.LoadProgramSource(kProgram); !status.ok()) {
+    std::fprintf(stderr, "load: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (Status status = system.Boot(); !status.ok()) {
+    std::fprintf(stderr, "boot: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  Core& core = system.core();
+  core.metal().WriteCreg(kCrIenable, 1u << kIrqNic);
+  core.WriteReg(3, *system.Symbol("counters"));  // gp
+
+  // Four packets with irregular arrival times.
+  const uint32_t payloads[4] = {0xCAFE0001, 0xCAFE0002, 0xCAFE0003, 0xCAFE0004};
+  const uint64_t arrivals[4] = {3000, 9000, 9800, 21000};
+  for (int i = 0; i < 4; ++i) {
+    std::vector<uint8_t> bytes(4);
+    for (int b = 0; b < 4; ++b) {
+      bytes[b] = static_cast<uint8_t>(payloads[i] >> (8 * b));
+    }
+    core.nic().SchedulePacket(arrivals[i], bytes);
+  }
+
+  const RunResult result = system.Run(1'000'000);
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "run failed: %s\n", result.fatal_message.c_str());
+    return 1;
+  }
+
+  const uint32_t counters = *system.Symbol("counters");
+  std::printf("work units completed while receiving: %u\n", result.exit_code);
+  std::printf("packets delivered to the USER handler: %u (kernel was never involved)\n",
+              UliExtension::UserDeliveries(core).value());
+  std::printf("ring buffer contents:");
+  for (int i = 0; i < 4; ++i) {
+    std::printf(" 0x%08X", core.bus().dram().Read32(counters + 8 + 4 * i).value_or(0));
+  }
+  std::printf("\ninterrupts taken: %llu; cycles: %llu\n",
+              static_cast<unsigned long long>(core.stats().interrupts),
+              static_cast<unsigned long long>(result.cycles));
+  return 0;
+}

@@ -1,0 +1,754 @@
+#include "asm/assembler.h"
+
+#include <cctype>
+
+#include "asm/lexer.h"
+#include "isa/encoding.h"
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+enum class SectionKind { kText, kData };
+
+struct ParsedLine {
+  int line_number = 0;
+  std::string label;        // empty if none
+  std::string mnemonic;     // lowercased; empty for label-only/blank lines
+  std::vector<std::string> operands;
+  SectionKind section = SectionKind::kText;
+  uint32_t address = 0;     // assigned in pass 1
+  int emit_words = 0;       // instruction words this line expands to (pass 1)
+};
+
+struct PseudoInfo {
+  const char* name;
+  int min_operands;
+  int max_operands;
+};
+
+constexpr PseudoInfo kPseudos[] = {
+    {"nop", 0, 0},  {"mv", 2, 2},   {"not", 2, 2},  {"neg", 2, 2},  {"seqz", 2, 2},
+    {"snez", 2, 2}, {"sltz", 2, 2}, {"sgtz", 2, 2}, {"li", 2, 2},   {"la", 2, 2},
+    {"j", 1, 1},    {"jr", 1, 1},   {"call", 1, 1}, {"ret", 0, 0},  {"beqz", 2, 2},
+    {"bnez", 2, 2}, {"blez", 2, 2}, {"bgez", 2, 2}, {"bltz", 2, 2}, {"bgtz", 2, 2},
+    {"bgt", 3, 3},  {"ble", 3, 3},  {"bgtu", 3, 3}, {"bleu", 3, 3},
+};
+
+const PseudoInfo* FindPseudo(std::string_view name) {
+  for (const PseudoInfo& p : kPseudos) {
+    if (name == p.name) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+class Assembler {
+ public:
+  explicit Assembler(const AssembleOptions& options) : options_(options) {
+    text_cursor_ = options.text_base;
+    data_cursor_ = options.data_base;
+  }
+
+  Result<Program> Run(std::string_view source) {
+    MSIM_RETURN_IF_ERROR(ParseLines(source));
+    MSIM_RETURN_IF_ERROR(PassOne());
+    MSIM_RETURN_IF_ERROR(PassTwo());
+    if (const auto it = symbols_.find("_start"); it != symbols_.end()) {
+      program_.entry = it->second;
+    } else {
+      program_.entry = options_.text_base;
+    }
+    program_.symbols = symbols_;
+    return std::move(program_);
+  }
+
+ private:
+  Status LineError(const ParsedLine& line, const std::string& message) const {
+    return ParseError(StrFormat("line %d: %s", line.line_number, message.c_str()));
+  }
+
+  // ---- Parsing ----------------------------------------------------------
+
+  Status ParseLines(std::string_view source) {
+    int line_number = 0;
+    for (std::string_view raw : Split(source, '\n')) {
+      ++line_number;
+      std::string_view body = TrimWhitespace(StripComment(raw));
+      // Peel off any leading labels ("foo: bar: insn" is legal).
+      while (true) {
+        const size_t colon = body.find(':');
+        if (colon == std::string_view::npos) {
+          break;
+        }
+        const std::string_view candidate = TrimWhitespace(body.substr(0, colon));
+        if (candidate.empty() || candidate.find(' ') != std::string_view::npos ||
+            candidate.find('\t') != std::string_view::npos) {
+          break;
+        }
+        ParsedLine label_line;
+        label_line.line_number = line_number;
+        label_line.label = std::string(candidate);
+        lines_.push_back(std::move(label_line));
+        body = TrimWhitespace(body.substr(colon + 1));
+      }
+      if (body.empty()) {
+        continue;
+      }
+      ParsedLine line;
+      line.line_number = line_number;
+      size_t space = 0;
+      while (space < body.size() && !std::isspace(static_cast<unsigned char>(body[space]))) {
+        ++space;
+      }
+      line.mnemonic = ToLower(body.substr(0, space));
+      for (std::string_view op : SplitOperands(body.substr(space))) {
+        if (!op.empty()) {
+          line.operands.emplace_back(op);
+        }
+      }
+      lines_.push_back(std::move(line));
+    }
+    return Status::Ok();
+  }
+
+  // ---- Pass 1: layout ----------------------------------------------------
+
+  uint32_t& Cursor() { return section_ == SectionKind::kText ? text_cursor_ : data_cursor_; }
+
+  Status PassOne() {
+    section_ = SectionKind::kText;
+    for (ParsedLine& line : lines_) {
+      line.section = section_;
+      line.address = Cursor();
+      if (!line.label.empty()) {
+        if (symbols_.contains(line.label)) {
+          return LineError(line, StrFormat("duplicate label '%s'", line.label.c_str()));
+        }
+        symbols_[line.label] = Cursor();
+        continue;
+      }
+      if (line.mnemonic.empty()) {
+        continue;
+      }
+      if (line.mnemonic[0] == '.') {
+        MSIM_RETURN_IF_ERROR(LayoutDirective(line));
+        continue;
+      }
+      MSIM_ASSIGN_OR_RETURN(line.emit_words, InstructionSize(line));
+      if (line.section == SectionKind::kData) {
+        return LineError(line, "instructions are not allowed in .data");
+      }
+      Cursor() += static_cast<uint32_t>(line.emit_words) * 4;
+    }
+    return Status::Ok();
+  }
+
+  Result<int> InstructionSize(const ParsedLine& line) {
+    if (line.mnemonic == "li") {
+      if (line.operands.size() != 2) {
+        return LineError(line, "li takes two operands");
+      }
+      if (ExprReferencesUnknown(line.operands[1], symbols_)) {
+        return LineError(line,
+                         "li operand must be a constant known at this point "
+                         "(use 'la' for addresses)");
+      }
+      auto value = EvalExpr(line.operands[1], symbols_);
+      if (!value.ok()) {
+        return LineError(line, value.status().message());
+      }
+      return FitsSigned(*value, 12) ? 1 : 2;
+    }
+    if (line.mnemonic == "la") {
+      return 2;
+    }
+    if (FindPseudo(line.mnemonic) != nullptr) {
+      return 1;
+    }
+    if (FindInstrByMnemonic(line.mnemonic) != nullptr) {
+      return 1;
+    }
+    return LineError(line, StrFormat("unknown mnemonic '%s'", line.mnemonic.c_str()));
+  }
+
+  Status LayoutDirective(ParsedLine& line) {
+    const std::string& d = line.mnemonic;
+    auto& cursor = Cursor();
+    if (d == ".text") {
+      section_ = SectionKind::kText;
+      return Status::Ok();
+    }
+    if (d == ".data") {
+      section_ = SectionKind::kData;
+      return Status::Ok();
+    }
+    if (d == ".globl" || d == ".global") {
+      return Status::Ok();
+    }
+    if (d == ".equ" || d == ".set") {
+      if (line.operands.size() != 2) {
+        return LineError(line, ".equ takes a name and a value");
+      }
+      auto value = EvalExpr(line.operands[1], symbols_);
+      if (!value.ok()) {
+        return LineError(line, value.status().message());
+      }
+      symbols_[line.operands[0]] = static_cast<uint32_t>(*value);
+      return Status::Ok();
+    }
+    if (d == ".org") {
+      if (line.operands.size() != 1) {
+        return LineError(line, ".org takes one operand");
+      }
+      auto value = EvalExpr(line.operands[0], symbols_);
+      if (!value.ok()) {
+        return LineError(line, value.status().message());
+      }
+      const uint32_t target = static_cast<uint32_t>(*value);
+      if (target < cursor) {
+        return LineError(line, ".org cannot move backwards");
+      }
+      cursor = target;
+      line.address = target;
+      return Status::Ok();
+    }
+    if (d == ".align") {
+      if (line.operands.size() != 1) {
+        return LineError(line, ".align takes one operand");
+      }
+      auto value = EvalExpr(line.operands[0], symbols_);
+      if (!value.ok() || *value < 0 || *value > 16) {
+        return LineError(line, "bad .align amount");
+      }
+      cursor = AlignUp(cursor, 1u << *value);
+      return Status::Ok();
+    }
+    if (d == ".space") {
+      if (line.operands.size() != 1) {
+        return LineError(line, ".space takes one operand");
+      }
+      auto value = EvalExpr(line.operands[0], symbols_);
+      if (!value.ok() || *value < 0) {
+        return LineError(line, "bad .space amount");
+      }
+      cursor += static_cast<uint32_t>(*value);
+      return Status::Ok();
+    }
+    if (d == ".word") {
+      cursor += 4 * static_cast<uint32_t>(line.operands.size());
+      return Status::Ok();
+    }
+    if (d == ".half") {
+      cursor += 2 * static_cast<uint32_t>(line.operands.size());
+      return Status::Ok();
+    }
+    if (d == ".byte") {
+      cursor += static_cast<uint32_t>(line.operands.size());
+      return Status::Ok();
+    }
+    if (d == ".asciz" || d == ".string") {
+      if (line.operands.size() != 1) {
+        return LineError(line, ".asciz takes one string operand");
+      }
+      auto text = ParseStringLiteral(line.operands[0]);
+      if (!text.ok()) {
+        return LineError(line, text.status().message());
+      }
+      cursor += static_cast<uint32_t>(text->size()) + 1;
+      return Status::Ok();
+    }
+    if (d == ".mentry") {
+      return Status::Ok();  // handled in pass 2
+    }
+    return LineError(line, StrFormat("unknown directive '%s'", d.c_str()));
+  }
+
+  // ---- Pass 2: emission ---------------------------------------------------
+
+  Status PassTwo() {
+    program_.text.base = options_.text_base;
+    program_.data.base = options_.data_base;
+    for (const ParsedLine& line : lines_) {
+      if (!line.label.empty() || line.mnemonic.empty()) {
+        continue;
+      }
+      if (line.mnemonic[0] == '.') {
+        MSIM_RETURN_IF_ERROR(EmitDirective(line));
+        continue;
+      }
+      MSIM_RETURN_IF_ERROR(EmitInstruction(line));
+    }
+    return Status::Ok();
+  }
+
+  Section& SectionFor(const ParsedLine& line) {
+    return line.section == SectionKind::kText ? program_.text : program_.data;
+  }
+
+  // Extends the section with zero fill so that `address` is in range, then
+  // writes `size` bytes of `value` (little-endian) at it.
+  void EmitBytes(const ParsedLine& line, uint32_t address, uint32_t value, unsigned size) {
+    Section& section = SectionFor(line);
+    const uint32_t offset = address - section.base;
+    if (section.bytes.size() < offset + size) {
+      section.bytes.resize(offset + size, 0);
+    }
+    for (unsigned i = 0; i < size; ++i) {
+      section.bytes[offset + i] = static_cast<uint8_t>(value >> (8 * i));
+    }
+  }
+
+  Status EmitDirective(const ParsedLine& line) {
+    const std::string& d = line.mnemonic;
+    if (d == ".word" || d == ".half" || d == ".byte") {
+      const unsigned size = d == ".word" ? 4 : d == ".half" ? 2 : 1;
+      uint32_t address = line.address;
+      for (const std::string& op : line.operands) {
+        auto value = EvalExpr(op, symbols_);
+        if (!value.ok()) {
+          return LineError(line, value.status().message());
+        }
+        EmitBytes(line, address, static_cast<uint32_t>(*value), size);
+        address += size;
+      }
+      return Status::Ok();
+    }
+    if (d == ".asciz" || d == ".string") {
+      auto text = ParseStringLiteral(line.operands[0]);
+      if (!text.ok()) {
+        return LineError(line, text.status().message());
+      }
+      uint32_t address = line.address;
+      for (char c : *text) {
+        EmitBytes(line, address++, static_cast<uint8_t>(c), 1);
+      }
+      EmitBytes(line, address, 0, 1);
+      return Status::Ok();
+    }
+    if (d == ".space") {
+      auto value = EvalExpr(line.operands[0], symbols_);
+      if (value.ok() && *value > 0) {
+        EmitBytes(line, line.address + static_cast<uint32_t>(*value) - 1, 0, 1);
+      }
+      return Status::Ok();
+    }
+    if (d == ".mentry") {
+      if (line.operands.size() != 2) {
+        return LineError(line, ".mentry takes an entry number and a label");
+      }
+      auto number = EvalExpr(line.operands[0], symbols_);
+      if (!number.ok() || *number < 0 || *number >= static_cast<int64_t>(kMaxMroutines)) {
+        return LineError(line, StrFormat("bad mroutine entry number (0..%u allowed)",
+                                         kMaxMroutines - 1));
+      }
+      auto target = EvalExpr(line.operands[1], symbols_);
+      if (!target.ok()) {
+        return LineError(line, target.status().message());
+      }
+      const uint32_t entry = static_cast<uint32_t>(*number);
+      if (program_.metal_entries.contains(entry)) {
+        return LineError(line, StrFormat("duplicate .mentry %u", entry));
+      }
+      program_.metal_entries[entry] = static_cast<uint32_t>(*target);
+      return Status::Ok();
+    }
+    // .text/.data/.org/.align/.equ/.globl were fully handled in pass 1.
+    return Status::Ok();
+  }
+
+  // ---- Operand helpers ----------------------------------------------------
+
+  Result<uint8_t> Gpr(const ParsedLine& line, const std::string& op) const {
+    if (const auto reg = ParseGpr(op)) {
+      return *reg;
+    }
+    return LineError(line, StrFormat("expected a register, got '%s'", op.c_str()));
+  }
+
+  Result<uint8_t> MetalReg(const ParsedLine& line, const std::string& op) const {
+    if (const auto reg = ParseMetalRegister(op)) {
+      return *reg;
+    }
+    auto value = EvalExpr(op, symbols_);
+    if (value.ok() && *value >= 0 && *value < static_cast<int64_t>(kNumMetalRegisters)) {
+      return static_cast<uint8_t>(*value);
+    }
+    return LineError(line, StrFormat("expected a Metal register (m0..m31), got '%s'", op.c_str()));
+  }
+
+  Result<int64_t> Imm(const ParsedLine& line, const std::string& op) const {
+    auto value = EvalExpr(op, symbols_);
+    if (!value.ok()) {
+      return LineError(line, value.status().message());
+    }
+    return *value;
+  }
+
+  // Control register operand: "crN" or an expression (including .equ names).
+  Result<int32_t> CrNumber(const ParsedLine& line, const std::string& op) const {
+    std::string_view text = op;
+    // Strip the "cr" prefix only for the literal crN form, so symbolic names
+    // that happen to start with "cr"/"CR" still evaluate as expressions.
+    if (text.size() > 2 && (text.substr(0, 2) == "cr" || text.substr(0, 2) == "CR") &&
+        text.find_first_not_of("0123456789", 2) == std::string_view::npos) {
+      text.remove_prefix(2);
+    }
+    auto value = EvalExpr(text, symbols_);
+    if (!value.ok() || *value < 0 || *value > 255) {
+      return LineError(line, StrFormat("bad control register '%s'", op.c_str()));
+    }
+    return static_cast<int32_t>(*value);
+  }
+
+  // "imm(reg)" or "(reg)" or "imm" -> {imm, reg}.
+  struct MemOperand {
+    int32_t offset = 0;
+    uint8_t base = 0;
+  };
+  Result<MemOperand> Mem(const ParsedLine& line, const std::string& op) const {
+    MemOperand out;
+    const size_t open = op.rfind('(');
+    if (open == std::string::npos) {
+      MSIM_ASSIGN_OR_RETURN(int64_t value, Imm(line, op));
+      out.offset = static_cast<int32_t>(value);
+      return out;
+    }
+    if (op.back() != ')') {
+      return LineError(line, StrFormat("malformed memory operand '%s'", op.c_str()));
+    }
+    const std::string reg_text(TrimWhitespace(op.substr(open + 1, op.size() - open - 2)));
+    MSIM_ASSIGN_OR_RETURN(out.base, Gpr(line, reg_text));
+    const std::string offset_text(TrimWhitespace(op.substr(0, open)));
+    if (!offset_text.empty()) {
+      MSIM_ASSIGN_OR_RETURN(int64_t value, Imm(line, offset_text));
+      out.offset = static_cast<int32_t>(value);
+    }
+    return out;
+  }
+
+  Result<int32_t> BranchOffset(const ParsedLine& line, const std::string& op,
+                               uint32_t pc) const {
+    MSIM_ASSIGN_OR_RETURN(int64_t target, Imm(line, op));
+    return static_cast<int32_t>(static_cast<uint32_t>(target) - pc);
+  }
+
+  void EmitWord(const ParsedLine& line, uint32_t word) {
+    EmitBytes(line, emit_address_, word, 4);
+    emit_address_ += 4;
+  }
+
+  Status EmitEncoded(const ParsedLine& line, Result<uint32_t> encoded) {
+    if (!encoded.ok()) {
+      return LineError(line, encoded.status().message());
+    }
+    EmitWord(line, *encoded);
+    return Status::Ok();
+  }
+
+  // ---- Instructions -------------------------------------------------------
+
+  Status EmitInstruction(const ParsedLine& line) {
+    emit_address_ = line.address;
+    if (FindPseudo(line.mnemonic) != nullptr || line.mnemonic == "li" || line.mnemonic == "la") {
+      return EmitPseudo(line);
+    }
+    const InstrInfo* info = FindInstrByMnemonic(line.mnemonic);
+    if (info == nullptr) {
+      return LineError(line, StrFormat("unknown mnemonic '%s'", line.mnemonic.c_str()));
+    }
+    return EmitReal(line, *info);
+  }
+
+  Status CheckOperandCount(const ParsedLine& line, size_t want) const {
+    if (line.operands.size() != want) {
+      return LineError(line, StrFormat("'%s' expects %zu operand(s), got %zu",
+                                       line.mnemonic.c_str(), want, line.operands.size()));
+    }
+    return Status::Ok();
+  }
+
+  Status EmitReal(const ParsedLine& line, const InstrInfo& info) {
+    using K = InstrKind;
+    const auto& ops = line.operands;
+    switch (info.kind) {
+      case K::kEcall:
+      case K::kEbreak:
+      case K::kFence:
+      case K::kMexit:
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 0));
+        return EmitEncoded(line, EncodeI(info.kind, 0, 0, 0));
+      case K::kHalt: {
+        if (ops.empty()) {
+          return EmitEncoded(line, EncodeI(info.kind, 0, 0, 0));
+        }
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 1));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[0]));
+        return EmitEncoded(line, EncodeI(info.kind, 0, rs1, 0));
+      }
+      case K::kMenter: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 1));
+        MSIM_ASSIGN_OR_RETURN(int64_t entry, Imm(line, ops[0]));
+        if (entry < 0 || entry >= static_cast<int64_t>(kMaxMroutines)) {
+          return LineError(line, "menter entry number out of range");
+        }
+        return EmitEncoded(line, EncodeI(info.kind, 0, 0, static_cast<int32_t>(entry)));
+      }
+      case K::kRmr: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t mreg, MetalReg(line, ops[1]));
+        return EmitEncoded(line, EncodeI(info.kind, rd, 0, mreg));
+      }
+      case K::kWmr: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t mreg, MetalReg(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+        return EmitEncoded(line, EncodeI(info.kind, 0, rs1, mreg));
+      }
+      case K::kRcr: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(int32_t cr, CrNumber(line, ops[1]));
+        return EmitEncoded(line, EncodeI(info.kind, rd, 0, cr));
+      }
+      case K::kWcr: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(int32_t cr, CrNumber(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+        return EmitEncoded(line, EncodeI(info.kind, 0, rs1, cr));
+      }
+      case K::kMopr: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(int64_t sel, Imm(line, ops[1]));
+        if (sel < 0 || sel > 31) {
+          return LineError(line, "mopr selector out of range");
+        }
+        return EmitEncoded(line, EncodeR(info.kind, rd, 0, static_cast<uint8_t>(sel)));
+      }
+      case K::kMopw:
+      case K::kTlbinv:
+      case K::kTlbflush: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 1));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[0]));
+        return EmitEncoded(line, EncodeR(info.kind, 0, rs1, 0));
+      }
+      case K::kTlbwr:
+      case K::kMintset: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs2, Gpr(line, ops[1]));
+        return EmitEncoded(line, EncodeR(info.kind, 0, rs1, rs2));
+      }
+      case K::kTlbrd: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+        return EmitEncoded(line, EncodeR(info.kind, rd, rs1, 0));
+      }
+      case K::kJal: {
+        // "jal target" (rd = ra) or "jal rd, target".
+        uint8_t rd = 1;
+        std::string target;
+        if (ops.size() == 1) {
+          target = ops[0];
+        } else {
+          MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+          MSIM_ASSIGN_OR_RETURN(rd, Gpr(line, ops[0]));
+          target = ops[1];
+        }
+        MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, target, line.address));
+        return EmitEncoded(line, EncodeJ(info.kind, rd, offset));
+      }
+      case K::kJalr: {
+        // "jalr rs1", "jalr rd, imm(rs1)", or "jalr rd, rs1, imm".
+        if (ops.size() == 1) {
+          MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[0]));
+          return EmitEncoded(line, EncodeI(info.kind, 1, rs1, 0));
+        }
+        if (ops.size() == 3) {
+          MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+          MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+          MSIM_ASSIGN_OR_RETURN(int64_t imm, Imm(line, ops[2]));
+          return EmitEncoded(line, EncodeI(info.kind, rd, rs1, static_cast<int32_t>(imm)));
+        }
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(MemOperand mem, Mem(line, ops[1]));
+        return EmitEncoded(line, EncodeI(info.kind, rd, mem.base, mem.offset));
+      }
+      default:
+        break;
+    }
+    switch (info.format) {
+      case InstrFormat::kR: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 3));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs2, Gpr(line, ops[2]));
+        return EmitEncoded(line, EncodeR(info.kind, rd, rs1, rs2));
+      }
+      case InstrFormat::kI: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, info.is_load ? 2 : 3));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        if (info.is_load) {
+          MSIM_ASSIGN_OR_RETURN(MemOperand mem, Mem(line, ops[1]));
+          return EmitEncoded(line, EncodeI(info.kind, rd, mem.base, mem.offset));
+        }
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[1]));
+        MSIM_ASSIGN_OR_RETURN(int64_t imm, Imm(line, ops[2]));
+        return EmitEncoded(line, EncodeI(info.kind, rd, rs1, static_cast<int32_t>(imm)));
+      }
+      case InstrFormat::kS: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs2, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(MemOperand mem, Mem(line, ops[1]));
+        return EmitEncoded(line, EncodeS(info.kind, mem.base, rs2, mem.offset));
+      }
+      case InstrFormat::kB: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 3));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs1, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rs2, Gpr(line, ops[1]));
+        MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, ops[2], line.address));
+        return EmitEncoded(line, EncodeB(info.kind, rs1, rs2, offset));
+      }
+      case InstrFormat::kU: {
+        MSIM_RETURN_IF_ERROR(CheckOperandCount(line, 2));
+        MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+        MSIM_ASSIGN_OR_RETURN(int64_t imm, Imm(line, ops[1]));
+        return EmitEncoded(line, EncodeU(info.kind, rd, static_cast<int32_t>(imm)));
+      }
+      default:
+        return LineError(line, StrFormat("cannot assemble '%s'", line.mnemonic.c_str()));
+    }
+  }
+
+  Status EmitPseudo(const ParsedLine& line) {
+    using K = InstrKind;
+    const std::string& m = line.mnemonic;
+    const auto& ops = line.operands;
+    const PseudoInfo* pseudo = FindPseudo(m);
+    if (pseudo != nullptr) {
+      if (ops.size() < static_cast<size_t>(pseudo->min_operands) ||
+          ops.size() > static_cast<size_t>(pseudo->max_operands)) {
+        return LineError(line, StrFormat("'%s' expects %d operand(s)", m.c_str(),
+                                         pseudo->min_operands));
+      }
+    }
+    if (m == "nop") {
+      return EmitEncoded(line, EncodeI(K::kAddi, 0, 0, 0));
+    }
+    if (m == "mv" || m == "not" || m == "neg" || m == "seqz" || m == "snez" || m == "sltz" ||
+        m == "sgtz") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+      MSIM_ASSIGN_OR_RETURN(uint8_t rs, Gpr(line, ops[1]));
+      if (m == "mv") return EmitEncoded(line, EncodeI(K::kAddi, rd, rs, 0));
+      if (m == "not") return EmitEncoded(line, EncodeI(K::kXori, rd, rs, -1));
+      if (m == "neg") return EmitEncoded(line, EncodeR(K::kSub, rd, 0, rs));
+      if (m == "seqz") return EmitEncoded(line, EncodeI(K::kSltiu, rd, rs, 1));
+      if (m == "snez") return EmitEncoded(line, EncodeR(K::kSltu, rd, 0, rs));
+      if (m == "sltz") return EmitEncoded(line, EncodeR(K::kSlt, rd, rs, 0));
+      return EmitEncoded(line, EncodeR(K::kSlt, rd, 0, rs));  // sgtz
+    }
+    if (m == "li") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+      MSIM_ASSIGN_OR_RETURN(int64_t value, Imm(line, ops[1]));
+      const uint32_t uvalue = static_cast<uint32_t>(value);
+      if (line.emit_words == 1) {
+        return EmitEncoded(line, EncodeI(K::kAddi, rd, 0, static_cast<int32_t>(value)));
+      }
+      const int32_t hi = static_cast<int32_t>((uvalue + 0x800u) >> 12);
+      const int32_t lo = static_cast<int32_t>(uvalue << 20) >> 20;
+      MSIM_RETURN_IF_ERROR(EmitEncoded(line, EncodeU(K::kLui, rd, hi & 0xFFFFF)));
+      return EmitEncoded(line, EncodeI(K::kAddi, rd, rd, lo));
+    }
+    if (m == "la") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t rd, Gpr(line, ops[0]));
+      MSIM_ASSIGN_OR_RETURN(int64_t value, Imm(line, ops[1]));
+      const uint32_t addr = static_cast<uint32_t>(value);
+      const int32_t hi = static_cast<int32_t>((addr + 0x800u) >> 12);
+      const int32_t lo = static_cast<int32_t>(addr << 20) >> 20;
+      MSIM_RETURN_IF_ERROR(EmitEncoded(line, EncodeU(K::kLui, rd, hi & 0xFFFFF)));
+      return EmitEncoded(line, EncodeI(K::kAddi, rd, rd, lo));
+    }
+    if (m == "j") {
+      MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, ops[0], line.address));
+      return EmitEncoded(line, EncodeJ(K::kJal, 0, offset));
+    }
+    if (m == "jr") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t rs, Gpr(line, ops[0]));
+      return EmitEncoded(line, EncodeI(K::kJalr, 0, rs, 0));
+    }
+    if (m == "call") {
+      MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, ops[0], line.address));
+      return EmitEncoded(line, EncodeJ(K::kJal, 1, offset));
+    }
+    if (m == "ret") {
+      return EmitEncoded(line, EncodeI(K::kJalr, 0, 1, 0));
+    }
+    if (m == "beqz" || m == "bnez" || m == "blez" || m == "bgez" || m == "bltz" || m == "bgtz") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t rs, Gpr(line, ops[0]));
+      MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, ops[1], line.address));
+      if (m == "beqz") return EmitEncoded(line, EncodeB(K::kBeq, rs, 0, offset));
+      if (m == "bnez") return EmitEncoded(line, EncodeB(K::kBne, rs, 0, offset));
+      if (m == "blez") return EmitEncoded(line, EncodeB(K::kBge, 0, rs, offset));
+      if (m == "bgez") return EmitEncoded(line, EncodeB(K::kBge, rs, 0, offset));
+      if (m == "bltz") return EmitEncoded(line, EncodeB(K::kBlt, rs, 0, offset));
+      return EmitEncoded(line, EncodeB(K::kBlt, 0, rs, offset));  // bgtz
+    }
+    if (m == "bgt" || m == "ble" || m == "bgtu" || m == "bleu") {
+      MSIM_ASSIGN_OR_RETURN(uint8_t a, Gpr(line, ops[0]));
+      MSIM_ASSIGN_OR_RETURN(uint8_t b, Gpr(line, ops[1]));
+      MSIM_ASSIGN_OR_RETURN(int32_t offset, BranchOffset(line, ops[2], line.address));
+      if (m == "bgt") return EmitEncoded(line, EncodeB(K::kBlt, b, a, offset));
+      if (m == "ble") return EmitEncoded(line, EncodeB(K::kBge, b, a, offset));
+      if (m == "bgtu") return EmitEncoded(line, EncodeB(K::kBltu, b, a, offset));
+      return EmitEncoded(line, EncodeB(K::kBgeu, b, a, offset));  // bleu
+    }
+    return LineError(line, StrFormat("unhandled pseudo '%s'", m.c_str()));
+  }
+
+  static Result<std::string> ParseStringLiteral(std::string_view text) {
+    text = TrimWhitespace(text);
+    if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+      return ParseError("expected a double-quoted string");
+    }
+    std::string out;
+    for (size_t i = 1; i + 1 < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\' && i + 2 < text.size()) {
+        ++i;
+        switch (text[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: c = text[i]; break;
+        }
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  const AssembleOptions options_;
+  std::vector<ParsedLine> lines_;
+  std::map<std::string, uint32_t> symbols_;
+  Program program_;
+  SectionKind section_ = SectionKind::kText;
+  uint32_t text_cursor_ = 0;
+  uint32_t data_cursor_ = 0;
+  uint32_t emit_address_ = 0;
+};
+
+}  // namespace
+
+Result<Program> Assemble(std::string_view source, const AssembleOptions& options) {
+  return Assembler(options).Run(source);
+}
+
+}  // namespace msim

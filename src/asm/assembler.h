@@ -1,0 +1,35 @@
+// Two-pass assembler for MRV32 and mcode.
+//
+// Supported syntax (one statement per line):
+//   label:                 .text / .data
+//   .org EXPR              .equ NAME, EXPR        .globl NAME (recorded, no-op)
+//   .word E[,E...]         .half E[,E...]         .byte E[,E...]
+//   .asciz "text"          .space N               .align N   (2^N bytes)
+//   .mentry NUM, LABEL     -- declare mroutine entry NUM at LABEL (mcode only)
+//   <mnemonic> operands    -- every instruction in src/isa plus pseudos:
+//       nop, mv, not, neg, seqz, snez, sltz, sgtz, li, la, j, jr, call, ret,
+//       beqz, bnez, blez, bgez, bltz, bgtz, bgt, ble, bgtu, bleu
+// Comments: '#', ';' and '//' to end of line.
+// Expressions: numbers (dec/hex/bin), labels, .equ symbols, + and -, unary -,
+// %hi(expr), %lo(expr).
+#ifndef MSIM_ASM_ASSEMBLER_H_
+#define MSIM_ASM_ASSEMBLER_H_
+
+#include <string_view>
+
+#include "asm/program.h"
+#include "support/result.h"
+
+namespace msim {
+
+struct AssembleOptions {
+  uint32_t text_base = 0x00001000;
+  uint32_t data_base = 0x00100000;
+};
+
+// Assembles `source` into a loadable program. Errors name the source line.
+Result<Program> Assemble(std::string_view source, const AssembleOptions& options = {});
+
+}  // namespace msim
+
+#endif  // MSIM_ASM_ASSEMBLER_H_

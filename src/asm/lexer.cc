@@ -1,0 +1,250 @@
+#include "asm/lexer.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' || c == '$';
+}
+
+// Recursive-descent evaluator over the expression text.
+class ExprParser {
+ public:
+  ExprParser(std::string_view text, const std::map<std::string, uint32_t>& symbols)
+      : text_(text), symbols_(symbols) {}
+
+  Result<int64_t> Parse() {
+    MSIM_ASSIGN_OR_RETURN(int64_t value, ParseSum());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return ParseError(StrFormat("unexpected trailing characters in expression '%.*s'",
+                                  static_cast<int>(text_.size()), text_.data()));
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Result<int64_t> ParseSum() {
+    MSIM_ASSIGN_OR_RETURN(int64_t value, ParseTerm());
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        const char op = text_[pos_++];
+        MSIM_ASSIGN_OR_RETURN(int64_t rhs, ParseTerm());
+        value = op == '+' ? value + rhs : value - rhs;
+      } else {
+        return value;
+      }
+    }
+  }
+
+  Result<int64_t> ParseTerm() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return ParseError("unexpected end of expression");
+    }
+    const char c = text_[pos_];
+    if (c == '-') {
+      ++pos_;
+      MSIM_ASSIGN_OR_RETURN(int64_t value, ParseTerm());
+      return -value;
+    }
+    if (c == '(') {
+      ++pos_;
+      MSIM_ASSIGN_OR_RETURN(int64_t value, ParseSum());
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return ParseError("missing ')' in expression");
+      }
+      ++pos_;
+      return value;
+    }
+    if (c == '%') {
+      return ParseReloc();
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return ParseNumber();
+    }
+    if (IsIdentStart(c)) {
+      return ParseSymbol();
+    }
+    return ParseError(StrFormat("unexpected character '%c' in expression", c));
+  }
+
+  Result<int64_t> ParseReloc() {
+    ++pos_;  // consume '%'
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      ++pos_;
+    }
+    const std::string_view name = text_.substr(start, pos_ - start);
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return ParseError(StrFormat("%%%.*s requires parenthesized argument",
+                                  static_cast<int>(name.size()), name.data()));
+    }
+    ++pos_;
+    MSIM_ASSIGN_OR_RETURN(int64_t value, ParseSum());
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != ')') {
+      return ParseError("missing ')' after relocation argument");
+    }
+    ++pos_;
+    const uint32_t addr = static_cast<uint32_t>(value);
+    if (name == "hi") {
+      // Compensates for the sign extension of the paired %lo addi.
+      return static_cast<int64_t>((addr + 0x800u) >> 12);
+    }
+    if (name == "lo") {
+      return static_cast<int64_t>(static_cast<int32_t>(addr << 20) >> 20);
+    }
+    return ParseError(StrFormat("unknown relocation %%%.*s", static_cast<int>(name.size()),
+                                name.data()));
+  }
+
+  Result<int64_t> ParseNumber() {
+    size_t start = pos_;
+    // Consume digits plus hex/binary markers.
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+    }
+    const std::string_view digits = text_.substr(start, pos_ - start);
+    const auto value = ParseInt(digits);
+    if (!value) {
+      return ParseError(StrFormat("malformed number '%.*s'", static_cast<int>(digits.size()),
+                                  digits.data()));
+    }
+    return *value;
+  }
+
+  Result<int64_t> ParseSymbol() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) {
+      ++pos_;
+    }
+    const std::string name(text_.substr(start, pos_ - start));
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end()) {
+      return Status(ErrorCode::kNotFound, StrFormat("undefined symbol '%s'", name.c_str()));
+    }
+    return static_cast<int64_t>(it->second);
+  }
+
+  std::string_view text_;
+  const std::map<std::string, uint32_t>& symbols_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string_view StripComment(std::string_view line) {
+  bool in_string = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      continue;
+    }
+    if (c == '#' || c == ';') {
+      return line.substr(0, i);
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+std::vector<std::string_view> SplitOperands(std::string_view text) {
+  std::vector<std::string_view> out;
+  text = TrimWhitespace(text);
+  if (text.empty()) {
+    return out;
+  }
+  int depth = 0;
+  bool in_string = false;
+  size_t start = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '(':
+        ++depth;
+        break;
+      case ')':
+        --depth;
+        break;
+      case ',':
+        if (depth == 0) {
+          out.push_back(TrimWhitespace(text.substr(start, i - start)));
+          start = i + 1;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  out.push_back(TrimWhitespace(text.substr(start)));
+  return out;
+}
+
+Result<int64_t> EvalExpr(std::string_view text, const std::map<std::string, uint32_t>& symbols) {
+  return ExprParser(text, symbols).Parse();
+}
+
+bool ExprReferencesUnknown(std::string_view text,
+                           const std::map<std::string, uint32_t>& symbols) {
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (IsIdentStart(text[i]) && (i == 0 || !IsIdentChar(text[i - 1]))) {
+      size_t j = i;
+      while (j < text.size() && IsIdentChar(text[j])) {
+        ++j;
+      }
+      const std::string name(text.substr(i, j - i));
+      // %hi / %lo keywords are preceded by '%' and skipped here.
+      if (i > 0 && text[i - 1] == '%') {
+        i = j;
+        continue;
+      }
+      if (!symbols.contains(name)) {
+        return true;
+      }
+      i = j;
+    }
+  }
+  return false;
+}
+
+}  // namespace msim

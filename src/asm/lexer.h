@@ -1,0 +1,35 @@
+// Line-level tokenization helpers for the assembler.
+#ifndef MSIM_ASM_LEXER_H_
+#define MSIM_ASM_LEXER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/result.h"
+
+namespace msim {
+
+// Removes `#`, `//` and `;` comments (outside string literals).
+std::string_view StripComment(std::string_view line);
+
+// Splits an operand list on top-level commas; parentheses and string literals
+// protect embedded commas. Each field is trimmed.
+std::vector<std::string_view> SplitOperands(std::string_view text);
+
+// Evaluates an assembler expression: numbers, symbols, unary -, binary + and
+// -, and the relocation helpers %hi(expr) / %lo(expr). `symbols` supplies
+// label and .equ values. The special symbol "." (current address) must be
+// provided by the caller via `symbols` when meaningful.
+Result<int64_t> EvalExpr(std::string_view text, const std::map<std::string, uint32_t>& symbols);
+
+// True if `text` contains an identifier that is not defined in `symbols`
+// (used in pass 1 to detect label references before labels are resolved).
+bool ExprReferencesUnknown(std::string_view text,
+                           const std::map<std::string, uint32_t>& symbols);
+
+}  // namespace msim
+
+#endif  // MSIM_ASM_LEXER_H_

@@ -1,0 +1,36 @@
+// Loadable program images produced by the assembler.
+#ifndef MSIM_ASM_PROGRAM_H_
+#define MSIM_ASM_PROGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msim {
+
+// A contiguous byte range to be loaded at `base`.
+struct Section {
+  uint32_t base = 0;
+  std::vector<uint8_t> bytes;
+
+  uint32_t end() const { return base + static_cast<uint32_t>(bytes.size()); }
+};
+
+// An assembled program: text + data sections, the symbol table, and — for
+// mcode modules — the mroutine entry table declared with `.mentry`.
+struct Program {
+  Section text;
+  Section data;
+  std::map<std::string, uint32_t> symbols;
+  // Entry number -> address of the mroutine's first instruction. Filled by
+  // `.mentry <number>, <label>` directives (paper §2: each mroutine has a
+  // unique entry number serving as its entry point into Metal mode).
+  std::map<uint32_t, uint32_t> metal_entries;
+  // `_start` if defined, else text.base.
+  uint32_t entry = 0;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_ASM_PROGRAM_H_

@@ -1,0 +1,1049 @@
+#include "cpu/core.h"
+
+#include "support/log.h"
+
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// True if the decoded instruction reads GPR `reg` (load-use hazard check).
+bool UsesReg(const Decoded& d, uint8_t reg) {
+  if (reg == 0) {
+    return false;
+  }
+  switch (d.kind) {
+    // No GPR sources.
+    case InstrKind::kLui:
+    case InstrKind::kAuipc:
+    case InstrKind::kJal:
+    case InstrKind::kEcall:
+    case InstrKind::kEbreak:
+    case InstrKind::kFence:
+    case InstrKind::kMenter:
+    case InstrKind::kMexit:
+    case InstrKind::kRmr:
+    case InstrKind::kRcr:
+    case InstrKind::kMopr:
+      return false;
+    // rs1 only.
+    case InstrKind::kJalr:
+    case InstrKind::kWmr:
+    case InstrKind::kWcr:
+    case InstrKind::kMopw:
+    case InstrKind::kTlbinv:
+    case InstrKind::kTlbflush:
+    case InstrKind::kTlbrd:
+    case InstrKind::kHalt:
+    case InstrKind::kMld:
+    case InstrKind::kPlw:
+      return d.rs1 == reg;
+    // rs1 + rs2.
+    case InstrKind::kMst:
+    case InstrKind::kPsw:
+    case InstrKind::kTlbwr:
+    case InstrKind::kMintset:
+      return d.rs1 == reg || d.rs2 == reg;
+    default:
+      break;
+  }
+  switch (d.info().format) {
+    case InstrFormat::kR:
+    case InstrFormat::kS:
+    case InstrFormat::kB:
+      return d.rs1 == reg || d.rs2 == reg;
+    case InstrFormat::kI:
+      return d.rs1 == reg;
+    default:
+      return false;
+  }
+}
+
+uint32_t LowestSetBit(uint32_t mask) {
+  for (uint32_t i = 0; i < 32; ++i) {
+    if ((mask >> i) & 1u) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+Core::Core(const CoreConfig& config)
+    : config_(config),
+      bus_(config.dram_size),
+      mmu_(config.tlb_entries),
+      icache_(config.icache_lines, config.icache_line_size, config.cache_hit_latency,
+              config.dram_latency),
+      dcache_(config.dcache_lines, config.dcache_line_size, config.cache_hit_latency,
+              config.dram_latency) {
+  // Device map; AttachDevice only fails on overlap, which is impossible here.
+  (void)bus_.AttachDevice(InterruptController::kDefaultBase, &intc_);
+  (void)bus_.AttachDevice(TimerDevice::kDefaultBase, &timer_);
+  (void)bus_.AttachDevice(NicDevice::kDefaultBase, &nic_);
+  (void)bus_.AttachDevice(ConsoleDevice::kDefaultBase, &console_);
+}
+
+Status Core::LoadProgram(const Program& program) {
+  MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.text));
+  MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.data));
+  SetPc(program.entry);
+  return Status::Ok();
+}
+
+void Core::SetPc(uint32_t pc) {
+  fetch_pc_ = pc;
+  fetch_inflight_ = false;
+  fetch_wait_ = 0;
+  fetch_buffer_.valid = false;
+  if_id_.valid = false;
+  id_ex_.valid = false;
+  ex_mem_.valid = false;
+  inflight_mode_ops_ = 0;
+  frontend_metal_ = arch_metal_;
+}
+
+void Core::ResetStats() {
+  stats_ = CoreStats{};
+  icache_.ResetStats();
+  dcache_.ResetStats();
+  mmu_.tlb().ResetStats();
+}
+
+RunResult Core::Run(uint64_t max_cycles) {
+  if (max_cycles == 0) {
+    max_cycles = config_.default_max_cycles;
+  }
+  const uint64_t start_cycle = cycle_;
+  while (!halted_ && !has_fatal_ && cycle_ - start_cycle < max_cycles) {
+    StepCycle();
+  }
+  RunResult result;
+  result.cycles = cycle_ - start_cycle;
+  result.instret = stats_.instret;
+  result.exit_code = exit_code_;
+  if (has_fatal_) {
+    result.reason = RunResult::Reason::kFatal;
+    result.fatal_message = fatal_.message();
+  } else if (halted_) {
+    result.reason = RunResult::Reason::kHalted;
+  } else {
+    result.reason = RunResult::Reason::kCycleLimit;
+  }
+  return result;
+}
+
+void Core::StepCycle() {
+  if (halted_ || has_fatal_) {
+    return;
+  }
+  ++cycle_;
+  stats_.cycles = cycle_;
+  if (arch_metal_) {
+    ++stats_.metal_cycles;
+  }
+  bus_.TickDevices(cycle_, intc_);
+  redirect_this_cycle_ = false;
+  ex_load_this_cycle_ = false;
+  StageMem();
+  if (has_fatal_ || halted_) {
+    return;
+  }
+  StageEx();
+  if (has_fatal_ || halted_) {
+    return;
+  }
+  StageId();
+  StageIf();
+}
+
+// ---------------------------------------------------------------------------
+// Trap machinery
+// ---------------------------------------------------------------------------
+
+void Core::Fatal(const std::string& message) {
+  if (has_fatal_) {
+    return;  // keep the first (root-cause) report
+  }
+  has_fatal_ = true;
+  fatal_ = Internal(message);
+  MSIM_LOG(Error) << "fatal: " << message;
+}
+
+void Core::FlushFrontend() {
+  if_id_.valid = false;
+  fetch_inflight_ = false;
+  fetch_wait_ = 0;
+  fetch_buffer_.valid = false;
+}
+
+void Core::RedirectFetch(uint32_t target) {
+  FlushFrontend();
+  fetch_pc_ = target;
+  redirect_this_cycle_ = true;
+}
+
+void Core::TakeTrapToEntry(uint32_t entry, uint32_t cause, uint32_t epc, uint32_t badvaddr,
+                           uint32_t instr, uint32_t m31, bool faulting_op_is_metal) {
+  if (faulting_op_is_metal) {
+    // mroutines are non-interruptible and must not fault (paper §2.1); a
+    // fault inside Metal mode is a machine check.
+    Fatal(StrFormat("trap (cause 0x%08x) raised by a Metal-mode instruction at pc=0x%08x",
+                    cause, epc));
+    return;
+  }
+  if (entry >= kMaxMroutines) {
+    Fatal(StrFormat("undelegated trap: cause 0x%08x (%s) at pc=0x%08x", cause,
+                    (cause & kInterruptCauseFlag) != 0
+                        ? "interrupt"
+                        : ExcCauseName(static_cast<ExcCause>(cause)),
+                    epc));
+    return;
+  }
+  const uint32_t handler = metal_.EntryAddress(entry);
+  if (handler == 0) {
+    Fatal(StrFormat("trap delegated to unconfigured mroutine entry %u (cause 0x%08x)", entry,
+                    cause));
+    return;
+  }
+  // Squash younger in-flight work. A speculatively entered/exited Metal mode
+  // in ID/EX latches is rolled back to the committed mode.
+  if (id_ex_.valid) {
+    if (id_ex_.has_transition()) {
+      --inflight_mode_ops_;
+    }
+    id_ex_.valid = false;
+  }
+  metal_.SetTrapState(cause, epc, badvaddr, instr);
+  metal_.WriteMreg(kMetalLinkRegister, m31);
+  arch_metal_ = true;
+  frontend_metal_ = true;
+  RedirectFetch(handler);
+}
+
+void Core::TakeException(ExcCause cause, uint32_t epc, uint32_t badvaddr, uint32_t instr,
+                         uint32_t m31, bool faulting_op_is_metal) {
+  ++stats_.exceptions;
+  const uint32_t entry = metal_.DelegatedEntry(cause);
+  TakeTrapToEntry(entry, static_cast<uint32_t>(cause), epc, badvaddr, instr, m31,
+                  faulting_op_is_metal);
+}
+
+// ---------------------------------------------------------------------------
+// MEM stage
+// ---------------------------------------------------------------------------
+
+void Core::StageMem() {
+  if (!ex_mem_.valid) {
+    return;
+  }
+  if (ex_mem_.wait > 0) {
+    --ex_mem_.wait;
+  }
+  if (ex_mem_.wait > 0) {
+    return;
+  }
+  const MemOp op = ex_mem_;
+  ex_mem_.valid = false;
+
+  bool ok = true;
+  uint32_t loaded = 0;
+  switch (op.target) {
+    case MemOp::Target::kMramData: {
+      if (op.is_store) {
+        ok = mram_.WriteData32(op.paddr, op.store_value);
+      } else {
+        const auto value = mram_.ReadData32(op.paddr);
+        ok = value.has_value();
+        loaded = value.value_or(0);
+      }
+      break;
+    }
+    case MemOp::Target::kMmio: {
+      if (op.is_store) {
+        ok = bus_.Write32(op.paddr, op.store_value);
+      } else {
+        const auto value = bus_.Read32(op.paddr);
+        ok = value.has_value();
+        loaded = value.value_or(0);
+      }
+      break;
+    }
+    case MemOp::Target::kDram: {
+      switch (op.kind) {
+        case InstrKind::kLb:
+        case InstrKind::kLbu: {
+          const auto value = bus_.Read8(op.paddr);
+          ok = value.has_value();
+          loaded = op.kind == InstrKind::kLb
+                       ? static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(
+                             value.value_or(0))))
+                       : value.value_or(0);
+          break;
+        }
+        case InstrKind::kLh:
+        case InstrKind::kLhu: {
+          const auto value = bus_.Read16(op.paddr);
+          ok = value.has_value();
+          loaded = op.kind == InstrKind::kLh
+                       ? static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(
+                             value.value_or(0))))
+                       : value.value_or(0);
+          break;
+        }
+        case InstrKind::kLw:
+        case InstrKind::kPlw:
+        case InstrKind::kMld: {
+          const auto value = bus_.Read32(op.paddr);
+          ok = value.has_value();
+          loaded = value.value_or(0);
+          break;
+        }
+        case InstrKind::kSb:
+          ok = bus_.Write8(op.paddr, static_cast<uint8_t>(op.store_value));
+          break;
+        case InstrKind::kSh:
+          ok = bus_.Write16(op.paddr, static_cast<uint16_t>(op.store_value));
+          break;
+        case InstrKind::kSw:
+        case InstrKind::kPsw:
+        case InstrKind::kMst:
+          ok = bus_.Write32(op.paddr, op.store_value);
+          break;
+        default:
+          ok = false;
+          break;
+      }
+      break;
+    }
+  }
+  if (!ok) {
+    TakeException(ExcCause::kBusError, op.pc, op.vaddr, 0, op.pc, op.metal);
+    return;
+  }
+  if (!op.is_store) {
+    WriteReg(op.rd, loaded);
+  }
+  ++stats_.instret;
+  if (op.metal) {
+    ++stats_.metal_instret;
+  }
+  if (retire_trace_) {
+    retire_trace_(RetireEvent{cycle_, op.pc, op.raw, op.metal});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EX stage
+// ---------------------------------------------------------------------------
+
+uint32_t Core::DataAccessLatency(uint32_t paddr, bool metal_op) {
+  if (paddr >= kMmioBase) {
+    return config_.mmio_latency;
+  }
+  if (metal_op && config_.mroutine_storage == MroutineStorage::kDramUncached) {
+    return config_.dram_latency;
+  }
+  return dcache_.Access(paddr);
+}
+
+bool Core::StartMemOp(const Op& op) {
+  MemOp mem;
+  mem.valid = true;
+  mem.pc = op.pc;
+  mem.kind = op.d.kind;
+  mem.raw = op.d.raw;
+  mem.metal = op.metal;
+  mem.rd = op.d.rd;
+  const InstrInfo& info = op.d.info();
+  mem.is_store = info.is_store;
+  const uint32_t rs1 = ReadReg(op.d.rs1);
+  mem.store_value = ReadReg(op.d.rs2);
+  const uint32_t addr = rs1 + static_cast<uint32_t>(op.d.imm);
+  mem.vaddr = addr;
+
+  // MRAM data segment accesses (mld/mst): `addr` is a byte offset.
+  if (op.d.kind == InstrKind::kMld || op.d.kind == InstrKind::kMst) {
+    if ((addr & 3) != 0) {
+      TakeException(mem.is_store ? ExcCause::kMisalignedStore : ExcCause::kMisalignedLoad,
+                    op.pc, addr, op.d.raw, op.pc, op.metal);
+      return false;
+    }
+    if (addr + 4 > kMramDataSize) {
+      TakeException(ExcCause::kMramOutOfBounds, op.pc, addr, op.d.raw, op.pc, op.metal);
+      return false;
+    }
+    if (config_.mroutine_storage == MroutineStorage::kMram) {
+      mem.target = MemOp::Target::kMramData;
+      mem.paddr = addr;
+      mem.wait = config_.mram_latency;
+    } else {
+      // DRAM-resident handler data area (trap / PALcode configurations).
+      mem.target = MemOp::Target::kDram;
+      mem.paddr = config_.dram_handler_data_base + addr;
+      mem.wait = config_.mroutine_storage == MroutineStorage::kDramUncached
+                     ? config_.dram_latency
+                     : dcache_.Access(mem.paddr);
+    }
+    ex_mem_ = mem;
+    if (!mem.is_store) {
+      ex_load_this_cycle_ = true;
+      ex_load_rd_ = mem.rd;
+    }
+    return true;
+  }
+
+  // Alignment by access size.
+  uint32_t size = 4;
+  switch (op.d.kind) {
+    case InstrKind::kLb:
+    case InstrKind::kLbu:
+    case InstrKind::kSb:
+      size = 1;
+      break;
+    case InstrKind::kLh:
+    case InstrKind::kLhu:
+    case InstrKind::kSh:
+      size = 2;
+      break;
+    default:
+      size = 4;
+      break;
+  }
+  if ((addr & (size - 1)) != 0) {
+    TakeException(mem.is_store ? ExcCause::kMisalignedStore : ExcCause::kMisalignedLoad, op.pc,
+                  addr, op.d.raw, op.pc, op.metal);
+    return false;
+  }
+
+  // Translation: normal-mode accesses only. Metal mode runs with bare
+  // physical addressing (paper §2.3, Access to Physical Memory); plw/psw are
+  // physical by definition.
+  uint32_t paddr = addr;
+  const bool physical = op.metal || op.d.kind == InstrKind::kPlw ||
+                        op.d.kind == InstrKind::kPsw || !metal_.paging_enabled();
+  if (!physical) {
+    const TranslateResult tr =
+        mmu_.Translate(addr, mem.is_store ? AccessType::kStore : AccessType::kLoad,
+                       metal_.asid(), metal_.keyperm());
+    if (!tr.ok) {
+      TakeException(tr.fault, op.pc, addr, op.d.raw, op.pc, op.metal);
+      return false;
+    }
+    paddr = tr.paddr;
+  }
+  mem.paddr = paddr;
+  if (paddr >= kMmioBase) {
+    if (size != 4) {
+      TakeException(ExcCause::kBusError, op.pc, addr, op.d.raw, op.pc, op.metal);
+      return false;
+    }
+    mem.target = MemOp::Target::kMmio;
+  } else {
+    mem.target = MemOp::Target::kDram;
+  }
+  mem.wait = DataAccessLatency(paddr, op.metal);
+  ex_mem_ = mem;
+  if (!mem.is_store) {
+    ex_load_this_cycle_ = true;
+    ex_load_rd_ = mem.rd;
+  }
+  return true;
+}
+
+void Core::StageEx() {
+  if (!id_ex_.valid || ex_mem_.valid) {
+    return;  // nothing to do, or MEM occupied (structural stall)
+  }
+  Op op = id_ex_;
+  id_ex_.valid = false;
+
+  // Commit the Metal mode transition chain attached in the decode stage.
+  // The committed mode after the chain is the mode this (final replacement)
+  // instruction decodes in; m31 carries the link of the last menter. Exits
+  // apply any pending intercepted-rd writeback (mopw).
+  if (op.has_transition()) {
+    --inflight_mode_ops_;
+    stats_.menters += op.enters;
+    stats_.mexits += op.exits;
+    for (int i = 0; i < op.exits; ++i) {
+      uint8_t rd = 0;
+      uint32_t value = 0;
+      if (metal_.TakePendingWriteback(&rd, &value)) {
+        WriteReg(rd, value);
+      }
+    }
+    if (op.enters != 0) {
+      metal_.WriteMreg(kMetalLinkRegister, op.link);
+      metal_.SetTrapState(0, op.pc, 0, op.d.raw);
+    }
+    arch_metal_ = op.metal;
+  }
+
+  // Faults detected at fetch time are delivered here, in program order.
+  if (op.fetch_fault != ExcCause::kNone) {
+    TakeException(op.fetch_fault, op.pc, op.fetch_fault_addr, 0, op.pc, op.metal);
+    return;
+  }
+
+  // Instruction interception (paper §2.3): latch operands and vector into the
+  // configured mroutine. m31 = pc + 4 (skip-and-emulate semantics; the
+  // handler can rewrite m31 with MEPC to retry instead).
+  if (op.intercepted) {
+    OperandLatch latch;
+    latch.rs1_value = ReadReg(op.d.rs1);
+    latch.rs2_value = ReadReg(op.d.rs2);
+    latch.imm = op.d.imm;
+    latch.rd_index = op.d.rd;
+    latch.rs1_index = op.d.rs1;
+    latch.rs2_index = op.d.rs2;
+    latch.raw = op.d.raw;
+    metal_.LatchOperands(latch);
+    ++stats_.intercepts;
+    TakeTrapToEntry(op.intercept_entry, static_cast<uint32_t>(ExcCause::kIntercept), op.pc, 0,
+                    op.d.raw, op.pc + 4, op.metal);
+    return;
+  }
+
+  const InstrInfo& info = op.d.info();
+  if (info.kind == InstrKind::kIllegal) {
+    TakeException(ExcCause::kIllegalInstruction, op.pc, 0, op.d.raw, op.pc + 4, op.metal);
+    return;
+  }
+  if (info.metal_only && !op.metal) {
+    TakeException(ExcCause::kPrivilegeViolation, op.pc, 0, op.d.raw, op.pc + 4, op.metal);
+    return;
+  }
+  if (op.d.kind == InstrKind::kMenter && op.metal) {
+    // Nested menter is not architected (paper §3.5 discusses layering as
+    // future work; src/ext/nested.cc builds it in software).
+    TakeException(ExcCause::kPrivilegeViolation, op.pc, 0, op.d.raw, op.pc + 4, op.metal);
+    return;
+  }
+
+  if (info.is_load || info.is_store) {
+    StartMemOp(op);  // retires at MEM completion
+    return;
+  }
+  ExecuteAluOp(op);
+}
+
+void Core::ExecuteAluOp(Op& op) {
+  using K = InstrKind;
+  const uint32_t pc = op.pc;
+  const uint32_t a = ReadReg(op.d.rs1);
+  const uint32_t b = ReadReg(op.d.rs2);
+  const uint32_t imm = static_cast<uint32_t>(op.d.imm);
+  const int32_t sa = static_cast<int32_t>(a);
+  const int32_t sb = static_cast<int32_t>(b);
+  bool retire = true;
+
+  auto branch_to = [&](uint32_t target) {
+    ++stats_.control_flushes;
+    RedirectFetch(target);
+  };
+
+  switch (op.d.kind) {
+    case K::kLui:
+      WriteReg(op.d.rd, imm << 12);
+      break;
+    case K::kAuipc:
+      WriteReg(op.d.rd, pc + (imm << 12));
+      break;
+    case K::kJal:
+      WriteReg(op.d.rd, pc + 4);
+      branch_to(pc + imm);
+      break;
+    case K::kJalr: {
+      const uint32_t target = (a + imm) & ~1u;
+      WriteReg(op.d.rd, pc + 4);
+      branch_to(target);
+      break;
+    }
+    case K::kBeq:
+      if (a == b) branch_to(pc + imm);
+      break;
+    case K::kBne:
+      if (a != b) branch_to(pc + imm);
+      break;
+    case K::kBlt:
+      if (sa < sb) branch_to(pc + imm);
+      break;
+    case K::kBge:
+      if (sa >= sb) branch_to(pc + imm);
+      break;
+    case K::kBltu:
+      if (a < b) branch_to(pc + imm);
+      break;
+    case K::kBgeu:
+      if (a >= b) branch_to(pc + imm);
+      break;
+    case K::kAddi:
+      WriteReg(op.d.rd, a + imm);
+      break;
+    case K::kSlti:
+      WriteReg(op.d.rd, sa < static_cast<int32_t>(imm) ? 1 : 0);
+      break;
+    case K::kSltiu:
+      WriteReg(op.d.rd, a < imm ? 1 : 0);
+      break;
+    case K::kXori:
+      WriteReg(op.d.rd, a ^ imm);
+      break;
+    case K::kOri:
+      WriteReg(op.d.rd, a | imm);
+      break;
+    case K::kAndi:
+      WriteReg(op.d.rd, a & imm);
+      break;
+    case K::kSlli:
+      WriteReg(op.d.rd, a << (imm & 31));
+      break;
+    case K::kSrli:
+      WriteReg(op.d.rd, a >> (imm & 31));
+      break;
+    case K::kSrai:
+      WriteReg(op.d.rd, static_cast<uint32_t>(sa >> (imm & 31)));
+      break;
+    case K::kAdd:
+      WriteReg(op.d.rd, a + b);
+      break;
+    case K::kSub:
+      WriteReg(op.d.rd, a - b);
+      break;
+    case K::kSll:
+      WriteReg(op.d.rd, a << (b & 31));
+      break;
+    case K::kSlt:
+      WriteReg(op.d.rd, sa < sb ? 1 : 0);
+      break;
+    case K::kSltu:
+      WriteReg(op.d.rd, a < b ? 1 : 0);
+      break;
+    case K::kXor:
+      WriteReg(op.d.rd, a ^ b);
+      break;
+    case K::kSrl:
+      WriteReg(op.d.rd, a >> (b & 31));
+      break;
+    case K::kSra:
+      WriteReg(op.d.rd, static_cast<uint32_t>(sa >> (b & 31)));
+      break;
+    case K::kOr:
+      WriteReg(op.d.rd, a | b);
+      break;
+    case K::kAnd:
+      WriteReg(op.d.rd, a & b);
+      break;
+    case K::kFence:
+      break;  // no-op: the model is sequentially consistent
+    case K::kMul:
+      WriteReg(op.d.rd, a * b);
+      break;
+    case K::kMulh:
+      WriteReg(op.d.rd, static_cast<uint32_t>(
+                            (static_cast<int64_t>(sa) * static_cast<int64_t>(sb)) >> 32));
+      break;
+    case K::kMulhsu:
+      WriteReg(op.d.rd, static_cast<uint32_t>(
+                            (static_cast<int64_t>(sa) * static_cast<uint64_t>(b)) >> 32));
+      break;
+    case K::kMulhu:
+      WriteReg(op.d.rd, static_cast<uint32_t>(
+                            (static_cast<uint64_t>(a) * static_cast<uint64_t>(b)) >> 32));
+      break;
+    case K::kDiv:
+      WriteReg(op.d.rd, b == 0 ? 0xFFFFFFFFu
+                        : (sa == INT32_MIN && sb == -1)
+                            ? static_cast<uint32_t>(INT32_MIN)
+                            : static_cast<uint32_t>(sa / sb));
+      break;
+    case K::kDivu:
+      WriteReg(op.d.rd, b == 0 ? 0xFFFFFFFFu : a / b);
+      break;
+    case K::kRem:
+      WriteReg(op.d.rd, b == 0 ? a
+                        : (sa == INT32_MIN && sb == -1) ? 0
+                                                        : static_cast<uint32_t>(sa % sb));
+      break;
+    case K::kRemu:
+      WriteReg(op.d.rd, b == 0 ? a : a % b);
+      break;
+    case K::kEcall:
+      TakeException(ExcCause::kEcall, pc, 0, op.d.raw, pc + 4, op.metal);
+      retire = false;
+      break;
+    case K::kEbreak:
+      TakeException(ExcCause::kBreakpoint, pc, 0, op.d.raw, pc + 4, op.metal);
+      retire = false;
+      break;
+    case K::kHalt:
+      halted_ = true;
+      exit_code_ = a;
+      break;
+    case K::kMenter: {
+      // Slow path: fast_transition disabled, DRAM-resident mroutines, or an
+      // unconfigured entry (which faults).
+      const uint32_t handler = metal_.EntryAddress(static_cast<uint32_t>(op.d.imm) & 63);
+      if (handler == 0) {
+        TakeException(ExcCause::kIllegalInstruction, pc, 0, op.d.raw, pc + 4, op.metal);
+        retire = false;
+        break;
+      }
+      metal_.SetTrapState(0, pc, 0, op.d.raw);
+      metal_.WriteMreg(kMetalLinkRegister, pc + 4);
+      arch_metal_ = true;
+      frontend_metal_ = true;
+      ++stats_.menters;
+      ++stats_.control_flushes;
+      RedirectFetch(handler);
+      break;
+    }
+    case K::kMexit: {
+      const uint32_t resume = metal_.ReadMreg(kMetalLinkRegister);
+      arch_metal_ = false;
+      frontend_metal_ = false;
+      ++stats_.mexits;
+      uint8_t rd = 0;
+      uint32_t value = 0;
+      if (metal_.TakePendingWriteback(&rd, &value)) {
+        WriteReg(rd, value);
+      }
+      ++stats_.control_flushes;
+      RedirectFetch(resume);
+      break;
+    }
+    case K::kRmr:
+      WriteReg(op.d.rd, metal_.ReadMreg(static_cast<uint8_t>(op.d.imm & 31)));
+      break;
+    case K::kWmr:
+      metal_.WriteMreg(static_cast<uint8_t>(op.d.imm & 31), a);
+      break;
+    case K::kRcr:
+      WriteReg(op.d.rd, metal_.ReadCreg(static_cast<uint32_t>(op.d.imm) & 0xFF, cycle_,
+                                        stats_.instret, intc_.pending()));
+      break;
+    case K::kWcr:
+      metal_.WriteCreg(static_cast<uint32_t>(op.d.imm) & 0xFF, a);
+      break;
+    case K::kTlbwr:
+      mmu_.tlb().Insert(a, b, metal_.asid());
+      break;
+    case K::kTlbinv:
+      mmu_.tlb().InvalidateVaddr(a, metal_.asid());
+      break;
+    case K::kTlbflush:
+      if (op.d.rs1 == 0) {
+        mmu_.tlb().FlushAll();
+      } else {
+        mmu_.tlb().FlushAsid(static_cast<uint16_t>(a));
+      }
+      break;
+    case K::kTlbrd:
+      WriteReg(op.d.rd, mmu_.tlb().Probe(a, metal_.asid()));
+      break;
+    case K::kMintset:
+      metal_.ApplyMintset(a, b);
+      break;
+    case K::kMopr: {
+      const OperandLatch& latch = metal_.operands();
+      uint32_t value = 0;
+      switch (op.d.rs2) {
+        case kMoprRs1Value:
+          value = latch.rs1_value;
+          break;
+        case kMoprRs2Value:
+          value = latch.rs2_value;
+          break;
+        case kMoprImm:
+          value = static_cast<uint32_t>(latch.imm);
+          break;
+        case kMoprRdIndex:
+          value = latch.rd_index;
+          break;
+        case kMoprRaw:
+          value = latch.raw;
+          break;
+        case kMoprRs1Index:
+          value = latch.rs1_index;
+          break;
+        case kMoprRs2Index:
+          value = latch.rs2_index;
+          break;
+        default:
+          break;
+      }
+      WriteReg(op.d.rd, value);
+      break;
+    }
+    case K::kMopw:
+      metal_.SetPendingWriteback(a);
+      break;
+    default:
+      TakeException(ExcCause::kIllegalInstruction, pc, 0, op.d.raw, pc + 4, op.metal);
+      retire = false;
+      break;
+  }
+
+  if (retire) {
+    ++stats_.instret;
+    if (op.metal) {
+      ++stats_.metal_instret;
+    }
+    if (retire_trace_) {
+      retire_trace_(RetireEvent{cycle_, op.pc, op.d.raw, op.metal});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ID stage
+// ---------------------------------------------------------------------------
+
+bool Core::InterruptDeliverable() const {
+  if (arch_metal_ || frontend_metal_ || inflight_mode_ops_ != 0) {
+    return false;  // mroutines are non-interruptible
+  }
+  return (intc_.pending() & metal_.ienable()) != 0;
+}
+
+void Core::IdReplacementChain(Op& op) {
+  if (!config_.fast_transition || config_.mroutine_storage != MroutineStorage::kMram) {
+    return;
+  }
+  for (int guard = 0; guard < 4; ++guard) {
+    if (op.d.kind == InstrKind::kMenter && !op.metal) {
+      const uint32_t handler = metal_.EntryAddress(static_cast<uint32_t>(op.d.imm) & 63);
+      if (!Mram::InCodeRange(handler)) {
+        return;  // unconfigured entry: let EX raise the fault
+      }
+      const auto word = mram_.FetchWord(handler);
+      if (!word) {
+        return;
+      }
+      // Replace menter with the first mroutine instruction (paper §2.2).
+      if (!op.has_transition()) {
+        ++inflight_mode_ops_;
+      }
+      ++op.enters;
+      op.link = op.pc + 4;
+      op.pc = handler;
+      op.metal = true;
+      op.d = DecodeInstr(*word);
+      op.intercepted = false;
+      frontend_metal_ = true;
+      ++stats_.fast_replacements;
+      // Steer fetch to the second mroutine instruction, without counting a
+      // control flush (this is the zero-bubble path).
+      fetch_inflight_ = false;
+      fetch_wait_ = 0;
+      fetch_buffer_.valid = false;
+      fetch_pc_ = handler + 4;
+      continue;
+    }
+    if (op.d.kind == InstrKind::kMexit && op.metal) {
+      // Within a chain, the effective m31 is the link of the pending menter.
+      const uint32_t resume =
+          op.enters != 0 ? op.link : metal_.ReadMreg(kMetalLinkRegister);
+      // The replacement needs the resume instruction immediately; that only
+      // works when it is resident (I-cache hit on a translated address).
+      // Otherwise fall back to the EX slow path (plain redirect) and let the
+      // normal fetch machinery (and its faults) take over.
+      uint32_t paddr = resume;
+      if ((resume & 3) != 0 || Mram::InCodeRange(resume)) {
+        return;
+      }
+      if (metal_.paging_enabled()) {
+        const TranslateResult tr =
+            mmu_.Translate(resume, AccessType::kFetch, metal_.asid(), metal_.keyperm());
+        if (!tr.ok) {
+          return;
+        }
+        paddr = tr.paddr;
+      }
+      if (paddr >= kMmioBase || !icache_.Probe(paddr)) {
+        return;
+      }
+      const auto word = bus_.dram().Read32(paddr);
+      if (!word) {
+        return;
+      }
+      icache_.Access(paddr);  // count the hit
+      if (!op.has_transition()) {
+        ++inflight_mode_ops_;
+      }
+      ++op.exits;
+      op.pc = resume;
+      op.metal = false;
+      op.d = DecodeInstr(*word);
+      frontend_metal_ = false;
+      ++stats_.fast_replacements;
+      fetch_inflight_ = false;
+      fetch_wait_ = 0;
+      fetch_buffer_.valid = false;
+      fetch_pc_ = resume + 4;
+      // The resumed instruction executes in normal mode: interception applies.
+      if (metal_.AnyInterceptEnabled()) {
+        if (const InterceptSlot* slot = metal_.MatchIntercept(op.d.raw)) {
+          op.intercepted = true;
+          op.intercept_entry = slot->entry;
+        }
+      }
+      continue;
+    }
+    return;
+  }
+}
+
+void Core::StageId() {
+  if (redirect_this_cycle_ || !if_id_.valid || id_ex_.valid) {
+    return;
+  }
+  Op op;
+  op.valid = true;
+  op.pc = if_id_.pc;
+  op.metal = if_id_.metal;
+  op.fetch_fault = if_id_.fault;
+  op.fetch_fault_addr = if_id_.fault_addr;
+
+  if (op.fetch_fault == ExcCause::kNone) {
+    op.d = DecodeInstr(if_id_.raw);
+
+    // Load-use hazard: the load is in EX this cycle; stall one cycle.
+    if (ex_load_this_cycle_ && UsesReg(op.d, ex_load_rd_)) {
+      ++stats_.load_use_stalls;
+      return;  // keep if_id_
+    }
+
+    // Interrupt delivery at an instruction boundary (normal mode only).
+    if (InterruptDeliverable()) {
+      const uint32_t line = LowestSetBit(intc_.pending() & metal_.ienable());
+      ++stats_.interrupts;
+      TakeTrapToEntry(metal_.IrqEntry(), InterruptCause(line), op.pc, 0, 0, op.pc,
+                      /*faulting_op_is_metal=*/false);
+      return;  // frontend flushed; the interrupted instruction re-fetches
+    }
+
+    // Instruction interception (normal mode only).
+    if (!op.metal && metal_.AnyInterceptEnabled()) {
+      if (const InterceptSlot* slot = metal_.MatchIntercept(op.d.raw)) {
+        op.intercepted = true;
+        op.intercept_entry = slot->entry;
+      }
+    }
+
+    IdReplacementChain(op);
+  }
+
+  if_id_.valid = false;
+  id_ex_ = op;
+  id_ex_.valid = true;
+}
+
+// ---------------------------------------------------------------------------
+// IF stage
+// ---------------------------------------------------------------------------
+
+Core::FetchResult Core::AccessFetch(uint32_t pc, bool metal_frontend, bool timing) {
+  FetchResult r;
+  if ((pc & 3) != 0) {
+    r.fault = ExcCause::kMisalignedFetch;
+    r.fault_addr = pc;
+    return r;
+  }
+  if (Mram::InCodeRange(pc)) {
+    if (!metal_frontend) {
+      r.fault = ExcCause::kPrivilegeViolation;
+      r.fault_addr = pc;
+      return r;
+    }
+    const auto word = mram_.FetchWord(pc);
+    if (!word) {
+      r.fault = ExcCause::kBusError;
+      r.fault_addr = pc;
+      return r;
+    }
+    r.ok = true;
+    r.raw = *word;
+    r.latency = config_.mram_latency;
+    return r;
+  }
+  uint32_t paddr = pc;
+  if (!metal_frontend && metal_.paging_enabled()) {
+    const TranslateResult tr =
+        mmu_.Translate(pc, AccessType::kFetch, metal_.asid(), metal_.keyperm());
+    if (!tr.ok) {
+      r.fault = tr.fault;
+      r.fault_addr = pc;
+      return r;
+    }
+    paddr = tr.paddr;
+  }
+  if (paddr >= kMmioBase) {
+    r.fault = ExcCause::kBusError;
+    r.fault_addr = pc;
+    return r;
+  }
+  const auto word = bus_.dram().Read32(paddr);
+  if (!word) {
+    r.fault = ExcCause::kBusError;
+    r.fault_addr = pc;
+    return r;
+  }
+  r.ok = true;
+  r.raw = *word;
+  if (metal_frontend && config_.mroutine_storage == MroutineStorage::kDramUncached) {
+    // PALcode-style handler: fetched uncached from main memory.
+    r.latency = config_.dram_latency;
+  } else if (timing) {
+    r.latency = icache_.Access(paddr);
+  } else {
+    r.latency = config_.cache_hit_latency;
+  }
+  return r;
+}
+
+void Core::StageIf() {
+  if (redirect_this_cycle_) {
+    return;  // fetch restarts at the redirect target next cycle
+  }
+  // Deliver a previously completed fetch.
+  if (fetch_buffer_.valid) {
+    if (if_id_.valid) {
+      return;  // decode is stalled; hold
+    }
+    if_id_ = fetch_buffer_;
+    fetch_buffer_.valid = false;
+  }
+  // Start a new fetch if the unit is idle and the skid buffer is free.
+  if (!fetch_inflight_ && !fetch_buffer_.valid) {
+    const FetchResult r = AccessFetch(fetch_pc_, frontend_metal_, /*timing=*/true);
+    fetch_inflight_ = true;
+    fetch_wait_ = r.ok ? r.latency : 1;
+    fetch_buffer_.pc = fetch_pc_;
+    fetch_buffer_.raw = r.raw;
+    fetch_buffer_.metal = frontend_metal_;
+    fetch_buffer_.fault = r.fault;
+    fetch_buffer_.fault_addr = r.fault_addr;
+    fetch_buffer_.valid = false;  // becomes valid when the wait elapses
+  }
+  // Progress the in-flight fetch.
+  if (fetch_inflight_) {
+    if (fetch_wait_ > 0) {
+      --fetch_wait_;
+    }
+    if (fetch_wait_ == 0) {
+      fetch_inflight_ = false;
+      fetch_buffer_.valid = true;
+      fetch_pc_ += 4;
+      // Same-cycle delivery when the decode slot is free (1-cycle fetch).
+      if (!if_id_.valid) {
+        if_id_ = fetch_buffer_;
+        fetch_buffer_.valid = false;
+      }
+    }
+  }
+}
+
+}  // namespace msim

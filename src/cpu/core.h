@@ -1,0 +1,270 @@
+// Cycle-level model of the paper's 5-stage pipelined RISC processor with the
+// Metal extension.
+//
+// Pipeline model. The five stages are IF, ID, EX, MEM and (implicit) WB.
+// Stages are processed in reverse order each cycle (MEM, EX, ID, IF) so that
+// older instructions observe redirects/faults before younger ones advance.
+// Architectural effects are applied at EX (ALU, branches, Metal state) and at
+// MEM completion (loads/stores); because the pipeline is in-order and stages
+// are processed oldest-first, this is functionally equivalent to a 5-stage
+// with full forwarding, and the classic hazards are modeled explicitly for
+// timing:
+//   * 1-cycle load-use bubble (detected in ID),
+//   * 2-cycle flush for control transfers resolved in EX,
+//   * multi-cycle D-side accesses occupy MEM and stall the pipe,
+//   * multi-cycle I-side misses starve ID.
+// WB carries no modeled behaviour (no structural hazard on the register file
+// is simulated), so retirement is counted at MEM completion.
+//
+// Metal mode transitions (paper §2.2). With fast_transition enabled and
+// mroutines stored in MRAM, `menter` is REPLACED in the decode stage by the
+// first instruction of the target mroutine (fetched combinationally from
+// MRAM) and `mexit` is replaced by the resume-stream instruction, so a no-op
+// mroutine round trip adds ~0 cycles. The mode switch itself travels with the
+// replacement instruction and commits at EX, so an older instruction that
+// faults in MEM squashes a speculatively entered mroutine cleanly. With
+// fast_transition disabled (ablation) or DRAM-resident mroutines (trap and
+// PALcode comparison configurations), menter/mexit behave like jumps resolved
+// at EX.
+#ifndef MSIM_CPU_CORE_H_
+#define MSIM_CPU_CORE_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "asm/program.h"
+#include "cpu/config.h"
+#include "cpu/metal_unit.h"
+#include "cpu/trap.h"
+#include "dev/console.h"
+#include "dev/intc.h"
+#include "dev/nic.h"
+#include "dev/timer.h"
+#include "isa/decode.h"
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "mem/mram.h"
+#include "mmu/mmu.h"
+#include "support/result.h"
+
+namespace msim {
+
+struct CoreStats {
+  uint64_t cycles = 0;
+  uint64_t instret = 0;
+  uint64_t metal_instret = 0;   // instructions retired in Metal mode
+  uint64_t metal_cycles = 0;    // cycles with the committed mode == Metal
+  uint64_t menters = 0;
+  uint64_t mexits = 0;
+  uint64_t fast_replacements = 0;  // decode-stage menter/mexit replacements
+  uint64_t exceptions = 0;
+  uint64_t interrupts = 0;
+  uint64_t intercepts = 0;
+  uint64_t control_flushes = 0;
+  uint64_t load_use_stalls = 0;
+};
+
+struct RunResult {
+  enum class Reason { kHalted, kCycleLimit, kFatal };
+  Reason reason = Reason::kCycleLimit;
+  uint32_t exit_code = 0;
+  uint64_t cycles = 0;
+  uint64_t instret = 0;
+  std::string fatal_message;  // set when reason == kFatal
+};
+
+class Core {
+ public:
+  explicit Core(const CoreConfig& config = CoreConfig{});
+
+  // Loads a program's sections into DRAM and points fetch at its entry.
+  Status LoadProgram(const Program& program);
+
+  // Advances one clock cycle.
+  void StepCycle();
+
+  // Runs until halt, fatal error or the cycle budget is exhausted.
+  RunResult Run(uint64_t max_cycles = 0);
+
+  // --- component access ---
+  const CoreConfig& config() const { return config_; }
+  Bus& bus() { return bus_; }
+  Mram& mram() { return mram_; }
+  Mmu& mmu() { return mmu_; }
+  MetalUnit& metal() { return metal_; }
+  InterruptController& intc() { return intc_; }
+  TimerDevice& timer() { return timer_; }
+  NicDevice& nic() { return nic_; }
+  ConsoleDevice& console() { return console_; }
+  Cache& icache() { return icache_; }
+  Cache& dcache() { return dcache_; }
+
+  // --- architectural state ---
+  uint32_t ReadReg(uint8_t index) const { return regs_[index & 31]; }
+  void WriteReg(uint8_t index, uint32_t value) {
+    if ((index & 31) != 0) {
+      regs_[index & 31] = value;
+    }
+  }
+  void SetPc(uint32_t pc);
+  bool metal_mode() const { return arch_metal_; }
+  bool halted() const { return halted_; }
+  uint32_t exit_code() const { return exit_code_; }
+  bool has_fatal() const { return has_fatal_; }
+  const Status& fatal_status() const { return fatal_; }
+  uint64_t cycle() const { return cycle_; }
+
+  const CoreStats& stats() const { return stats_; }
+  void ResetStats();
+
+  // Retirement trace: when set, the callback fires once per architecturally
+  // retired instruction, in program order. Useful for debugging mroutines
+  // (tools/msim --trace) and for test assertions; adds no cost when unset.
+  struct RetireEvent {
+    uint64_t cycle = 0;
+    uint32_t pc = 0;
+    uint32_t raw = 0;
+    bool metal = false;  // retired under Metal privileges
+  };
+  using RetireTrace = std::function<void(const RetireEvent&)>;
+  void SetRetireTrace(RetireTrace trace) { retire_trace_ = std::move(trace); }
+
+ private:
+  // In-flight instruction micro-state. Decode-stage replacement can merge a
+  // CHAIN of transitions into one op (e.g. menter -> empty mroutine's mexit,
+  // or an mexit whose resume instruction is itself a menter), so enters and
+  // exits are counted; the committed mode after the op is simply the mode the
+  // final replacement instruction decodes in (`metal`).
+  struct Op {
+    bool valid = false;
+    uint32_t pc = 0;
+    Decoded d;
+    bool metal = false;      // executes with Metal privileges; also the
+                             // committed mode after any transition chain
+    uint8_t enters = 0;      // menter transitions folded into this op
+    uint8_t exits = 0;       // mexit transitions folded into this op
+    uint32_t link = 0;       // m31 link value of the LAST menter in the chain
+    bool intercepted = false;
+    uint8_t intercept_entry = 0;
+    ExcCause fetch_fault = ExcCause::kNone;
+    uint32_t fetch_fault_addr = 0;
+
+    bool has_transition() const { return enters != 0 || exits != 0; }
+  };
+
+  struct FetchSlot {
+    bool valid = false;
+    uint32_t pc = 0;
+    uint32_t raw = 0;
+    bool metal = false;
+    ExcCause fault = ExcCause::kNone;
+    uint32_t fault_addr = 0;
+  };
+
+  // Pending D-side access occupying the MEM stage.
+  struct MemOp {
+    bool valid = false;
+    uint32_t pc = 0;
+    InstrKind kind = InstrKind::kIllegal;
+    bool metal = false;
+    bool is_store = false;
+    uint32_t vaddr = 0;   // as computed at EX (virtual for normal-mode ops)
+    uint32_t paddr = 0;
+    uint32_t store_value = 0;
+    uint32_t raw = 0;
+    uint8_t rd = 0;
+    uint32_t wait = 0;    // remaining cycles
+    enum class Target { kDram, kMmio, kMramData } target = Target::kDram;
+  };
+
+  // --- stage logic ---
+  void StageMem();
+  void StageEx();
+  void StageId();
+  void StageIf();
+
+  // Executes one op in EX. Returns false if the op trapped or redirected.
+  void ExecuteOp(Op& op);
+  void ExecuteAluOp(Op& op);
+  bool StartMemOp(const Op& op);  // pushes into ex_mem_; may trap
+
+  // Decode-stage replacement chain for menter/mexit (fast transitions).
+  void IdReplacementChain(Op& op);
+
+  // Trap machinery. `m31` is the resume address stored into m31.
+  void TakeTrapToEntry(uint32_t entry, uint32_t cause, uint32_t epc, uint32_t badvaddr,
+                       uint32_t instr, uint32_t m31, bool faulting_op_is_metal);
+  void TakeException(ExcCause cause, uint32_t epc, uint32_t badvaddr, uint32_t instr,
+                     uint32_t m31, bool faulting_op_is_metal);
+  void Fatal(const std::string& message);
+
+  // Squashes younger instructions (IF/ID latches and in-flight fetch).
+  void FlushFrontend();
+
+  // Redirects fetch to `target` (after a taken branch/jump/trap).
+  void RedirectFetch(uint32_t target);
+
+  // Fetch helpers.
+  struct FetchResult {
+    bool ok = false;
+    uint32_t raw = 0;
+    uint32_t latency = 1;
+    ExcCause fault = ExcCause::kNone;
+    uint32_t fault_addr = 0;
+  };
+  FetchResult AccessFetch(uint32_t pc, bool metal_frontend, bool timing);
+
+  // Memory-region classification + latency for a D-side physical access.
+  uint32_t DataAccessLatency(uint32_t paddr, bool metal_op);
+
+  bool InterruptDeliverable() const;
+
+  CoreConfig config_;
+  Bus bus_;
+  Mram mram_;
+  Mmu mmu_;
+  Cache icache_;
+  Cache dcache_;
+  MetalUnit metal_;
+  InterruptController intc_;
+  TimerDevice timer_;
+  NicDevice nic_;
+  ConsoleDevice console_;
+
+  std::array<uint32_t, 32> regs_{};
+  uint64_t cycle_ = 0;
+
+  // Fetch unit.
+  uint32_t fetch_pc_ = 0;
+  bool frontend_metal_ = false;
+  bool fetch_inflight_ = false;
+  uint32_t fetch_wait_ = 0;
+  FetchSlot fetch_buffer_;  // completed fetch waiting for if_id_
+
+  FetchSlot if_id_;
+  Op id_ex_;
+  MemOp ex_mem_;
+
+  bool arch_metal_ = false;
+  int inflight_mode_ops_ = 0;
+
+  // Hazard bookkeeping: rd of a load processed by EX this cycle (load-use).
+  bool ex_load_this_cycle_ = false;
+  uint8_t ex_load_rd_ = 0;
+  bool redirect_this_cycle_ = false;
+
+  RetireTrace retire_trace_;
+
+  bool halted_ = false;
+  uint32_t exit_code_ = 0;
+  bool has_fatal_ = false;
+  Status fatal_;
+
+  CoreStats stats_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_CPU_CORE_H_

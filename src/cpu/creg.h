@@ -1,0 +1,44 @@
+// Control registers, readable/writable only in Metal mode via rcr/wcr.
+//
+// The paper (§2.1) leaves it to the processor to expose architectural
+// features "as either Metal instructions, control registers or memory mapped
+// IO"; this is our processor's control-register file.
+#ifndef MSIM_CPU_CREG_H_
+#define MSIM_CPU_CREG_H_
+
+#include <cstdint>
+
+namespace msim {
+
+enum ControlReg : uint32_t {
+  kCrMcause = 0,     // cause of the most recent Metal-mode entry
+  kCrMepc = 1,       // pc of the faulting/intercepted instruction
+  kCrMbadvaddr = 2,  // faulting virtual address (TLB/page faults)
+  kCrMinstr = 3,     // raw intercepted/faulting instruction word
+  kCrAsid = 4,       // current address-space ID (low 16 bits)
+  kCrPgEnable = 5,   // bit0: enable paging for normal-mode accesses
+  kCrKeyPerm = 6,    // page-key permissions: bit(2k)=read/exec, bit(2k+1)=write
+  kCrIpend = 7,      // interrupt pending bitmap (RO; writes ignored)
+  kCrIenable = 8,    // interrupt enable bitmap
+  kCrCycle = 9,      // cycle counter, low 32 bits (RO)
+  kCrCycleH = 10,    // cycle counter, high 32 bits (RO)
+  kCrInstret = 11,   // retired instruction counter, low 32 bits (RO)
+  kCrScratch0 = 12,  // four scratch registers for mroutine use
+  kCrScratch1 = 13,
+  kCrScratch2 = 14,
+  kCrScratch3 = 15,
+  // Delegation table: writing kCrDelegBase + cause sets the mroutine entry
+  // number that handles that exception cause; 0xFFFFFFFF = undelegated.
+  kCrDelegBase = 16,
+  // kCrDelegBase + 31 is the last delegation slot.
+  kCrDelegEnd = 47,
+  // Interrupt delegation: entry handling all interrupt lines.
+  kCrIrqEntry = 48,
+  kCrCount = 64,
+};
+
+inline constexpr uint32_t kNoDelegation = 0xFFFFFFFFu;
+
+}  // namespace msim
+
+#endif  // MSIM_CPU_CREG_H_

@@ -1,0 +1,81 @@
+// Exception causes and interrupt lines.
+//
+// The processor delegates ALL exception and interrupt delivery to mroutines
+// (paper §2.3): there is no hardware trap vector. A delegation table maps
+// each cause to an mroutine entry number; an undelegated exception halts the
+// simulation with an error (it would be a machine check on real hardware).
+#ifndef MSIM_CPU_TRAP_H_
+#define MSIM_CPU_TRAP_H_
+
+#include <cstdint>
+
+namespace msim {
+
+enum class ExcCause : uint32_t {
+  kNone = 0,
+  kIllegalInstruction = 1,
+  kMisalignedLoad = 2,
+  kMisalignedStore = 3,
+  kMisalignedFetch = 4,
+  kTlbMissLoad = 5,
+  kTlbMissStore = 6,
+  kTlbMissFetch = 7,
+  kPageFaultLoad = 8,    // permission violation on a present mapping
+  kPageFaultStore = 9,
+  kPageFaultFetch = 10,
+  kKeyViolation = 11,    // page-key permission check failed
+  kEcall = 12,
+  kBreakpoint = 13,
+  kPrivilegeViolation = 14,  // Metal-only instruction in normal mode
+  kBusError = 15,            // access outside DRAM/MMIO
+  kMramOutOfBounds = 16,     // mld/mst outside the MRAM data segment
+  kIntercept = 17,           // instruction interception (internal cause)
+  kCount,
+};
+
+// Number of delegatable causes (delegation table size).
+inline constexpr uint32_t kNumExcCauses = static_cast<uint32_t>(ExcCause::kCount);
+
+// Returns a stable name for diagnostics.
+const char* ExcCauseName(ExcCause cause);
+
+// MCAUSE encoding: exceptions are the raw cause value; interrupts set the top
+// bit and carry the line number in the low bits.
+inline constexpr uint32_t kInterruptCauseFlag = 0x80000000u;
+inline uint32_t InterruptCause(uint32_t line) { return kInterruptCauseFlag | line; }
+
+// Interrupt lines.
+inline constexpr uint32_t kIrqTimer = 0;
+inline constexpr uint32_t kIrqNic = 1;
+inline constexpr uint32_t kIrqConsole = 2;
+inline constexpr uint32_t kIrqSoftware = 3;
+inline constexpr uint32_t kNumIrqLines = 32;
+
+inline const char* ExcCauseName(ExcCause cause) {
+  switch (cause) {
+    case ExcCause::kNone: return "none";
+    case ExcCause::kIllegalInstruction: return "illegal_instruction";
+    case ExcCause::kMisalignedLoad: return "misaligned_load";
+    case ExcCause::kMisalignedStore: return "misaligned_store";
+    case ExcCause::kMisalignedFetch: return "misaligned_fetch";
+    case ExcCause::kTlbMissLoad: return "tlb_miss_load";
+    case ExcCause::kTlbMissStore: return "tlb_miss_store";
+    case ExcCause::kTlbMissFetch: return "tlb_miss_fetch";
+    case ExcCause::kPageFaultLoad: return "page_fault_load";
+    case ExcCause::kPageFaultStore: return "page_fault_store";
+    case ExcCause::kPageFaultFetch: return "page_fault_fetch";
+    case ExcCause::kKeyViolation: return "key_violation";
+    case ExcCause::kEcall: return "ecall";
+    case ExcCause::kBreakpoint: return "breakpoint";
+    case ExcCause::kPrivilegeViolation: return "privilege_violation";
+    case ExcCause::kBusError: return "bus_error";
+    case ExcCause::kMramOutOfBounds: return "mram_out_of_bounds";
+    case ExcCause::kIntercept: return "intercept";
+    case ExcCause::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace msim
+
+#endif  // MSIM_CPU_TRAP_H_

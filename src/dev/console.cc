@@ -1,0 +1,4 @@
+// ConsoleDevice is header-only; this file anchors it in the library.
+#include "dev/console.h"
+
+namespace msim {}  // namespace msim

@@ -1,0 +1,4 @@
+// InterruptController is header-only; this file anchors it in the library.
+#include "dev/intc.h"
+
+namespace msim {}  // namespace msim

@@ -1,0 +1,60 @@
+#include "dev/nic.h"
+
+#include <algorithm>
+
+namespace msim {
+
+uint32_t NicDevice::Read32(uint32_t offset) {
+  switch (offset) {
+    case 0:
+      return rx_queued();
+    case 4:
+      return rx_queue_.empty() ? 0 : static_cast<uint32_t>(rx_queue_.front().size());
+    case 8: {
+      if (rx_queue_.empty()) {
+        return 0;
+      }
+      const std::vector<uint8_t>& head = rx_queue_.front();
+      uint32_t word = 0;
+      for (unsigned i = 0; i < 4 && head_offset_ + i < head.size(); ++i) {
+        word |= static_cast<uint32_t>(head[head_offset_ + i]) << (8 * i);
+      }
+      head_offset_ += 4;
+      if (head_offset_ >= head.size()) {
+        PopHead();
+      }
+      return word;
+    }
+    default:
+      return 0;
+  }
+}
+
+void NicDevice::Write32(uint32_t offset, uint32_t value) {
+  (void)value;
+  if (offset == 12 && !rx_queue_.empty()) {
+    PopHead();
+  }
+}
+
+void NicDevice::Tick(uint64_t cycle, InterruptController& intc) {
+  while (!scheduled_.empty() && scheduled_.front().arrival_cycle <= cycle) {
+    rx_queue_.push_back(std::move(scheduled_.front().payload));
+    scheduled_.pop_front();
+    ++packets_delivered_;
+    intc.Raise(kIrqNic);
+  }
+}
+
+void NicDevice::SchedulePacket(uint64_t arrival_cycle, std::vector<uint8_t> payload) {
+  scheduled_.push_back({arrival_cycle, std::move(payload)});
+  std::sort(scheduled_.begin(), scheduled_.end(),
+            [](const Pending& a, const Pending& b) { return a.arrival_cycle < b.arrival_cycle; });
+}
+
+void NicDevice::PopHead() {
+  rx_queue_.pop_front();
+  head_offset_ = 0;
+}
+
+}  // namespace msim

@@ -1,0 +1,52 @@
+#include "dev/timer.h"
+
+namespace msim {
+
+uint32_t TimerDevice::Read32(uint32_t offset) {
+  switch (offset) {
+    case 0:
+      return static_cast<uint32_t>(count_);
+    case 4:
+      return compare_;
+    case 8:
+      return enabled_ ? 1u : 0u;
+    case 12:
+      return interval_;
+    default:
+      return 0;
+  }
+}
+
+void TimerDevice::Write32(uint32_t offset, uint32_t value) {
+  switch (offset) {
+    case 4:
+      compare_ = value;
+      armed_ = true;
+      break;
+    case 8:
+      enabled_ = (value & 1) != 0;
+      break;
+    case 12:
+      interval_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void TimerDevice::Tick(uint64_t cycle, InterruptController& intc) {
+  count_ = cycle;
+  if (!enabled_ || !armed_) {
+    return;
+  }
+  if (static_cast<uint32_t>(count_) >= compare_) {
+    intc.Raise(kIrqTimer);
+    if (interval_ != 0) {
+      compare_ += interval_;
+    } else {
+      armed_ = false;
+    }
+  }
+}
+
+}  // namespace msim

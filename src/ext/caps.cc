@@ -1,0 +1,103 @@
+#include "ext/caps.h"
+
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+constexpr const char* kMcode = R"(
+    # ---- hardware capabilities (paper §3.5) ----
+    .equ D_CAP_COUNT, 1928
+    .equ D_CAP_TABLE, 1932
+
+    .mentry 40, cap_create
+    .mentry 41, cap_load
+    .mentry 42, cap_store
+    .mentry 43, cap_revoke
+
+# Mint a capability (kernel only). a0=base, a1=len, a2=perms -> a0=id or -1.
+cap_create:
+    rmr t0, m0
+    bnez t0, cap_denied
+    mld t0, D_CAP_COUNT(zero)
+    li t1, 16
+    beq t0, t1, cap_denied
+    slli t1, t0, 4
+    mst a0, D_CAP_TABLE(t1)
+    mst a1, D_CAP_TABLE+4(t1)
+    mst a2, D_CAP_TABLE+8(t1)
+    li t2, 1
+    mst t2, D_CAP_TABLE+12(t1)
+    addi t1, t0, 1
+    mst t1, D_CAP_COUNT(zero)
+    mv a0, t0
+    mexit
+cap_denied:
+    li a0, -1
+    li a1, -1
+    mexit
+
+# Load through a capability. a0=id, a1=byte offset -> a0=value, a1=0 (or -1).
+cap_load:
+    mld t0, D_CAP_COUNT(zero)
+    bgeu a0, t0, cap_fail
+    slli t0, a0, 4
+    mld t1, D_CAP_TABLE+12(t0)
+    beqz t1, cap_fail              # revoked
+    mld t1, D_CAP_TABLE+8(t0)
+    andi t1, t1, 1                 # read permission
+    beqz t1, cap_fail
+    mld t1, D_CAP_TABLE+4(t0)      # length
+    addi t2, a1, 4
+    bltu t1, t2, cap_fail          # offset + 4 <= len
+    mld t0, D_CAP_TABLE(t0)
+    add t0, t0, a1
+    plw a0, 0(t0)
+    li a1, 0
+    mexit
+cap_fail:
+    li a1, -1
+    mexit
+
+# Store through a capability. a0=id, a1=offset, a2=value -> a1=0 (or -1).
+cap_store:
+    mld t0, D_CAP_COUNT(zero)
+    bgeu a0, t0, cap_fail
+    slli t0, a0, 4
+    mld t1, D_CAP_TABLE+12(t0)
+    beqz t1, cap_fail
+    mld t1, D_CAP_TABLE+8(t0)
+    andi t1, t1, 2                 # write permission
+    beqz t1, cap_fail
+    mld t1, D_CAP_TABLE+4(t0)
+    addi t2, a1, 4
+    bltu t1, t2, cap_fail
+    mld t0, D_CAP_TABLE(t0)
+    add t0, t0, a1
+    psw a2, 0(t0)
+    li a1, 0
+    mexit
+
+# Revoke (kernel only): every outstanding copy of the id dies with the entry.
+cap_revoke:
+    rmr t0, m0
+    bnez t0, cap_denied
+    mld t0, D_CAP_COUNT(zero)
+    bgeu a0, t0, cap_denied
+    slli t0, a0, 4
+    mst zero, D_CAP_TABLE+12(t0)
+    li a0, 0
+    mexit
+)";
+
+}  // namespace
+
+const char* CapabilityExtension::McodeSource() { return kMcode; }
+
+Status CapabilityExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) { return WriteHandlerData32(core, kDataCount, 0); });
+  return Status::Ok();
+}
+
+}  // namespace msim

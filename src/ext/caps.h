@@ -1,0 +1,41 @@
+// Hardware capabilities (paper §3.5, Hardware Capabilities).
+//
+// "The IBM System/38 and Intel iAPX 432 processors implement capabilities in
+// hardware using microcode. ... Metal can support capabilities by writing
+// mroutines to create and manipulate domains and capabilities."
+//
+// A capability is an unforgeable handle to a bounded physical memory region
+// with read/write permissions. Descriptors live in the MRAM data segment —
+// normal-mode code can only use them through the mroutines, never mint or
+// alter them. Creation and revocation require kernel privilege (m0 == 0).
+#ifndef MSIM_EXT_CAPS_H_
+#define MSIM_EXT_CAPS_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class CapabilityExtension {
+ public:
+  static constexpr uint32_t kCreateEntry = 40;  // a0=base a1=len a2=perms -> a0=id/-1
+  static constexpr uint32_t kLoadEntry = 41;    // a0=id a1=offset -> a0=value, a1=status
+  static constexpr uint32_t kStoreEntry = 42;   // a0=id a1=offset a2=value -> a1=status
+  static constexpr uint32_t kRevokeEntry = 43;  // a0=id -> a0=status
+
+  static constexpr uint32_t kPermRead = 1;
+  static constexpr uint32_t kPermWrite = 2;
+  static constexpr uint32_t kMaxCaps = 16;
+
+  // MRAM data offsets (ext/data_layout.h: [1928, 2200)).
+  static constexpr uint32_t kDataCount = 1928;
+  static constexpr uint32_t kDataTable = 1932;  // kMaxCaps x {base,len,perms,valid}
+
+  static const char* McodeSource();
+  static Status Install(MetalSystem& system);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_CAPS_H_

@@ -1,0 +1,184 @@
+#include "ext/cpt.h"
+
+#include "cpu/trap.h"
+#include "metal/loader.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// The walker preserves the interrupted program's registers through Metal
+// registers m10..m13 (mroutines share the GPR file with the application).
+constexpr const char* kMcode = R"(
+    # ---- custom page tables: x86-style radix walk (paper §3.2) ----
+    .equ D_CPT_ROOT, 32
+    .equ D_CPT_OS_ENTRY, 36
+    .equ D_CPT_FILLS, 40
+    .equ CR_MEPC, 1
+    .equ CR_MBADVADDR, 2
+
+    .mentry 16, cpt_fault
+
+cpt_fault:
+    # save the application's temporaries
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    rcr t0, CR_MBADVADDR
+    mld t1, D_CPT_ROOT(zero)
+    # level 1: PDE index = vaddr[31:22]
+    srli t2, t0, 22
+    slli t2, t2, 2
+    add t1, t1, t2
+    plw t1, 0(t1)
+    andi t3, t1, 1                 # present?
+    beqz t3, cpt_not_present
+    andi t3, t1, 64                # superpage PDE?
+    bnez t3, cpt_fill
+    # level 2: PTE index = vaddr[21:12]
+    srli t2, t0, 12
+    andi t2, t2, 0x3FF
+    slli t2, t2, 2
+    li t3, -4096
+    and t1, t1, t3                 # level-2 table frame
+    add t1, t1, t2
+    plw t1, 0(t1)
+    andi t3, t1, 1
+    beqz t3, cpt_not_present
+cpt_fill:
+    tlbwr t0, t1                   # refill; TLB ignores the P bit
+    mld t3, D_CPT_FILLS(zero)
+    addi t3, t3, 1
+    mst t3, D_CPT_FILLS(zero)
+    # restore and retry the faulting instruction (m31 = faulting pc)
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+
+cpt_not_present:
+    # deliver the page fault to the OS: a0 = faulting vaddr, a1 = faulting pc
+    rcr a0, CR_MBADVADDR
+    rcr a1, CR_MEPC
+    wmr m0, zero                   # kernel privilege for the OS handler
+    mld t1, D_CPT_OS_ENTRY(zero)
+    beqz t1, cpt_no_os
+    wmr m31, t1
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+cpt_no_os:
+    li t0, 0xFA                    # no OS handler registered: stop
+    halt t0
+)";
+
+}  // namespace
+
+const char* CustomPageTable::McodeSource() { return kMcode; }
+
+Status CustomPageTable::Install(MetalSystem& system, uint32_t os_fault_entry) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([os_fault_entry](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataOsEntry, os_fault_entry));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataFillCount, 0));
+    core.metal().Delegate(ExcCause::kTlbMissLoad, kFaultEntry);
+    core.metal().Delegate(ExcCause::kTlbMissStore, kFaultEntry);
+    core.metal().Delegate(ExcCause::kTlbMissFetch, kFaultEntry);
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+CustomPageTable::CustomPageTable(Core& core, uint32_t region_base, uint32_t region_size)
+    : core_(core),
+      region_base_(region_base),
+      region_end_(region_base + region_size),
+      next_frame_(region_base) {}
+
+Result<uint32_t> CustomPageTable::AllocTable() {
+  if (next_frame_ + kPageSize > region_end_) {
+    return ResourceExhausted("page-table frame region exhausted");
+  }
+  const uint32_t frame = next_frame_;
+  next_frame_ += kPageSize;
+  for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+    if (!core_.bus().dram().Write32(frame + offset, 0)) {
+      return OutOfRange(StrFormat("table frame 0x%08x outside DRAM", frame));
+    }
+  }
+  return frame;
+}
+
+Result<uint32_t> CustomPageTable::CreateAddressSpace() { return AllocTable(); }
+
+Status CustomPageTable::Map(uint32_t root, uint32_t vaddr, uint32_t paddr, uint32_t perms,
+                            uint32_t key, bool superpage) {
+  PhysicalMemory& dram = core_.bus().dram();
+  const uint32_t pde_addr = root + ((vaddr >> 22) << 2);
+  if (superpage) {
+    const uint32_t pde = MakePte(paddr & 0xFFC00000u, perms, key, /*global=*/false,
+                                 /*superpage=*/true) |
+                         kCptPresent;
+    if (!dram.Write32(pde_addr, pde)) {
+      return OutOfRange("PDE outside DRAM");
+    }
+    return Status::Ok();
+  }
+  const auto pde = dram.Read32(pde_addr);
+  if (!pde) {
+    return OutOfRange("PDE outside DRAM");
+  }
+  uint32_t table;
+  if ((*pde & kCptPresent) == 0) {
+    MSIM_ASSIGN_OR_RETURN(table, AllocTable());
+    if (!dram.Write32(pde_addr, (table & 0xFFFFF000u) | kCptPresent)) {
+      return OutOfRange("PDE outside DRAM");
+    }
+  } else {
+    if ((*pde & kPteSuper) != 0) {
+      return FailedPrecondition(
+          StrFormat("vaddr 0x%08x already covered by a superpage mapping", vaddr));
+    }
+    table = *pde & 0xFFFFF000u;
+  }
+  const uint32_t pte_addr = table + (((vaddr >> 12) & 0x3FF) << 2);
+  const uint32_t pte = MakePte(paddr, perms, key) | kCptPresent;
+  if (!dram.Write32(pte_addr, pte)) {
+    return OutOfRange("PTE outside DRAM");
+  }
+  return Status::Ok();
+}
+
+Status CustomPageTable::Unmap(uint32_t root, uint32_t vaddr) {
+  PhysicalMemory& dram = core_.bus().dram();
+  const uint32_t pde_addr = root + ((vaddr >> 22) << 2);
+  const auto pde = dram.Read32(pde_addr);
+  if (!pde) {
+    return OutOfRange("PDE outside DRAM");
+  }
+  if ((*pde & kCptPresent) == 0) {
+    return Status::Ok();
+  }
+  if ((*pde & kPteSuper) != 0) {
+    dram.Write32(pde_addr, 0);
+  } else {
+    const uint32_t pte_addr = (*pde & 0xFFFFF000u) + (((vaddr >> 12) & 0x3FF) << 2);
+    dram.Write32(pte_addr, 0);
+  }
+  core_.mmu().tlb().InvalidateVaddr(vaddr, core_.metal().asid());
+  return Status::Ok();
+}
+
+Status CustomPageTable::Activate(uint32_t root) {
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core_, kDataRoot, root));
+  core_.mmu().tlb().FlushAll();
+  return Status::Ok();
+}
+
+Result<uint32_t> CustomPageTable::FillCount() { return ReadHandlerData32(core_, kDataFillCount); }
+
+}  // namespace msim

@@ -1,0 +1,84 @@
+// Custom page tables (paper §3.2).
+//
+// There is no hardware page-table walker: TLB misses are delegated to an
+// mroutine that walks an x86-style two-level radix tree with direct physical
+// memory access (plw) and refills the TLB with tlbwr — "In a few lines of
+// assembly, we walk an x86-style radix tree on page fault. We populate the
+// processor's TLB mappings from the page table. If the page is not present or
+// the access violates the page protection, we deliver the exception to the
+// OS."
+//
+// In-memory PTE/PDE format (chosen to line up with the TLB PTE so the walker
+// inserts entries without bit surgery — see src/mmu/tlb.h):
+//   [31:12] frame    [11:8] key    [7] G    [6] S (4 MiB superpage)
+//   [5] X  [4] W  [3] R            [0] P (present)
+// A PDE uses [31:12] as the level-2 table frame, or is itself a superpage
+// mapping when S is set.
+//
+// The same mcode runs unchanged in all three mroutine-storage configurations
+// (MRAM / cached DRAM / uncached DRAM), which is exactly the comparison
+// bench_pagefault draws.
+#ifndef MSIM_EXT_CPT_H_
+#define MSIM_EXT_CPT_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+#include "mmu/tlb.h"
+
+namespace msim {
+
+// In-memory page-table entry bits.
+inline constexpr uint32_t kCptPresent = 1u << 0;
+
+class CustomPageTable {
+ public:
+  static constexpr uint32_t kFaultEntry = 16;  // shared by load/store/fetch misses
+
+  // MRAM data offsets (see ext/data_layout.h).
+  static constexpr uint32_t kDataRoot = 32;      // current root table (physical)
+  static constexpr uint32_t kDataOsEntry = 36;   // OS page-fault upcall address
+  static constexpr uint32_t kDataFillCount = 40; // statistics: TLB fills performed
+
+  static const char* McodeSource();
+
+  // Installs the walker mroutine and delegates the three TLB-miss causes.
+  // `os_fault_entry` is where non-present faults are delivered (0 = halt the
+  // simulation via a fatal upcall — useful in tests).
+  static Status Install(MetalSystem& system, uint32_t os_fault_entry);
+
+  // --- host-side page-table construction --------------------------------
+  // Builds radix tables in simulated physical memory, allocating 4 KiB table
+  // frames from [region_base, region_base + region_size).
+  CustomPageTable(Core& core, uint32_t region_base, uint32_t region_size);
+
+  // Allocates and zeroes a root (level-1) table. Returns its physical base.
+  Result<uint32_t> CreateAddressSpace();
+
+  // Maps vaddr -> paddr with TLB-format permission bits (kPteR/W/X), a page
+  // key, and optionally as a 4 MiB superpage.
+  Status Map(uint32_t root, uint32_t vaddr, uint32_t paddr, uint32_t perms, uint32_t key = 0,
+             bool superpage = false);
+
+  // Marks the page not-present (subsequent access -> OS fault upcall).
+  Status Unmap(uint32_t root, uint32_t vaddr);
+
+  // Makes `root` the active address space: writes the walker's root slot and
+  // flushes the TLB.
+  Status Activate(uint32_t root);
+
+  // Host-side read of the walker's fill counter.
+  Result<uint32_t> FillCount();
+
+ private:
+  Result<uint32_t> AllocTable();
+
+  Core& core_;
+  uint32_t region_base_;
+  uint32_t region_end_;
+  uint32_t next_frame_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_CPT_H_

@@ -1,0 +1,42 @@
+// MRAM data-segment map shared by the extensions.
+//
+// Extensions statically allocate their mroutine-private data in the MRAM data
+// segment (paper §2.1: "developers must statically allocate resources
+// including ... the MRAM data segment"). Each extension owns a fixed byte
+// range; the assembly sources use matching .equ constants.
+#ifndef MSIM_EXT_DATA_LAYOUT_H_
+#define MSIM_EXT_DATA_LAYOUT_H_
+
+#include <cstdint>
+
+namespace msim {
+
+// NOTE: literal mld/mst offsets are 12-bit signed immediates, so every
+// extension keeps its fixed (non-indexed) offsets below 2048.
+inline constexpr uint32_t kPrivilegeDataBase = 0;       // [0, 32)
+inline constexpr uint32_t kCptDataBase = 32;            // [32, 44)
+inline constexpr uint32_t kEnclaveDataBase = 44;        // [44, 60)
+inline constexpr uint32_t kIsolationDataBase = 60;      // [60, 64)
+inline constexpr uint32_t kStmDataBase = 64;            // [64, 104) + sets at [128, 512)
+inline constexpr uint32_t kNestedDataBase = 104;        // [104, 112)
+inline constexpr uint32_t kVirtDataBase = 112;          // [112, 128)
+inline constexpr uint32_t kUliDataBase = 1088;          // [1088, 1352)
+inline constexpr uint32_t kShadowStackDataBase = 1408;  // [1408, 1904)
+inline constexpr uint32_t kCapsDataBase = 1928;         // [1928, 2188)
+
+// Entry-number map (64 available, paper §2).
+//   0..7    reserved for applications / examples
+//   8..10   privilege levels (kenter, kexit, ktlbflush)
+//   12..13  in-process isolation
+//   16..18  custom page tables
+//   20      nested paging (virtualization)
+//   24..29  transactional memory
+//   32..35  user-level interrupts
+//   36..38  shadow stack
+//   40..45  capabilities
+//   48..51  enclaves
+//   52..55  nested Metal dispatcher
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_DATA_LAYOUT_H_

@@ -1,0 +1,110 @@
+#include "ext/enclave.h"
+
+#include "cpu/creg.h"
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+// m8 = caller return address, m9 = caller privilege level.
+constexpr const char* kMcode = R"(
+    # ---- security enclaves (paper §3.5) ----
+    .equ D_ENC_BASE, 44
+    .equ D_ENC_LEN, 48
+    .equ D_ENC_MEAS, 52
+    .equ D_ENC_ACTIVE, 56
+    .equ CR_KEYPERM, 6
+
+    .mentry 48, encl_create
+    .mentry 49, encl_enter
+    .mentry 50, encl_exit
+    .mentry 51, encl_measure
+
+# Load + measure an enclave (kernel only). a0 = base, a1 = byte length.
+encl_create:
+    rmr t0, m0
+    bnez t0, encl_denied
+    mst a0, D_ENC_BASE(zero)
+    mst a1, D_ENC_LEN(zero)
+    # measurement: h = h * 31 + word over the enclave image
+    li t0, 0
+    mv t1, a0
+    add t2, a0, a1
+encl_meas_loop:
+    bgeu t1, t2, encl_meas_done
+    plw t3, 0(t1)
+    slli t4, t0, 5
+    sub t0, t4, t0
+    add t0, t0, t3
+    addi t1, t1, 4
+    j encl_meas_loop
+encl_meas_done:
+    mst t0, D_ENC_MEAS(zero)
+    li t0, 1
+    mst t0, D_ENC_ACTIVE(zero)
+    li a0, 0
+    mexit
+encl_denied:
+    li a0, -1
+    mexit
+
+# Enter the trusted execution layer at the enclave privilege level.
+encl_enter:
+    mld t0, D_ENC_ACTIVE(zero)
+    beqz t0, encl_denied
+    rmr t0, m0
+    wmr m9, t0
+    li t0, 2
+    wmr m0, t0
+    rcr t0, CR_KEYPERM
+    ori t0, t0, 0xC0               # open the enclave key
+    wcr CR_KEYPERM, t0
+    rmr t0, m31
+    wmr m8, t0
+    mld t0, D_ENC_BASE(zero)
+    wmr m31, t0
+    mexit
+
+# Leave the enclave: close the key, restore privilege, return.
+encl_exit:
+    rcr t0, CR_KEYPERM
+    andi t0, t0, -193              # ~0xC0
+    wcr CR_KEYPERM, t0
+    rmr t0, m9
+    wmr m0, t0
+    rmr t0, m8
+    wmr m31, t0
+    mexit
+
+# Report the load-time measurement (attestation).
+encl_measure:
+    mld a0, D_ENC_MEAS(zero)
+    mexit
+)";
+
+}  // namespace
+
+const char* EnclaveExtension::McodeSource() { return kMcode; }
+
+Status EnclaveExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataActive, 0));
+    // The enclave key is closed for everyone (including the kernel) except
+    // inside encl_enter/encl_exit.
+    const uint32_t keyperm = core.metal().ReadCreg(kCrKeyPerm, 0, 0, 0) & ~kEnclaveKeyBits;
+    core.metal().WriteCreg(kCrKeyPerm, keyperm);
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+uint32_t EnclaveExtension::MeasureRegion(Core& core, uint32_t base, uint32_t len) {
+  uint32_t h = 0;
+  for (uint32_t addr = base; addr < base + len; addr += 4) {
+    h = h * 31 + core.bus().dram().Read32(addr).value_or(0);
+  }
+  return h;
+}
+
+}  // namespace msim

@@ -1,0 +1,51 @@
+// Security enclaves (paper §3.5, Security Enclaves).
+//
+// "Metal's flexibility in defining privilege levels enables developers to
+// implement enclave extensions. Developers create a trusted execution layer
+// that runs at a higher privilege level than the host OS. After Metal loads
+// and verifies an enclave, the enclave runs in the trusted execution layer
+// which the host OS cannot access."
+//
+// Realization: enclave pages carry page key kEnclaveKey, which is closed for
+// every privilege level — including the kernel — except while execution is
+// inside the enclave (entered via `encl_enter`, which runs at the dedicated
+// privilege level kEnclaveLevel). `encl_create` measures the enclave
+// (multiply-accumulate hash over its words) at load time, modelling
+// SGX-style attestation; `encl_measure` reports the measurement.
+#ifndef MSIM_EXT_ENCLAVE_H_
+#define MSIM_EXT_ENCLAVE_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class EnclaveExtension {
+ public:
+  static constexpr uint32_t kCreateEntry = 48;   // a0=base a1=len (kernel only)
+  static constexpr uint32_t kEnterEntry = 49;
+  static constexpr uint32_t kExitEntry = 50;
+  static constexpr uint32_t kMeasureEntry = 51;  // -> a0 = measurement
+
+  static constexpr uint32_t kEnclaveLevel = 2;   // m0 value inside the enclave
+  static constexpr uint32_t kEnclaveKey = 3;     // KEYPERM bits 6 and 7
+  static constexpr uint32_t kEnclaveKeyBits = 0xC0;
+
+  // MRAM data offsets (ext/data_layout.h: [44, 64)).
+  static constexpr uint32_t kDataBase = 44;
+  static constexpr uint32_t kDataLen = 48;
+  static constexpr uint32_t kDataMeasurement = 52;
+  static constexpr uint32_t kDataActive = 56;
+
+  static const char* McodeSource();
+  static Status Install(MetalSystem& system);
+
+  // Host-side helper: the same measurement the mroutine computes, for
+  // attestation checks in tests.
+  static uint32_t MeasureRegion(Core& core, uint32_t base, uint32_t len);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_ENCLAVE_H_

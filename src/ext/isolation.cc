@@ -1,0 +1,69 @@
+#include "ext/isolation.h"
+
+#include "cpu/creg.h"
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+// m7 holds the caller's return address while inside the compartment.
+constexpr const char* kMcode = R"(
+    # ---- in-process isolation (paper §3.1) ----
+    .equ D_ISO_GATE, 60
+    .equ CR_KEYPERM, 6
+
+    .mentry 12, iso_enter
+    .mentry 13, iso_exit
+    .mentry 14, iso_setup
+
+# Enter the trusted compartment through the registered gate.
+iso_enter:
+    mld t0, D_ISO_GATE(zero)
+    beqz t0, iso_fail
+    rcr t1, CR_KEYPERM
+    ori t1, t1, 0x30            # open the secret page key
+    wcr CR_KEYPERM, t1
+    rmr t1, m31
+    wmr m7, t1                  # remember the caller
+    wmr m31, t0
+    mexit
+iso_fail:
+    li a0, -1
+    mexit
+
+# Leave the compartment: close the key, return to the caller.
+iso_exit:
+    rcr t0, CR_KEYPERM
+    andi t0, t0, -49            # ~0x30
+    wcr CR_KEYPERM, t0
+    rmr t0, m7
+    wmr m31, t0
+    mexit
+
+# One-time gate registration (first call wins; later calls fail).
+iso_setup:
+    mld t0, D_ISO_GATE(zero)
+    bnez t0, iso_fail
+    mst a0, D_ISO_GATE(zero)
+    li a0, 0
+    mexit
+)";
+
+}  // namespace
+
+const char* IsolationExtension::McodeSource() { return kMcode; }
+
+Status IsolationExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataGate, 0));
+    // Close the secret key by default: only iso_enter opens it.
+    const uint32_t keyperm =
+        core.metal().ReadCreg(kCrKeyPerm, 0, 0, 0) & ~kSecretKeyBits;
+    core.metal().WriteCreg(kCrKeyPerm, keyperm);
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+}  // namespace msim

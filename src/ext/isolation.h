@@ -1,0 +1,45 @@
+// In-process isolation (paper §3.1, In-process Isolation).
+//
+// "Applications can use multiple privilege levels internally to implement
+// in-process isolation to protect sensitive data. For example, isolating
+// sensitive cryptographic keys in OpenSSL from the rest of the application.
+// ... Metal enables developers to safely encapsulate the transition code
+// without CFI."
+//
+// Secret pages carry page key kSecretKey; outside the trusted compartment the
+// KEYPERM register denies that key, so any access raises a key violation.
+// `iso_enter` is the ONLY way into the compartment: it opens the key and
+// transfers control to the registered gate — the transition code lives in
+// MRAM where the application cannot jump into its middle, which is what makes
+// CFI unnecessary. `iso_exit` closes the key and returns to the saved caller.
+#ifndef MSIM_EXT_ISOLATION_H_
+#define MSIM_EXT_ISOLATION_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class IsolationExtension {
+ public:
+  static constexpr uint32_t kEnterEntry = 12;
+  static constexpr uint32_t kExitEntry = 13;
+  static constexpr uint32_t kSetupEntry = 14;  // a0 = gate address; once only
+
+  // Page key protecting compartment pages (KEYPERM bits 4 and 5).
+  static constexpr uint32_t kSecretKey = 2;
+  static constexpr uint32_t kSecretKeyBits = 0x30;
+
+  // MRAM data offsets (ext/data_layout.h: [60, 64)).
+  static constexpr uint32_t kDataGate = 60;
+
+  static const char* McodeSource();
+
+  // Installs the mroutines and closes kSecretKey in KEYPERM at boot.
+  static Status Install(MetalSystem& system);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_ISOLATION_H_

@@ -1,0 +1,139 @@
+#include "ext/nested.h"
+
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+// m20 = resume address, m21 = current layer (1 -> still propagatable),
+// m22/m23 = interrupted a0/a1.
+constexpr const char* kMcode = R"(
+    # ---- nested Metal: layered intercept propagation (paper §3.5) ----
+    .equ D_NEST_H0, 104
+    .equ D_NEST_H1, 108
+
+    .mentry 52, nested_set
+    .mentry 53, nested_dispatch
+    .mentry 54, nested_ret
+    .mentry 55, nested_ctl
+
+# Register a layer handler: a0 = layer (0 = VMM, 1 = guest), a1 = handler.
+nested_set:
+    beqz a0, nested_set_l0
+    mst a1, D_NEST_H1(zero)
+    li a0, 0
+    mexit
+nested_set_l0:
+    mst a1, D_NEST_H0(zero)
+    li a0, 0
+    mexit
+
+# Intercepted load: deliver to the highest registered layer first.
+nested_dispatch:
+    wmr m10, t0
+    wmr m11, t1
+    rmr t0, m31
+    wmr m20, t0                 # resume address
+    wmr m22, a0                 # save interrupted a0/a1 (handler arguments)
+    wmr m23, a1
+    mopr t0, 0
+    mopr t1, 2
+    add t1, t0, t1              # effective address of the intercepted load
+    mld t0, D_NEST_H1(zero)
+    beqz t0, nested_try0
+    mv a1, t1
+    li t1, 1
+    wmr m21, t1                 # at layer 1: may still propagate down
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+nested_try0:
+    mld t0, D_NEST_H0(zero)
+    beqz t0, nested_emulate
+    mv a1, t1
+    wmr m21, zero               # at layer 0: next stop is native emulation
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+nested_emulate:
+    plw t1, 0(t1)               # no layer claimed it: native load
+    mopw t1
+    rmr a0, m22
+    rmr a1, m23
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+
+# Handler epilogue. a0 = 1: consume, a2 = value for the intercepted rd.
+#                   a0 = 0: reuse the instruction -> propagate downward.
+nested_ret:
+    wmr m10, t0
+    wmr m11, t1
+    beqz a0, nested_prop
+    mopw a2
+    j nested_resume
+nested_prop:
+    rmr t0, m21
+    beqz t0, nested_ret_emul    # already at layer 0: emulate natively
+    mld t0, D_NEST_H0(zero)
+    beqz t0, nested_ret_emul
+    # deliver to layer 0; recompute the address argument from the latch
+    mopr t1, 0
+    wmr m21, zero
+    mopr a1, 2
+    add a1, a1, t1
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+nested_ret_emul:
+    mopr t0, 0
+    mopr t1, 2
+    add t1, t0, t1
+    plw t1, 0(t1)
+    mopw t1
+nested_resume:
+    rmr a0, m22
+    rmr a1, m23
+    rmr t0, m20
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+
+# Enable (a0 = 1) / disable (a0 = 0) load interception into the dispatcher.
+nested_ctl:
+    wmr m10, t0
+    wmr m11, t1
+    beqz a0, nested_off
+    li t0, 0x80000003           # intercept loads -> slot 4, entry 53
+    li t1, 1077
+    mintset t0, t1
+    j nested_ctl_done
+nested_off:
+    li t0, 3
+    li t1, 1077
+    mintset t0, t1
+nested_ctl_done:
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+)";
+
+}  // namespace
+
+const char* NestedMetalExtension::McodeSource() { return kMcode; }
+
+Status NestedMetalExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataHandler0, 0));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataHandler1, 0));
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+}  // namespace msim

@@ -1,0 +1,45 @@
+// Nested Metal (paper §3.5, Nested Metal).
+//
+// "Metal should allow VMMs, OSes and applications to define their own
+// mroutines ... Instruction interception proceeds in reverse, with higher
+// layers intercepting the instruction first ... The intercept propagates
+// downward through layers that intercept the same instruction."
+//
+// The paper leaves nested Metal as future work; this extension prototypes the
+// intercept-propagation half in software with two layers:
+//   * layer 1 (higher: the application/guest) and layer 0 (lower: the
+//     VMM/host) each register a normal-mode handler for intercepted loads;
+//   * the dispatcher mroutine delivers to layer 1 first;
+//   * a handler finishes with `menter nested_ret`: a0 = 1 consumes the
+//     intercept, a0 = 0 "reuses the instruction", propagating it down to
+//     layer 0 and finally to native emulation — the downward propagation the
+//     paper describes.
+// Handlers read the intercepted operands via `mopr`-backed values passed in
+// a1 (address); they may change the result with a2 when consuming.
+#ifndef MSIM_EXT_NESTED_H_
+#define MSIM_EXT_NESTED_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class NestedMetalExtension {
+ public:
+  static constexpr uint32_t kSetEntry = 52;       // a0=layer(0/1), a1=handler
+  static constexpr uint32_t kDispatchEntry = 53;  // intercept target
+  static constexpr uint32_t kRetEntry = 54;       // a0=1 handled / 0 propagate, a2=result
+  static constexpr uint32_t kCtlEntry = 55;       // a0=1 enable load interception
+
+  // MRAM data offsets (ext/data_layout.h: [104, 112)).
+  static constexpr uint32_t kDataHandler0 = 104;
+  static constexpr uint32_t kDataHandler1 = 108;
+
+  static const char* McodeSource();
+  static Status Install(MetalSystem& system);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_NESTED_H_

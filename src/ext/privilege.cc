@@ -1,0 +1,106 @@
+#include "ext/privilege.h"
+
+#include "cpu/creg.h"
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+// Bits of KEYPERM covering the kernel page key (read + write).
+// key k occupies bits (2k, 2k+1); kKernelPageKey == 1 -> bits 2 and 3.
+constexpr const char* kMcode = R"(
+    # ---- user-defined privilege levels (paper §3.1, Listing 2) ----
+    .equ PRIV_KERNEL, 0
+    .equ PRIV_USER, 1
+    .equ KEY_KERNEL_BITS, 0x0C        # KEYPERM bits for page key 1 (R|W)
+    .equ D_SYSCALL_TABLE, 0
+    .equ D_SYSCALL_COUNT, 4
+    .equ D_FAULT_ENTRY, 8
+    .equ D_SAVED_RA, 12
+    .equ CR_KEYPERM, 6
+
+    .mentry 8, kenter
+    .mentry 9, kexit
+    .mentry 10, ktlbflush
+
+# System call entry: a0 = syscall number (paper Figure 2).
+kenter:
+    # current privilege -> kernel, open the kernel page key
+    wmr m0, zero                      # m0 <- PRIV_KERNEL (0)
+    rcr t0, CR_KEYPERM
+    ori t0, t0, KEY_KERNEL_BITS
+    wcr CR_KEYPERM, t0
+    # save the userspace return address in ra, as defined by the ABI
+    rmr ra, m31
+    mst ra, D_SAVED_RA(zero)
+    # bounds-check the syscall number
+    mld t0, D_SYSCALL_COUNT(zero)
+    bgeu a0, t0, kenter_bad
+    # compute the kernel syscall entry point
+    mld t0, D_SYSCALL_TABLE(zero)
+    slli t1, a0, 2
+    add t0, t0, t1
+    lw t0, 0(t0)                      # Metal mode: physical access
+    # jump to the kernel system call entry point
+    wmr m31, t0
+    mexit
+kenter_bad:
+    # undefined syscall: deliver a fault upcall to the kernel (still at
+    # kernel privilege; the kernel decides what to do with the process)
+    mld t0, D_FAULT_ENTRY(zero)
+    wmr m31, t0
+    mexit
+
+# Return to userspace: kernel leaves the user resume address in ra.
+kexit:
+    li t0, PRIV_USER
+    wmr m0, t0
+    # close the kernel page key (batch permission change via KEYPERM)
+    rcr t0, CR_KEYPERM
+    andi t0, t0, -13                  # ~KEY_KERNEL_BITS
+    wcr CR_KEYPERM, t0
+    wmr m31, ra
+    mexit
+
+# Privileged service: TLB flush. Demonstrates the privilege check that
+# protects every mroutine touching privileged resources (paper §3.1).
+ktlbflush:
+    rmr t0, m0
+    bnez t0, ktlbflush_denied
+    tlbflush zero
+    mexit
+ktlbflush_denied:
+    # privilege violation: upcall into the kernel fault entry at kernel level
+    wmr m0, zero
+    mld t0, D_FAULT_ENTRY(zero)
+    wmr m31, t0
+    mexit
+)";
+
+}  // namespace
+
+const char* PrivilegeExtension::McodeSource() { return kMcode; }
+
+Status PrivilegeExtension::WriteBootData(Core& core, uint32_t syscall_table,
+                                         uint32_t syscall_count, uint32_t fault_entry) {
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataSyscallTable, syscall_table));
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataSyscallCount, syscall_count));
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataFaultEntry, fault_entry));
+  // Boot in user mode by convention; the loader/OS flips m0 as needed. The
+  // kernel page key starts closed — only kenter opens it.
+  core.metal().WriteMreg(0, kUserLevel);
+  const uint32_t kernel_bits = 3u << (2 * kKernelPageKey);
+  core.metal().WriteCreg(kCrKeyPerm, core.metal().ReadCreg(kCrKeyPerm, 0, 0, 0) & ~kernel_bits);
+  return Status::Ok();
+}
+
+Status PrivilegeExtension::Install(MetalSystem& system, uint32_t syscall_table,
+                                   uint32_t syscall_count, uint32_t fault_entry) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([=](Core& core) {
+    return WriteBootData(core, syscall_table, syscall_count, fault_entry);
+  });
+  return Status::Ok();
+}
+
+}  // namespace msim

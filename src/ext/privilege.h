@@ -1,0 +1,75 @@
+// User-defined privilege levels (paper §3.1).
+//
+// Metal does not architect privilege levels beyond normal vs. Metal mode;
+// this extension builds the traditional kernel/user model entirely in mcode,
+// reproducing the paper's Listing 2:
+//   * Metal register m0 holds the current privilege level (0 = kernel,
+//     1 = user).
+//   * `kenter` (syscall entry) switches to kernel: sets m0, opens the kernel
+//     page key, saves the userspace return address in `ra` (per the ABI, as
+//     in the paper), looks the syscall number in a0 up in the kernel's
+//     syscall table, and transfers control to the handler by rewriting m31
+//     and executing mexit.
+//   * `kexit` returns to userspace: sets m0 = 1, closes the kernel page key,
+//     and mexits to the address the kernel left in `ra`.
+//   * `kcheck`-style privileged services (here: privileged TLB flush) verify
+//     m0 == 0 and deliver a software "privilege fault" upcall to the kernel
+//     otherwise — privileged resources are "protected by a privilege check
+//     that triggers an exception if violated".
+//
+// MRAM data layout (byte offsets, see kDataLayout* constants):
+//   +0  syscall table base (physical address of a table of handler pointers)
+//   +4  number of syscall table slots
+//   +8  kernel fault-upcall entry point
+//   +12 saved user return address during a syscall (single-threaded model)
+#ifndef MSIM_EXT_PRIVILEGE_H_
+#define MSIM_EXT_PRIVILEGE_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class PrivilegeExtension {
+ public:
+  // mroutine entry numbers used by this extension.
+  static constexpr uint32_t kKenterEntry = 8;
+  static constexpr uint32_t kKexitEntry = 9;
+  static constexpr uint32_t kPrivTlbFlushEntry = 10;
+
+  // Privilege levels stored in m0.
+  static constexpr uint32_t kKernelLevel = 0;
+  static constexpr uint32_t kUserLevel = 1;
+
+  // Page key reserved for kernel-only pages. kenter opens it; kexit closes
+  // it — a batch permission change through the KEYPERM register (paper §2.3).
+  static constexpr uint32_t kKernelPageKey = 1;
+
+  // MRAM data-segment offsets.
+  static constexpr uint32_t kDataSyscallTable = 0;
+  static constexpr uint32_t kDataSyscallCount = 4;
+  static constexpr uint32_t kDataFaultEntry = 8;
+  static constexpr uint32_t kDataSavedUserRa = 12;
+  static constexpr uint32_t kDataSize = 16;
+
+  // The kenter/kexit mcode (paper Figure 2). Exposed so benches and docs can
+  // show/measure exactly what is installed.
+  static const char* McodeSource();
+
+  // Adds the mcode and wires the host-visible configuration:
+  //  - syscall_table: physical address of the kernel's syscall pointer table,
+  //  - syscall_count: number of valid slots,
+  //  - fault_entry:   kernel entry point for privilege-fault upcalls.
+  static Status Install(MetalSystem& system, uint32_t syscall_table, uint32_t syscall_count,
+                        uint32_t fault_entry);
+
+  // Writes the boot-time MRAM data words (called by Install after Boot(); use
+  // directly when booting manually).
+  static Status WriteBootData(Core& core, uint32_t syscall_table, uint32_t syscall_count,
+                              uint32_t fault_entry);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_PRIVILEGE_H_

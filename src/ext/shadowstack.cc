@@ -1,0 +1,136 @@
+#include "ext/shadowstack.h"
+
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+constexpr const char* kMcode = R"(
+    # ---- shadow-stack control-flow protection (paper §3.5) ----
+    .equ D_SS_SP, 1408
+    .equ D_SS_VIOL, 1412
+    .equ D_SS_MAX, 1416
+    .equ D_SS_STACK, 1424
+    .equ CR_MEPC, 1
+
+    .mentry 36, ss_call
+    .mentry 37, ss_ret
+    .mentry 38, ss_ctl
+
+# Intercepted jal: emulate, pushing the return address when rd == ra.
+ss_call:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    rcr t0, CR_MEPC
+    mopr t1, 2                 # J-immediate
+    add t1, t0, t1             # branch target
+    addi t0, t0, 4             # link value
+    mopr t2, 3                 # rd index
+    beqz t2, ss_call_go        # jal x0 (plain jump): no link, no push
+    mopw t0                    # deliver the link value to rd
+    addi t2, t2, -1
+    bnez t2, ss_call_go        # only rd == ra counts as a call
+    mld t2, D_SS_SP(zero)
+    mld t3, D_SS_MAX(zero)
+    beq t2, t3, ss_overflow
+    slli t3, t2, 2
+    mst t0, D_SS_STACK(t3)
+    addi t2, t2, 1
+    mst t2, D_SS_SP(zero)
+ss_call_go:
+    wmr m31, t1
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+
+# Intercepted jalr: emulate; a return (rd == x0, rs1 == ra) pops and checks.
+ss_ret:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    mopr t0, 0                 # rs1 value
+    mopr t1, 2                 # immediate
+    add t0, t0, t1
+    andi t0, t0, -2            # target
+    rcr t1, CR_MEPC
+    addi t1, t1, 4             # link value
+    mopr t2, 3                 # rd index
+    beqz t2, ss_ret_check
+    mopw t1                    # indirect call/jump with link
+    j ss_ret_go
+ss_ret_check:
+    mopr t2, 5                 # rs1 index
+    addi t2, t2, -1
+    bnez t2, ss_ret_go         # jr through a non-ra register: plain jump
+    mld t2, D_SS_SP(zero)
+    beqz t2, ss_violation      # underflow
+    addi t2, t2, -1
+    mst t2, D_SS_SP(zero)
+    slli t2, t2, 2
+    mld t2, D_SS_STACK(t2)
+    bne t2, t0, ss_violation
+ss_ret_go:
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+
+ss_violation:
+    mld t0, D_SS_VIOL(zero)
+    addi t0, t0, 1
+    mst t0, D_SS_VIOL(zero)
+    li t0, 0xDC
+    halt t0
+ss_overflow:
+    li t0, 0xDD
+    halt t0
+
+# Enable (a0 = 1) or disable (a0 = 0) protection.
+ss_ctl:
+    wmr m10, t0
+    wmr m11, t1
+    beqz a0, ss_off
+    mst zero, D_SS_SP(zero)
+    li t0, 0x8000006F          # intercept jal  -> slot 2, entry 36
+    li t1, 548
+    mintset t0, t1
+    li t0, 0x80000067          # intercept jalr -> slot 3, entry 37
+    li t1, 805
+    mintset t0, t1
+    j ss_ctl_done
+ss_off:
+    li t0, 0x6F
+    li t1, 548
+    mintset t0, t1
+    li t0, 0x67
+    li t1, 805
+    mintset t0, t1
+ss_ctl_done:
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+)";
+
+}  // namespace
+
+const char* ShadowStackExtension::McodeSource() { return kMcode; }
+
+Status ShadowStackExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataSp, 0));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataViolations, 0));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataMax, kCapacity));
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+}  // namespace msim

@@ -1,0 +1,46 @@
+// Shadow-stack control-flow protection (paper §3.5, Control Flow Protection).
+//
+// "Metal can offer similar application control flow protection as existing
+// techniques such as shadow stacks and control flow integrity. ...
+// applications can store cryptographic keys inside Metal registers or MRAM."
+//
+// When enabled, every jal and jalr is intercepted:
+//   * a call (jal with rd == ra) pushes its return address onto a shadow
+//     stack kept in the MRAM data segment — unreachable from normal mode;
+//   * a return (jalr with rd == x0, rs1 == ra) pops and compares; a mismatch
+//     (e.g. a smashed stack) halts the machine with exit code 0xDC
+//     (underflow/overflow: 0xDD);
+//   * all other jal/jalr forms are emulated transparently.
+// No compiler support is needed — the paper's point versus classic CFI.
+#ifndef MSIM_EXT_SHADOWSTACK_H_
+#define MSIM_EXT_SHADOWSTACK_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class ShadowStackExtension {
+ public:
+  static constexpr uint32_t kCallEntry = 36;
+  static constexpr uint32_t kRetEntry = 37;
+  static constexpr uint32_t kCtlEntry = 38;  // a0 = 1 enable / 0 disable
+
+  static constexpr uint32_t kViolationExitCode = 0xDC;
+  static constexpr uint32_t kOverflowExitCode = 0xDD;
+
+  // MRAM data offsets (ext/data_layout.h: [1408, 1928)).
+  static constexpr uint32_t kDataSp = 1408;
+  static constexpr uint32_t kDataViolations = 1412;
+  static constexpr uint32_t kDataMax = 1416;
+  static constexpr uint32_t kDataStack = 1424;  // kCapacity words
+  static constexpr uint32_t kCapacity = 120;
+
+  static const char* McodeSource();
+  static Status Install(MetalSystem& system);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_SHADOWSTACK_H_

@@ -1,0 +1,296 @@
+#include "ext/stm.h"
+
+#include "metal/loader.h"
+#include "metal/mroutine.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// Register conventions:
+//   m1 = rv (read version), m2 = abort handler, m3 = wv (write version),
+//   m10..m14 save the application's t0..t4 across tread/twrite (interception
+//   can hit any point in the transaction body, so those handlers preserve
+//   every register they touch; tstart/tcommit/tabort are invoked like calls
+//   and may clobber temporaries).
+constexpr const char* kMcode = R"(
+    # ---- software transactional memory, TL2-style (paper §3.3) ----
+    .equ D_ACTIVE, 64
+    .equ D_RS_COUNT, 72
+    .equ D_WS_COUNT, 76
+    .equ D_ABORTS, 80
+    .equ D_COMMITS, 84
+    .equ D_STARTS, 88
+    .equ D_CLOCK_ADDR, 92
+    .equ D_VTBL_ADDR, 96
+    .equ D_VTBL_MASK, 100
+    .equ D_RS, 128
+    .equ D_WS, 256
+    .equ SET_CAP, 32
+
+    .mentry 24, tstart
+    .mentry 25, tread
+    .mentry 26, twrite
+    .mentry 27, tcommit
+    .mentry 28, tabort
+
+# Begin a transaction. a0 = abort handler address.
+tstart:
+    mst zero, D_RS_COUNT(zero)
+    mst zero, D_WS_COUNT(zero)
+    li t0, 1
+    mst t0, D_ACTIVE(zero)
+    wmr m2, a0
+    # rv <- global version clock
+    mld t0, D_CLOCK_ADDR(zero)
+    plw t0, 0(t0)
+    wmr m1, t0
+    mld t0, D_STARTS(zero)
+    addi t0, t0, 1
+    mst t0, D_STARTS(zero)
+    # turn ON interception of all loads (slot 0 -> tread) and stores
+    # (slot 1 -> twrite) — paper: "Metal turns on and off interception of
+    # loads and stores at runtime"
+    li t0, 0x80000003
+    li t1, 25
+    mintset t0, t1
+    li t0, 0x80000023
+    li t1, 282
+    mintset t0, t1
+    mexit
+
+# Intercepted load: forward from the write buffer or read memory, validate
+# the location version against rv, log the read set.
+tread:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    wmr m14, t4
+    mopr t0, 0                 # rs1 value
+    mopr t1, 2                 # immediate
+    add t0, t0, t1             # effective address
+    mld t1, D_WS_COUNT(zero)
+    li t2, 0
+tread_ws_loop:
+    beq t2, t1, tread_mem
+    slli t3, t2, 3
+    mld t4, D_WS(t3)
+    beq t4, t0, tread_ws_hit
+    addi t2, t2, 1
+    j tread_ws_loop
+tread_ws_hit:
+    mld t4, D_WS+4(t3)
+    j tread_done
+tread_mem:
+    plw t4, 0(t0)
+    # validate: version[addr] <= rv ?
+    srli t1, t0, 2
+    mld t2, D_VTBL_MASK(zero)
+    and t1, t1, t2
+    slli t1, t1, 2
+    mld t2, D_VTBL_ADDR(zero)
+    add t1, t1, t2
+    plw t1, 0(t1)
+    rmr t2, m1
+    bltu t2, t1, stm_abort_path
+    # append to the read set
+    mld t1, D_RS_COUNT(zero)
+    li t2, SET_CAP
+    beq t1, t2, stm_abort_path
+    slli t2, t1, 2
+    mst t0, D_RS(t2)
+    addi t1, t1, 1
+    mst t1, D_RS_COUNT(zero)
+tread_done:
+    mopw t4                    # value for the intercepted instruction's rd
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    rmr t4, m14
+    mexit
+
+# Intercepted store: buffer in the write set (no memory write until commit).
+twrite:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    wmr m14, t4
+    mopr t0, 0
+    mopr t1, 2
+    add t0, t0, t1             # effective address
+    mopr t4, 1                 # store data (rs2 value)
+    mld t1, D_WS_COUNT(zero)
+    li t2, 0
+twrite_loop:
+    beq t2, t1, twrite_append
+    slli t3, t2, 3
+    mld t3, D_WS(t3)
+    beq t3, t0, twrite_update
+    addi t2, t2, 1
+    j twrite_loop
+twrite_update:
+    slli t3, t2, 3
+    mst t4, D_WS+4(t3)
+    j twrite_done
+twrite_append:
+    li t2, SET_CAP
+    beq t1, t2, stm_abort_path
+    slli t3, t1, 3
+    mst t0, D_WS(t3)
+    mst t4, D_WS+4(t3)
+    addi t1, t1, 1
+    mst t1, D_WS_COUNT(zero)
+twrite_done:
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    rmr t4, m14
+    mexit
+
+# Commit: re-validate the read set, advance the clock, write back, stamp
+# versions. Returns a0 = 1; on conflict control transfers to the abort
+# handler with a0 = 0.
+tcommit:
+    mld t1, D_RS_COUNT(zero)
+    li t2, 0
+tc_val_loop:
+    beq t2, t1, tc_writeback
+    slli t3, t2, 2
+    mld t0, D_RS(t3)
+    srli t0, t0, 2
+    mld t3, D_VTBL_MASK(zero)
+    and t0, t0, t3
+    slli t0, t0, 2
+    mld t3, D_VTBL_ADDR(zero)
+    add t0, t0, t3
+    plw t0, 0(t0)
+    rmr t3, m1
+    bltu t3, t0, stm_abort_path
+    addi t2, t2, 1
+    j tc_val_loop
+tc_writeback:
+    # wv = ++clock
+    mld t0, D_CLOCK_ADDR(zero)
+    plw t1, 0(t0)
+    addi t1, t1, 1
+    psw t1, 0(t0)
+    wmr m3, t1
+    mld t1, D_WS_COUNT(zero)
+    li t2, 0
+tc_wb_loop:
+    beq t2, t1, tc_finish
+    slli t3, t2, 3
+    mld t0, D_WS(t3)
+    mld t4, D_WS+4(t3)
+    psw t4, 0(t0)
+    srli t0, t0, 2
+    mld t3, D_VTBL_MASK(zero)
+    and t0, t0, t3
+    slli t0, t0, 2
+    mld t3, D_VTBL_ADDR(zero)
+    add t0, t0, t3
+    rmr t4, m3
+    psw t4, 0(t0)
+    addi t2, t2, 1
+    j tc_wb_loop
+tc_finish:
+    mst zero, D_ACTIVE(zero)
+    jal t0, stm_intercepts_off
+    mld t0, D_COMMITS(zero)
+    addi t0, t0, 1
+    mst t0, D_COMMITS(zero)
+    li a0, 1
+    mexit
+
+# Application-requested abort.
+tabort:
+    j stm_abort_path
+
+# Shared abort path: turn interception off, count, longjmp to the abort
+# handler registered by tstart with a0 = 0.
+stm_abort_path:
+    mst zero, D_ACTIVE(zero)
+    jal t0, stm_intercepts_off
+    mld t0, D_ABORTS(zero)
+    addi t0, t0, 1
+    mst t0, D_ABORTS(zero)
+    li a0, 0
+    rmr t1, m2
+    wmr m31, t1
+    mexit
+
+stm_intercepts_off:
+    li t1, 3
+    li t2, 25
+    mintset t1, t2
+    li t1, 0x23
+    li t2, 282
+    mintset t1, t2
+    jr t0
+)";
+
+}  // namespace
+
+const char* StmExtension::McodeSource() { return kMcode; }
+
+Status StmExtension::Install(MetalSystem& system, uint32_t clock_addr, uint32_t vtbl_addr,
+                             uint32_t vtbl_words) {
+  if ((vtbl_words & (vtbl_words - 1)) != 0) {
+    return InvalidArgument("version table size must be a power of two");
+  }
+  system.AddMcode(kMcode);
+  system.AddBootHook([=](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataClockAddr, clock_addr));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataVtblAddr, vtbl_addr));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataVtblMask, vtbl_words - 1));
+    for (const uint32_t offset : {kDataActive, kDataRsCount, kDataWsCount, kDataAborts,
+                                  kDataCommits, kDataStarts}) {
+      MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, offset, 0));
+    }
+    if (!core.bus().dram().Write32(clock_addr, 0)) {
+      return OutOfRange("STM clock outside DRAM");
+    }
+    for (uint32_t i = 0; i < vtbl_words; ++i) {
+      if (!core.bus().dram().Write32(vtbl_addr + 4 * i, 0)) {
+        return OutOfRange("STM version table outside DRAM");
+      }
+    }
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+Result<uint32_t> StmExtension::Commits(Core& core) {
+  return ReadHandlerData32(core, kDataCommits);
+}
+Result<uint32_t> StmExtension::Aborts(Core& core) { return ReadHandlerData32(core, kDataAborts); }
+Result<uint32_t> StmExtension::Starts(Core& core) { return ReadHandlerData32(core, kDataStarts); }
+
+Status StmExtension::InjectRemoteCommit(Core& core, uint32_t clock_addr, uint32_t vtbl_addr,
+                                        uint32_t vtbl_words, uint32_t addr, uint32_t value) {
+  PhysicalMemory& dram = core.bus().dram();
+  const auto clock = dram.Read32(clock_addr);
+  if (!clock) {
+    return OutOfRange("STM clock outside DRAM");
+  }
+  const uint32_t wv = *clock + 1;
+  if (!dram.Write32(clock_addr, wv) || !dram.Write32(addr, value)) {
+    return OutOfRange("remote commit target outside DRAM");
+  }
+  const uint32_t index = (addr >> 2) & (vtbl_words - 1);
+  if (!dram.Write32(vtbl_addr + 4 * index, wv)) {
+    return OutOfRange("STM version table outside DRAM");
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> StmExtension::InstructionCount() {
+  MSIM_ASSIGN_OR_RETURN(McodeModule module, AssembleMcode(kMcode, CoreConfig{}));
+  return static_cast<uint32_t>(module.program.text.bytes.size() / 4);
+}
+
+}  // namespace msim

@@ -1,0 +1,84 @@
+// Software transactional memory via instruction interception (paper §3.3).
+//
+// "We created several new mroutines: tstart starts a transaction, tabort
+// aborts the transaction, and tcommit commits the transaction. We intercept
+// all memory access instructions within a transaction and invoke tread and
+// twrite instead, which perform and record the memory accesses. Upon tcommit,
+// all accessed memory addresses within the transaction are inspected for
+// conflict. ... Metal turns on and off interception of loads and stores at
+// runtime ... Our implementation is under 100 instructions and closely
+// resembles TL2."
+//
+// The design follows TL2's global-version-clock scheme at word granularity:
+//   * tstart samples the global clock into rv (Metal register m1) and enables
+//     load/store interception;
+//   * tread forwards from the write buffer, validates the location's version
+//     against rv (abort on a newer version), and logs the read set;
+//   * twrite buffers stores in the MRAM data segment (no memory writes until
+//     commit);
+//   * tcommit re-validates the read set, advances the clock, writes back the
+//     buffer, and stamps written locations with the new version.
+// Conflicts with "other cores" are injected by the host (InjectRemoteCommit)
+// since the simulated processor is single-core; the interleaving matches a
+// committed remote writer.
+//
+// Limits (static allocation, paper §2.1): 32-entry read set, 32-entry write
+// set; overflow aborts the transaction. Word accesses only.
+#ifndef MSIM_EXT_STM_H_
+#define MSIM_EXT_STM_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class StmExtension {
+ public:
+  static constexpr uint32_t kTstartEntry = 24;
+  static constexpr uint32_t kTreadEntry = 25;
+  static constexpr uint32_t kTwriteEntry = 26;
+  static constexpr uint32_t kTcommitEntry = 27;
+  static constexpr uint32_t kTabortEntry = 28;
+
+  // MRAM data offsets (ext/data_layout.h: STM owns [64, 1088)).
+  static constexpr uint32_t kDataActive = 64;
+  static constexpr uint32_t kDataRsCount = 72;
+  static constexpr uint32_t kDataWsCount = 76;
+  static constexpr uint32_t kDataAborts = 80;
+  static constexpr uint32_t kDataCommits = 84;
+  static constexpr uint32_t kDataStarts = 88;
+  static constexpr uint32_t kDataClockAddr = 92;
+  static constexpr uint32_t kDataVtblAddr = 96;
+  static constexpr uint32_t kDataVtblMask = 100;
+  static constexpr uint32_t kDataReadSet = 128;   // 32 x 4 bytes (addr)
+  static constexpr uint32_t kDataWriteSet = 256;  // 32 x 8 bytes (addr, value)
+  static constexpr uint32_t kSetCapacity = 32;
+
+  static const char* McodeSource();
+
+  // Installs the mroutines and initializes the global clock (at
+  // `clock_addr`) and the per-location version table (`vtbl_addr`, with
+  // `vtbl_words` power-of-two word entries) in DRAM.
+  static Status Install(MetalSystem& system, uint32_t clock_addr, uint32_t vtbl_addr,
+                        uint32_t vtbl_words);
+
+  // Host-side statistics.
+  static Result<uint32_t> Commits(Core& core);
+  static Result<uint32_t> Aborts(Core& core);
+  static Result<uint32_t> Starts(Core& core);
+
+  // Simulates a committed remote writer: advances the global clock, writes
+  // `value` to `addr`, and stamps the location's version — a transaction that
+  // read `addr` earlier will fail validation and abort.
+  static Status InjectRemoteCommit(Core& core, uint32_t clock_addr, uint32_t vtbl_addr,
+                                   uint32_t vtbl_words, uint32_t addr, uint32_t value);
+
+  // Number of 32-bit instructions in the installed mroutines (for the
+  // paper's "under 100 instructions" claim).
+  static Result<uint32_t> InstructionCount();
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_STM_H_

@@ -1,0 +1,159 @@
+#include "ext/uli.h"
+
+#include "metal/loader.h"
+
+namespace msim {
+namespace {
+
+// Metal register use: m4 = interrupted pc, m5 = masked IENABLE bit,
+// m6 = interrupted a0, m15 = interrupted privilege level (m0); m10..m13 save
+// temporaries inside the dispatcher. uli_ret restores a0, m0 and the line
+// mask, so handlers only need to preserve the registers they themselves use.
+constexpr const char* kMcode = R"(
+    # ---- user-level interrupts (paper §3.4) ----
+    .equ D_ULI_TABLE, 1088
+    .equ D_ULI_KERNEL, 1344
+    .equ D_ULI_COUNT, 1348
+    .equ CR_MCAUSE, 0
+    .equ CR_IENABLE, 8
+
+    .mentry 32, uli_dispatch
+    .mentry 33, uli_ret
+    .mentry 34, uli_register
+    .mentry 35, uli_kernel_set
+
+# All interrupt delivery lands here (delegated at boot).
+uli_dispatch:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    rcr t0, CR_MCAUSE
+    slli t0, t0, 1
+    srli t0, t0, 1                 # t0 = interrupt line
+    slli t1, t0, 3
+    mld t2, D_ULI_TABLE(t1)        # registered user handler
+    beqz t2, uli_kernel
+    mld t1, D_ULI_TABLE+4(t1)      # allowed-privilege bitmap
+    rmr t3, m0                     # current user-defined privilege level
+    srl t1, t1, t3
+    andi t1, t1, 1
+    beqz t1, uli_kernel
+    # mask this line until uli_ret so the handler itself is not re-entered
+    li t1, 1
+    sll t1, t1, t0
+    wmr m5, t1
+    rcr t3, CR_IENABLE
+    not t1, t1
+    and t3, t3, t1
+    wcr CR_IENABLE, t3
+    # save the interrupted context: pc (m31), a0 and privilege level
+    rmr t1, m31
+    wmr m4, t1
+    wmr m6, a0
+    rmr t1, m0
+    wmr m15, t1
+    mv a0, t0                      # handler argument: the line number
+    mld t1, D_ULI_COUNT(zero)
+    addi t1, t1, 1
+    mst t1, D_ULI_COUNT(zero)
+    wmr m31, t2                    # deliver to the USER handler directly
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+
+uli_kernel:
+    # fall back to the kernel at kernel privilege; a0 = raw cause. The line
+    # is masked exactly like the user path so the kernel handler is not
+    # re-entered before it acknowledges; it re-enables via uli_ret.
+    li t1, 1
+    sll t1, t1, t0
+    wmr m5, t1
+    rcr t3, CR_IENABLE
+    not t1, t1
+    and t3, t3, t1
+    wcr CR_IENABLE, t3
+    rmr t1, m0
+    wmr m15, t1                    # remember the interrupted privilege level
+    wmr m0, zero
+    rmr t1, m31
+    wmr m4, t1
+    wmr m6, a0
+    rcr a0, CR_MCAUSE
+    mld t1, D_ULI_KERNEL(zero)
+    beqz t1, uli_dead
+    wmr m31, t1
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    mexit
+uli_dead:
+    li t0, 0xFB                    # no kernel handler registered
+    halt t0
+
+# Return from a user interrupt handler: unmask and resume.
+uli_ret:
+    wmr m10, t0
+    wmr m11, t1
+    rmr a0, m6
+    rmr t0, m5
+    rcr t1, CR_IENABLE
+    or t1, t1, t0
+    wcr CR_IENABLE, t1
+    rmr t0, m4
+    wmr m31, t0
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+
+# Register a user handler: a0 = line, a1 = handler, a2 = allowed-privilege
+# bitmap. Kernel-only.
+uli_register:
+    rmr t0, m0
+    bnez t0, uli_denied
+    slli t0, a0, 3
+    mst a1, D_ULI_TABLE(t0)
+    mst a2, D_ULI_TABLE+4(t0)
+    li a0, 0
+    mexit
+
+# Set the kernel fallback handler: a0 = handler. Kernel-only.
+uli_kernel_set:
+    rmr t0, m0
+    bnez t0, uli_denied
+    mst a0, D_ULI_KERNEL(zero)
+    li a0, 0
+    mexit
+
+uli_denied:
+    li a0, -1
+    mexit
+)";
+
+}  // namespace
+
+const char* UliExtension::McodeSource() { return kMcode; }
+
+Status UliExtension::Install(MetalSystem& system) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([](Core& core) {
+    for (uint32_t line = 0; line < 32; ++line) {
+      MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataTable + 8 * line, 0));
+      MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataTable + 8 * line + 4, 0));
+    }
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataKernel, 0));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataCount, 0));
+    core.metal().DelegateIrq(kDispatchEntry);
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+Result<uint32_t> UliExtension::UserDeliveries(Core& core) {
+  return ReadHandlerData32(core, kDataCount);
+}
+
+}  // namespace msim

@@ -1,0 +1,56 @@
+// User-level interrupts (paper §3.4).
+//
+// "Metal supports user level interrupt by handling the processor's interrupt
+// delivery. When an interrupt occurs, Metal invokes specific mroutines to
+// optionally redirect the interrupt to processes running at lower privilege
+// levels. ... Developers control whether a specific privilege level is
+// allowed to process interrupts."
+//
+// Design:
+//   * all interrupt delivery is delegated to `uli_dispatch`;
+//   * a per-line table (MRAM data) holds a user handler address plus a
+//     bitmap of privilege levels allowed to take the interrupt directly;
+//   * when a user handler is registered and the current privilege (m0, from
+//     the privilege extension) is allowed, the dispatcher masks the line,
+//     saves the interrupted pc (m4) and a0 (m6), and mexits STRAIGHT INTO the
+//     user handler — no kernel transition, which is the paper's point
+//     (DPDK/SPDK get notified without polling or kernel round trips);
+//   * the user handler finishes with `menter uli_ret`, which unmasks the line
+//     and resumes the interrupted context;
+//   * unregistered lines or disallowed privilege levels fall back to the
+//     kernel handler at kernel privilege.
+//
+// Registration (`uli_register`, `uli_kernel_set`) is kernel-only (m0 == 0).
+#ifndef MSIM_EXT_ULI_H_
+#define MSIM_EXT_ULI_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+
+namespace msim {
+
+class UliExtension {
+ public:
+  static constexpr uint32_t kDispatchEntry = 32;
+  static constexpr uint32_t kRetEntry = 33;
+  static constexpr uint32_t kRegisterEntry = 34;
+  static constexpr uint32_t kKernelSetEntry = 35;
+
+  // MRAM data offsets (ext/data_layout.h: ULI owns [1088, 1408)).
+  static constexpr uint32_t kDataTable = 1088;   // 32 lines x {handler, allowed-mask}
+  static constexpr uint32_t kDataKernel = 1344;  // kernel fallback handler
+  static constexpr uint32_t kDataCount = 1348;   // user deliveries (statistics)
+
+  static const char* McodeSource();
+
+  // Installs the dispatcher and delegates interrupt delivery to it.
+  static Status Install(MetalSystem& system);
+
+  // Host-side statistics: interrupts delivered directly to user handlers.
+  static Result<uint32_t> UserDeliveries(Core& core);
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_ULI_H_

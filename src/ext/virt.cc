@@ -1,0 +1,241 @@
+#include "ext/virt.h"
+
+#include "cpu/trap.h"
+#include "metal/loader.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// Register budget: t0..t4 plus the t6 subroutine link, preserved in
+// m10..m14 and m16 (the walker is invoked transparently on TLB misses).
+constexpr const char* kMcode = R"(
+    # ---- nested page tables for virtualization (paper §3.5) ----
+    .equ D_VIRT_GROOT, 112
+    .equ D_VIRT_HROOT, 116
+    .equ D_VIRT_GFAULT, 120
+    .equ D_VIRT_VFAULT, 124
+    .equ CR_MEPC, 1
+    .equ CR_MBADVADDR, 2
+
+    .mentry 20, npt_fault
+
+npt_fault:
+    wmr m10, t0
+    wmr m11, t1
+    wmr m12, t2
+    wmr m13, t3
+    wmr m14, t4
+    wmr m16, t6
+    rcr t4, CR_MBADVADDR           # guest virtual address
+    # --- guest walk, level 1 (every table access goes through gpa2hpa) ---
+    mld t1, D_VIRT_GROOT(zero)
+    srli t2, t4, 22
+    slli t2, t2, 2
+    add t1, t1, t2                 # gPA of the guest PDE
+    jal t6, gpa2hpa
+    plw t1, 0(t1)
+    andi t3, t1, 1
+    beqz t3, npt_guest_fault
+    # --- guest walk, level 2 ---
+    li t3, -4096
+    and t1, t1, t3                 # gPA of the guest L2 table
+    srli t2, t4, 12
+    andi t2, t2, 0x3FF
+    slli t2, t2, 2
+    add t1, t1, t2                 # gPA of the guest PTE
+    jal t6, gpa2hpa
+    plw t1, 0(t1)
+    andi t3, t1, 1
+    beqz t3, npt_guest_fault
+    mv t0, t1                      # keep the guest PTE's permission bits
+    # --- stage 2: translate the guest frame to a host frame ---
+    li t3, -4096
+    and t1, t1, t3                 # guest-physical frame
+    jal t6, gpa2hpa                # host-physical frame (page-aligned in/out)
+    li t3, -4096
+    and t1, t1, t3
+    andi t0, t0, 0x38              # guest R/W/X
+    or t1, t1, t0
+    tlbwr t4, t1                   # combined gVA -> hPA mapping
+    j npt_done
+
+# t1 = guest-physical address -> t1 = host-physical address.
+# Clobbers t2, t3; faults to the VMM when the host mapping is absent.
+gpa2hpa:
+    mld t2, D_VIRT_HROOT(zero)
+    srli t3, t1, 22
+    slli t3, t3, 2
+    add t2, t2, t3
+    plw t2, 0(t2)
+    andi t3, t2, 1
+    beqz t3, npt_vmm_fault
+    li t3, -4096
+    and t2, t2, t3                 # host L2 table
+    srli t3, t1, 12
+    andi t3, t3, 0x3FF
+    slli t3, t3, 2
+    add t2, t2, t3
+    plw t2, 0(t2)
+    andi t3, t2, 1
+    beqz t3, npt_vmm_fault
+    li t3, -4096
+    and t2, t2, t3
+    slli t1, t1, 20
+    srli t1, t1, 20                # page offset
+    or t1, t1, t2
+    jr t6
+
+npt_guest_fault:
+    # guest-level page fault: deliver to the GUEST OS handler
+    rcr a0, CR_MBADVADDR
+    rcr a1, CR_MEPC
+    mld t1, D_VIRT_GFAULT(zero)
+    beqz t1, npt_dead
+    wmr m31, t1
+    j npt_done
+
+npt_vmm_fault:
+    # host-level fault: deliver to the VMM handler
+    rcr a0, CR_MBADVADDR
+    rcr a1, CR_MEPC
+    mld t1, D_VIRT_VFAULT(zero)
+    beqz t1, npt_dead
+    wmr m31, t1
+    j npt_done
+
+npt_done:
+    rmr t0, m10
+    rmr t1, m11
+    rmr t2, m12
+    rmr t3, m13
+    rmr t4, m14
+    rmr t6, m16
+    mexit
+
+npt_dead:
+    li t0, 0xFC
+    halt t0
+)";
+
+constexpr uint32_t kPresent = 1u;
+
+}  // namespace
+
+const char* NestedPaging::McodeSource() { return kMcode; }
+
+Status NestedPaging::Install(MetalSystem& system, uint32_t guest_fault_entry,
+                             uint32_t vmm_fault_entry) {
+  system.AddMcode(kMcode);
+  system.AddBootHook([=](Core& core) {
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataGuestFault, guest_fault_entry));
+    MSIM_RETURN_IF_ERROR(WriteHandlerData32(core, kDataVmmFault, vmm_fault_entry));
+    core.metal().Delegate(ExcCause::kTlbMissLoad, kFaultEntry);
+    core.metal().Delegate(ExcCause::kTlbMissStore, kFaultEntry);
+    core.metal().Delegate(ExcCause::kTlbMissFetch, kFaultEntry);
+    return Status::Ok();
+  });
+  return Status::Ok();
+}
+
+NestedPaging::NestedPaging(Core& core, uint32_t table_region, uint32_t table_region_size,
+                           uint32_t gpa_base)
+    : core_(core),
+      region_base_(table_region),
+      region_end_(table_region + table_region_size),
+      next_frame_(table_region),
+      gpa_base_(gpa_base) {}
+
+Result<uint32_t> NestedPaging::AllocHostFrame() {
+  if (next_frame_ + kPageSize > region_end_) {
+    return ResourceExhausted("host table frame region exhausted");
+  }
+  const uint32_t frame = next_frame_;
+  next_frame_ += kPageSize;
+  for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+    if (!core_.bus().dram().Write32(frame + offset, 0)) {
+      return OutOfRange("host table frame outside DRAM");
+    }
+  }
+  return frame;
+}
+
+Result<uint32_t> NestedPaging::CreateHostSpace() { return AllocHostFrame(); }
+
+Status NestedPaging::MapHost(uint32_t hroot, uint32_t gpa, uint32_t hpa, uint32_t perms) {
+  PhysicalMemory& dram = core_.bus().dram();
+  const uint32_t pde_addr = hroot + ((gpa >> 22) << 2);
+  const auto pde = dram.Read32(pde_addr);
+  if (!pde) {
+    return OutOfRange("host PDE outside DRAM");
+  }
+  uint32_t table;
+  if ((*pde & kPresent) == 0) {
+    MSIM_ASSIGN_OR_RETURN(table, AllocHostFrame());
+    if (!dram.Write32(pde_addr, (table & 0xFFFFF000u) | kPresent)) {
+      return OutOfRange("host PDE outside DRAM");
+    }
+  } else {
+    table = *pde & 0xFFFFF000u;
+  }
+  const uint32_t pte_addr = table + (((gpa >> 12) & 0x3FF) << 2);
+  if (!dram.Write32(pte_addr, MakePte(hpa, perms) | kPresent)) {
+    return OutOfRange("host PTE outside DRAM");
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> NestedPaging::CreateGuestSpace(uint32_t guest_table_gpa, uint32_t frames) {
+  next_guest_table_gpa_ = guest_table_gpa;
+  guest_table_end_gpa_ = guest_table_gpa + frames * kPageSize;
+  // Zero + hand out the root frame (through the contiguous backing).
+  const uint32_t root_gpa = next_guest_table_gpa_;
+  next_guest_table_gpa_ += kPageSize;
+  for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+    if (!core_.bus().dram().Write32(gpa_base_ + root_gpa + offset, 0)) {
+      return OutOfRange("guest table backing outside DRAM");
+    }
+  }
+  return root_gpa;
+}
+
+Status NestedPaging::MapGuest(uint32_t groot_gpa, uint32_t gva, uint32_t gpa, uint32_t perms) {
+  PhysicalMemory& dram = core_.bus().dram();
+  const uint32_t pde_backing = gpa_base_ + groot_gpa + ((gva >> 22) << 2);
+  const auto pde = dram.Read32(pde_backing);
+  if (!pde) {
+    return OutOfRange("guest PDE backing outside DRAM");
+  }
+  uint32_t table_gpa;
+  if ((*pde & kPresent) == 0) {
+    if (next_guest_table_gpa_ + kPageSize > guest_table_end_gpa_) {
+      return ResourceExhausted("guest table gpa region exhausted");
+    }
+    table_gpa = next_guest_table_gpa_;
+    next_guest_table_gpa_ += kPageSize;
+    for (uint32_t offset = 0; offset < kPageSize; offset += 4) {
+      if (!dram.Write32(gpa_base_ + table_gpa + offset, 0)) {
+        return OutOfRange("guest table backing outside DRAM");
+      }
+    }
+    if (!dram.Write32(pde_backing, (table_gpa & 0xFFFFF000u) | kPresent)) {
+      return OutOfRange("guest PDE backing outside DRAM");
+    }
+  } else {
+    table_gpa = *pde & 0xFFFFF000u;
+  }
+  const uint32_t pte_backing = gpa_base_ + table_gpa + (((gva >> 12) & 0x3FF) << 2);
+  if (!dram.Write32(pte_backing, MakePte(gpa, perms) | kPresent)) {
+    return OutOfRange("guest PTE backing outside DRAM");
+  }
+  return Status::Ok();
+}
+
+Status NestedPaging::Activate(uint32_t groot_gpa, uint32_t hroot) {
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core_, kDataGuestRoot, groot_gpa));
+  MSIM_RETURN_IF_ERROR(WriteHandlerData32(core_, kDataHostRoot, hroot));
+  core_.mmu().tlb().FlushAll();
+  return Status::Ok();
+}
+
+}  // namespace msim

@@ -1,0 +1,86 @@
+// Virtualization: nested page tables (paper §3.5, Virtualization).
+//
+// "Developers can use Metal to implement virtualization. For example, Metal
+// allows hypervisors to implement nested page tables. ... Privileged
+// instructions can be intercepted and trapped by Metal for proper handling."
+//
+// The TLB-miss mroutine performs the full two-dimensional walk:
+//   guest VA --(guest page table, owned by the guest OS)--> guest PA
+//   guest PA --(host page table, owned by the VMM)-------> host PA
+// Every guest-page-table access is itself translated through the host table
+// (the tables live in guest-physical memory), exactly like hardware nested
+// walkers. The combined mapping is inserted into the TLB, so the walk cost
+// is paid once per miss.
+//
+// Fault routing follows the paper's layering: a guest-not-present fault is
+// delivered to the GUEST OS handler; a host-not-present fault (including
+// misses on guest-table accesses) is delivered to the VMM handler.
+//
+// Host-side, NestedPaging builds both radix trees. Guest-physical memory is
+// backed contiguously at `gpa_base` (host frame = gpa_base + guest frame)
+// purely as a convenience for tests; the mcode walker works for arbitrary
+// host mappings.
+#ifndef MSIM_EXT_VIRT_H_
+#define MSIM_EXT_VIRT_H_
+
+#include <cstdint>
+
+#include "metal/system.h"
+#include "mmu/tlb.h"
+
+namespace msim {
+
+class NestedPaging {
+ public:
+  static constexpr uint32_t kFaultEntry = 20;
+
+  // MRAM data offsets (ext/data_layout.h: [112, 128)).
+  static constexpr uint32_t kDataGuestRoot = 112;  // guest-PHYSICAL address
+  static constexpr uint32_t kDataHostRoot = 116;   // host-physical address
+  static constexpr uint32_t kDataGuestFault = 120; // guest OS handler (guest VA)
+  static constexpr uint32_t kDataVmmFault = 124;   // VMM handler address
+
+  static const char* McodeSource();
+
+  // Installs the nested walker and delegates the TLB-miss causes to it.
+  static Status Install(MetalSystem& system, uint32_t guest_fault_entry,
+                        uint32_t vmm_fault_entry);
+
+  // Host-side builder. `table_region` supplies 4 KiB frames (host-physical)
+  // for both trees; `gpa_base` is where guest-physical 0 is backed.
+  NestedPaging(Core& core, uint32_t table_region, uint32_t table_region_size,
+               uint32_t gpa_base);
+
+  // Creates the host (stage-2) table; returns its host-physical root.
+  Result<uint32_t> CreateHostSpace();
+  // Maps guest-physical -> host-physical in the host table.
+  Status MapHost(uint32_t hroot, uint32_t gpa, uint32_t hpa, uint32_t perms);
+
+  // Creates a guest (stage-1) table INSIDE guest-physical memory; returns its
+  // guest-physical root. Guest tables consume guest-physical frames starting
+  // at `guest_table_gpa`.
+  Result<uint32_t> CreateGuestSpace(uint32_t guest_table_gpa, uint32_t frames);
+  // Maps guest-virtual -> guest-physical in the guest table (written through
+  // the gpa_base backing).
+  Status MapGuest(uint32_t groot_gpa, uint32_t gva, uint32_t gpa, uint32_t perms);
+
+  // Activates the pair: writes both roots into MRAM data and flushes the TLB.
+  Status Activate(uint32_t groot_gpa, uint32_t hroot);
+
+  uint32_t gpa_base() const { return gpa_base_; }
+
+ private:
+  Result<uint32_t> AllocHostFrame();
+
+  Core& core_;
+  uint32_t region_base_;
+  uint32_t region_end_;
+  uint32_t next_frame_;
+  uint32_t gpa_base_;
+  uint32_t next_guest_table_gpa_ = 0;
+  uint32_t guest_table_end_gpa_ = 0;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_EXT_VIRT_H_

@@ -1,0 +1,247 @@
+#include "isa/decode.h"
+
+#include "support/bits.h"
+
+namespace msim {
+namespace {
+
+using K = InstrKind;
+
+K DecodeOpImm(uint32_t f3, uint32_t f7) {
+  switch (f3) {
+    case 0:
+      return K::kAddi;
+    case 1:
+      return f7 == 0x00 ? K::kSlli : K::kIllegal;
+    case 2:
+      return K::kSlti;
+    case 3:
+      return K::kSltiu;
+    case 4:
+      return K::kXori;
+    case 5:
+      if (f7 == 0x00) return K::kSrli;
+      if (f7 == 0x20) return K::kSrai;
+      return K::kIllegal;
+    case 6:
+      return K::kOri;
+    case 7:
+      return K::kAndi;
+  }
+  return K::kIllegal;
+}
+
+K DecodeOpReg(uint32_t f3, uint32_t f7) {
+  if (f7 == 0x01) {
+    switch (f3) {
+      case 0: return K::kMul;
+      case 1: return K::kMulh;
+      case 2: return K::kMulhsu;
+      case 3: return K::kMulhu;
+      case 4: return K::kDiv;
+      case 5: return K::kDivu;
+      case 6: return K::kRem;
+      case 7: return K::kRemu;
+    }
+    return K::kIllegal;
+  }
+  switch (f3) {
+    case 0:
+      if (f7 == 0x00) return K::kAdd;
+      if (f7 == 0x20) return K::kSub;
+      return K::kIllegal;
+    case 1:
+      return f7 == 0x00 ? K::kSll : K::kIllegal;
+    case 2:
+      return f7 == 0x00 ? K::kSlt : K::kIllegal;
+    case 3:
+      return f7 == 0x00 ? K::kSltu : K::kIllegal;
+    case 4:
+      return f7 == 0x00 ? K::kXor : K::kIllegal;
+    case 5:
+      if (f7 == 0x00) return K::kSrl;
+      if (f7 == 0x20) return K::kSra;
+      return K::kIllegal;
+    case 6:
+      return f7 == 0x00 ? K::kOr : K::kIllegal;
+    case 7:
+      return f7 == 0x00 ? K::kAnd : K::kIllegal;
+  }
+  return K::kIllegal;
+}
+
+K DecodeBranch(uint32_t f3) {
+  switch (f3) {
+    case 0: return K::kBeq;
+    case 1: return K::kBne;
+    case 4: return K::kBlt;
+    case 5: return K::kBge;
+    case 6: return K::kBltu;
+    case 7: return K::kBgeu;
+  }
+  return K::kIllegal;
+}
+
+K DecodeLoad(uint32_t f3) {
+  switch (f3) {
+    case 0: return K::kLb;
+    case 1: return K::kLh;
+    case 2: return K::kLw;
+    case 4: return K::kLbu;
+    case 5: return K::kLhu;
+  }
+  return K::kIllegal;
+}
+
+K DecodeStore(uint32_t f3) {
+  switch (f3) {
+    case 0: return K::kSb;
+    case 1: return K::kSh;
+    case 2: return K::kSw;
+  }
+  return K::kIllegal;
+}
+
+K DecodeMetal(uint32_t f3) {
+  switch (f3) {
+    case 0: return K::kMenter;
+    case 1: return K::kMexit;
+    case 2: return K::kRmr;
+    case 3: return K::kWmr;
+    case 4: return K::kMld;
+    case 5: return K::kMst;
+    case 6: return K::kHalt;
+  }
+  return K::kIllegal;
+}
+
+K DecodeMetalArch(uint32_t f3, uint32_t f7) {
+  switch (f3) {
+    case 0:
+      return K::kPlw;
+    case 1:
+      return K::kPsw;
+    case 2:
+      switch (f7) {
+        case 0x00: return K::kTlbwr;
+        case 0x01: return K::kTlbinv;
+        case 0x02: return K::kTlbflush;
+        case 0x03: return K::kTlbrd;
+        case 0x04: return K::kMintset;
+        case 0x05: return K::kMopr;
+        case 0x06: return K::kMopw;
+      }
+      return K::kIllegal;
+    case 3:
+      return K::kRcr;
+    case 4:
+      return K::kWcr;
+  }
+  return K::kIllegal;
+}
+
+int32_t ImmI(uint32_t w) { return SignExtend(Bits(w, 31, 20), 12); }
+int32_t ImmS(uint32_t w) { return SignExtend(Bits(w, 31, 25) << 5 | Bits(w, 11, 7), 12); }
+int32_t ImmB(uint32_t w) {
+  const uint32_t imm = Bit(w, 31) << 12 | Bit(w, 7) << 11 | Bits(w, 30, 25) << 5 |
+                       Bits(w, 11, 8) << 1;
+  return SignExtend(imm, 13);
+}
+int32_t ImmU(uint32_t w) { return static_cast<int32_t>(Bits(w, 31, 12)); }
+int32_t ImmJ(uint32_t w) {
+  const uint32_t imm = Bit(w, 31) << 20 | Bits(w, 19, 12) << 12 | Bit(w, 20) << 11 |
+                       Bits(w, 30, 21) << 1;
+  return SignExtend(imm, 21);
+}
+
+}  // namespace
+
+Decoded DecodeInstr(uint32_t word) {
+  Decoded d;
+  d.raw = word;
+  const uint32_t opcode = Bits(word, 6, 0);
+  const uint32_t f3 = Bits(word, 14, 12);
+  const uint32_t f7 = Bits(word, 31, 25);
+  d.rd = static_cast<uint8_t>(Bits(word, 11, 7));
+  d.rs1 = static_cast<uint8_t>(Bits(word, 19, 15));
+  d.rs2 = static_cast<uint8_t>(Bits(word, 24, 20));
+
+  switch (opcode) {
+    case kOpLui:
+      d.kind = K::kLui;
+      d.imm = ImmU(word);
+      return d;
+    case kOpAuipc:
+      d.kind = K::kAuipc;
+      d.imm = ImmU(word);
+      return d;
+    case kOpJal:
+      d.kind = K::kJal;
+      d.imm = ImmJ(word);
+      return d;
+    case kOpJalr:
+      d.kind = f3 == 0 ? K::kJalr : K::kIllegal;
+      d.imm = ImmI(word);
+      return d;
+    case kOpBranch:
+      d.kind = DecodeBranch(f3);
+      d.imm = ImmB(word);
+      return d;
+    case kOpLoad:
+      d.kind = DecodeLoad(f3);
+      d.imm = ImmI(word);
+      return d;
+    case kOpStore:
+      d.kind = DecodeStore(f3);
+      d.imm = ImmS(word);
+      return d;
+    case kOpImm:
+      d.kind = DecodeOpImm(f3, f7);
+      // Shifts take the 5-bit shamt; everything else the 12-bit immediate.
+      d.imm = (d.kind == K::kSlli || d.kind == K::kSrli || d.kind == K::kSrai)
+                  ? static_cast<int32_t>(Bits(word, 24, 20))
+                  : ImmI(word);
+      return d;
+    case kOpReg:
+      d.kind = DecodeOpReg(f3, f7);
+      return d;
+    case kOpMiscMem:
+      d.kind = f3 == 0 ? K::kFence : K::kIllegal;
+      d.imm = ImmI(word);
+      return d;
+    case kOpSystem: {
+      if (f3 != 0) {
+        return d;
+      }
+      const int32_t imm = ImmI(word);
+      if (imm == 0) {
+        d.kind = K::kEcall;
+      } else if (imm == 1) {
+        d.kind = K::kEbreak;
+      }
+      d.imm = imm;
+      return d;
+    }
+    case kOpMetal:
+      d.kind = DecodeMetal(f3);
+      d.imm = d.info().format == InstrFormat::kS ? ImmS(word) : ImmI(word);
+      return d;
+    case kOpMetalArch:
+      d.kind = DecodeMetalArch(f3, f7);
+      switch (d.info().format) {
+        case InstrFormat::kI:
+          d.imm = ImmI(word);
+          break;
+        case InstrFormat::kS:
+          d.imm = ImmS(word);
+          break;
+        default:
+          break;
+      }
+      return d;
+    default:
+      return d;
+  }
+}
+
+}  // namespace msim

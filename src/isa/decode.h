@@ -1,0 +1,18 @@
+// Instruction word decoding.
+#ifndef MSIM_ISA_DECODE_H_
+#define MSIM_ISA_DECODE_H_
+
+#include <cstdint>
+
+#include "isa/isa.h"
+
+namespace msim {
+
+// Decodes a 32-bit instruction word. Unknown encodings yield kIllegal (the
+// pipeline turns that into an IllegalInstruction exception); decoding itself
+// never fails.
+Decoded DecodeInstr(uint32_t word);
+
+}  // namespace msim
+
+#endif  // MSIM_ISA_DECODE_H_

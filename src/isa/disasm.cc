@@ -1,0 +1,77 @@
+#include "isa/disasm.h"
+
+#include "isa/decode.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+std::string Gpr(uint8_t r) { return std::string(GprName(r)); }
+
+}  // namespace
+
+std::string Disassemble(const Decoded& d) {
+  const InstrInfo& info = d.info();
+  const char* m = info.mnemonic;
+  switch (d.kind) {
+    case InstrKind::kIllegal:
+      return StrFormat("illegal (0x%08x)", d.raw);
+    case InstrKind::kLui:
+    case InstrKind::kAuipc:
+      return StrFormat("%s %s, 0x%x", m, Gpr(d.rd).c_str(), static_cast<uint32_t>(d.imm));
+    case InstrKind::kJal:
+      return StrFormat("%s %s, %d", m, Gpr(d.rd).c_str(), d.imm);
+    case InstrKind::kJalr:
+      return StrFormat("%s %s, %d(%s)", m, Gpr(d.rd).c_str(), d.imm, Gpr(d.rs1).c_str());
+    case InstrKind::kEcall:
+    case InstrKind::kEbreak:
+    case InstrKind::kFence:
+    case InstrKind::kMexit:
+      return m;
+    case InstrKind::kMenter:
+      return StrFormat("%s %d", m, d.imm);
+    case InstrKind::kHalt:
+      return StrFormat("%s %s", m, Gpr(d.rs1).c_str());
+    case InstrKind::kRmr:
+      return StrFormat("%s %s, m%d", m, Gpr(d.rd).c_str(), d.imm);
+    case InstrKind::kWmr:
+      return StrFormat("%s m%d, %s", m, d.imm, Gpr(d.rs1).c_str());
+    case InstrKind::kRcr:
+      return StrFormat("%s %s, cr%d", m, Gpr(d.rd).c_str(), d.imm);
+    case InstrKind::kWcr:
+      return StrFormat("%s cr%d, %s", m, d.imm, Gpr(d.rs1).c_str());
+    case InstrKind::kMopr:
+      return StrFormat("%s %s, #%d", m, Gpr(d.rd).c_str(), d.rs2);
+    case InstrKind::kMopw:
+    case InstrKind::kTlbinv:
+    case InstrKind::kTlbflush:
+      return StrFormat("%s %s", m, Gpr(d.rs1).c_str());
+    case InstrKind::kTlbwr:
+    case InstrKind::kMintset:
+      return StrFormat("%s %s, %s", m, Gpr(d.rs1).c_str(), Gpr(d.rs2).c_str());
+    case InstrKind::kTlbrd:
+      return StrFormat("%s %s, %s", m, Gpr(d.rd).c_str(), Gpr(d.rs1).c_str());
+    default:
+      break;
+  }
+  switch (info.format) {
+    case InstrFormat::kR:
+      return StrFormat("%s %s, %s, %s", m, Gpr(d.rd).c_str(), Gpr(d.rs1).c_str(),
+                       Gpr(d.rs2).c_str());
+    case InstrFormat::kI:
+      if (info.is_load) {
+        return StrFormat("%s %s, %d(%s)", m, Gpr(d.rd).c_str(), d.imm, Gpr(d.rs1).c_str());
+      }
+      return StrFormat("%s %s, %s, %d", m, Gpr(d.rd).c_str(), Gpr(d.rs1).c_str(), d.imm);
+    case InstrFormat::kS:
+      return StrFormat("%s %s, %d(%s)", m, Gpr(d.rs2).c_str(), d.imm, Gpr(d.rs1).c_str());
+    case InstrFormat::kB:
+      return StrFormat("%s %s, %s, %d", m, Gpr(d.rs1).c_str(), Gpr(d.rs2).c_str(), d.imm);
+    default:
+      return m;
+  }
+}
+
+std::string Disassemble(uint32_t word) { return Disassemble(DecodeInstr(word)); }
+
+}  // namespace msim

@@ -1,0 +1,20 @@
+// Disassembly, used for pipeline traces and error messages.
+#ifndef MSIM_ISA_DISASM_H_
+#define MSIM_ISA_DISASM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "isa/isa.h"
+
+namespace msim {
+
+// Renders a decoded instruction as assembly text, e.g. "addi a0, a0, 1".
+std::string Disassemble(const Decoded& d);
+
+// Decodes and renders a raw instruction word.
+std::string Disassemble(uint32_t word);
+
+}  // namespace msim
+
+#endif  // MSIM_ISA_DISASM_H_

@@ -1,0 +1,116 @@
+#include "isa/encoding.h"
+
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+Status BadImm(const InstrInfo& info, int32_t imm) {
+  return InvalidArgument(StrFormat("immediate %d out of range for '%s'", imm, info.mnemonic));
+}
+
+}  // namespace
+
+Result<uint32_t> Encode(InstrKind kind, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  const InstrInfo& info = GetInstrInfo(kind);
+  if (info.kind == InstrKind::kIllegal) {
+    return InvalidArgument("cannot encode the illegal instruction");
+  }
+  if (rd >= 32 || rs1 >= 32 || rs2 >= 32) {
+    return InvalidArgument(StrFormat("register index out of range for '%s'", info.mnemonic));
+  }
+  const uint32_t f3 = info.has_funct3 ? info.funct3 : 0;
+  uint32_t word = info.opcode;
+  switch (info.format) {
+    case InstrFormat::kR: {
+      word |= static_cast<uint32_t>(rd) << 7 | f3 << 12 | static_cast<uint32_t>(rs1) << 15 |
+              static_cast<uint32_t>(rs2) << 20 | info.funct7 << 25;
+      return word;
+    }
+    case InstrFormat::kI: {
+      // Shift-immediates embed funct7 in the upper immediate bits.
+      if (info.has_funct7) {
+        if (imm < 0 || imm > 31) {
+          return BadImm(info, imm);
+        }
+        word |= static_cast<uint32_t>(rd) << 7 | f3 << 12 | static_cast<uint32_t>(rs1) << 15 |
+                static_cast<uint32_t>(imm) << 20 | info.funct7 << 25;
+        return word;
+      }
+      // ecall/ebreak use fixed imm encodings.
+      if (kind == InstrKind::kEcall) {
+        imm = 0;
+      } else if (kind == InstrKind::kEbreak) {
+        imm = 1;
+      }
+      if (!FitsSigned(imm, 12)) {
+        return BadImm(info, imm);
+      }
+      word |= static_cast<uint32_t>(rd) << 7 | f3 << 12 | static_cast<uint32_t>(rs1) << 15 |
+              (static_cast<uint32_t>(imm) & 0xFFF) << 20;
+      return word;
+    }
+    case InstrFormat::kS: {
+      if (!FitsSigned(imm, 12)) {
+        return BadImm(info, imm);
+      }
+      const uint32_t uimm = static_cast<uint32_t>(imm);
+      word |= (uimm & 0x1F) << 7 | f3 << 12 | static_cast<uint32_t>(rs1) << 15 |
+              static_cast<uint32_t>(rs2) << 20 | ((uimm >> 5) & 0x7F) << 25;
+      return word;
+    }
+    case InstrFormat::kB: {
+      if (!FitsSigned(imm, 13) || (imm & 1) != 0) {
+        return BadImm(info, imm);
+      }
+      const uint32_t uimm = static_cast<uint32_t>(imm);
+      word |= Bit(uimm, 11) << 7 | Bits(uimm, 4, 1) << 8 | f3 << 12 |
+              static_cast<uint32_t>(rs1) << 15 | static_cast<uint32_t>(rs2) << 20 |
+              Bits(uimm, 10, 5) << 25 | Bit(uimm, 12) << 31;
+      return word;
+    }
+    case InstrFormat::kU: {
+      // imm is the full 32-bit value whose low 12 bits must be zero, OR the
+      // raw upper-20 value; we accept the raw upper-20 form (0..0xFFFFF).
+      if (imm < 0 || !FitsUnsigned(static_cast<uint64_t>(imm), 20)) {
+        return BadImm(info, imm);
+      }
+      word |= static_cast<uint32_t>(rd) << 7 | static_cast<uint32_t>(imm) << 12;
+      return word;
+    }
+    case InstrFormat::kJ: {
+      if (!FitsSigned(imm, 21) || (imm & 1) != 0) {
+        return BadImm(info, imm);
+      }
+      const uint32_t uimm = static_cast<uint32_t>(imm);
+      word |= static_cast<uint32_t>(rd) << 7 | Bits(uimm, 19, 12) << 12 | Bit(uimm, 11) << 20 |
+              Bits(uimm, 10, 1) << 21 | Bit(uimm, 20) << 31;
+      return word;
+    }
+    case InstrFormat::kNone:
+      break;
+  }
+  return Internal(StrFormat("unhandled format for '%s'", info.mnemonic));
+}
+
+Result<uint32_t> EncodeR(InstrKind kind, uint8_t rd, uint8_t rs1, uint8_t rs2) {
+  return Encode(kind, rd, rs1, rs2, 0);
+}
+Result<uint32_t> EncodeI(InstrKind kind, uint8_t rd, uint8_t rs1, int32_t imm) {
+  return Encode(kind, rd, rs1, 0, imm);
+}
+Result<uint32_t> EncodeS(InstrKind kind, uint8_t rs1, uint8_t rs2, int32_t imm) {
+  return Encode(kind, 0, rs1, rs2, imm);
+}
+Result<uint32_t> EncodeB(InstrKind kind, uint8_t rs1, uint8_t rs2, int32_t offset) {
+  return Encode(kind, 0, rs1, rs2, offset);
+}
+Result<uint32_t> EncodeU(InstrKind kind, uint8_t rd, int32_t imm) {
+  return Encode(kind, rd, 0, 0, imm);
+}
+Result<uint32_t> EncodeJ(InstrKind kind, uint8_t rd, int32_t offset) {
+  return Encode(kind, rd, 0, 0, offset);
+}
+
+}  // namespace msim

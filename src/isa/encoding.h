@@ -1,0 +1,30 @@
+// Instruction word construction.
+#ifndef MSIM_ISA_ENCODING_H_
+#define MSIM_ISA_ENCODING_H_
+
+#include <cstdint>
+
+#include "isa/isa.h"
+#include "support/result.h"
+
+namespace msim {
+
+// Encodes one instruction. Field use depends on the format:
+//   R: rd, rs1, rs2            I: rd, rs1, imm (12-bit signed)
+//   S: rs1, rs2, imm           B: rs1, rs2, imm (byte offset, even)
+//   U: rd, imm (upper 20 bits as imm >> 12)
+//   J: rd, imm (byte offset)
+// Unused fields must be zero. Immediates are range-checked.
+Result<uint32_t> Encode(InstrKind kind, uint8_t rd, uint8_t rs1, uint8_t rs2, int32_t imm);
+
+// Convenience wrappers used heavily by tests and extension builders.
+Result<uint32_t> EncodeR(InstrKind kind, uint8_t rd, uint8_t rs1, uint8_t rs2);
+Result<uint32_t> EncodeI(InstrKind kind, uint8_t rd, uint8_t rs1, int32_t imm);
+Result<uint32_t> EncodeS(InstrKind kind, uint8_t rs1, uint8_t rs2, int32_t imm);
+Result<uint32_t> EncodeB(InstrKind kind, uint8_t rs1, uint8_t rs2, int32_t offset);
+Result<uint32_t> EncodeU(InstrKind kind, uint8_t rd, int32_t imm);
+Result<uint32_t> EncodeJ(InstrKind kind, uint8_t rd, int32_t offset);
+
+}  // namespace msim
+
+#endif  // MSIM_ISA_ENCODING_H_

@@ -1,0 +1,92 @@
+#include "mem/bus.h"
+
+#include "support/strings.h"
+
+namespace msim {
+
+Status Bus::AttachDevice(uint32_t base, MmioDevice* device) {
+  if (base < kMmioBase) {
+    return InvalidArgument(StrFormat("device base 0x%08x below MMIO region", base));
+  }
+  for (const Mapping& m : mappings_) {
+    const uint32_t m_end = m.base + m.device->size();
+    const uint32_t new_end = base + device->size();
+    if (base < m_end && m.base < new_end) {
+      return AlreadyExists(StrFormat("device '%s' overlaps '%s'", device->name(),
+                                     m.device->name()));
+    }
+  }
+  mappings_.push_back({base, device});
+  return Status::Ok();
+}
+
+MmioDevice* Bus::Find(uint32_t paddr, uint32_t* offset) {
+  for (const Mapping& m : mappings_) {
+    if (paddr >= m.base && paddr < m.base + m.device->size()) {
+      *offset = paddr - m.base;
+      return m.device;
+    }
+  }
+  return nullptr;
+}
+
+std::optional<uint32_t> Bus::Read32(uint32_t paddr) {
+  if (IsMmio(paddr)) {
+    uint32_t offset = 0;
+    MmioDevice* device = Find(paddr, &offset);
+    if (device == nullptr) {
+      return std::nullopt;
+    }
+    return device->Read32(offset);
+  }
+  return dram_.Read32(paddr);
+}
+
+bool Bus::Write32(uint32_t paddr, uint32_t value) {
+  if (IsMmio(paddr)) {
+    uint32_t offset = 0;
+    MmioDevice* device = Find(paddr, &offset);
+    if (device == nullptr) {
+      return false;
+    }
+    device->Write32(offset, value);
+    return true;
+  }
+  return dram_.Write32(paddr, value);
+}
+
+std::optional<uint16_t> Bus::Read16(uint32_t paddr) {
+  if (IsMmio(paddr)) {
+    return std::nullopt;
+  }
+  return dram_.Read16(paddr);
+}
+
+std::optional<uint8_t> Bus::Read8(uint32_t paddr) {
+  if (IsMmio(paddr)) {
+    return std::nullopt;
+  }
+  return dram_.Read8(paddr);
+}
+
+bool Bus::Write16(uint32_t paddr, uint16_t value) {
+  if (IsMmio(paddr)) {
+    return false;
+  }
+  return dram_.Write16(paddr, value);
+}
+
+bool Bus::Write8(uint32_t paddr, uint8_t value) {
+  if (IsMmio(paddr)) {
+    return false;
+  }
+  return dram_.Write8(paddr, value);
+}
+
+void Bus::TickDevices(uint64_t cycle, InterruptController& intc) {
+  for (const Mapping& m : mappings_) {
+    m.device->Tick(cycle, intc);
+  }
+}
+
+}  // namespace msim

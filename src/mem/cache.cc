@@ -1,0 +1,42 @@
+#include "mem/cache.h"
+
+#include <cassert>
+
+#include "support/bits.h"
+
+namespace msim {
+
+Cache::Cache(uint32_t num_lines, uint32_t line_size, uint32_t hit_latency, uint32_t miss_latency)
+    : num_lines_(num_lines),
+      line_size_(line_size),
+      hit_latency_(hit_latency),
+      miss_latency_(miss_latency),
+      lines_(num_lines) {
+  assert(IsPowerOfTwo(num_lines) && IsPowerOfTwo(line_size));
+}
+
+uint32_t Cache::Access(uint32_t paddr) {
+  Line& line = lines_[IndexOf(paddr)];
+  const uint32_t tag = TagOf(paddr);
+  if (line.valid && line.tag == tag) {
+    ++stats_.hits;
+    return hit_latency_;
+  }
+  ++stats_.misses;
+  line.valid = true;
+  line.tag = tag;
+  return miss_latency_;
+}
+
+bool Cache::Probe(uint32_t paddr) const {
+  const Line& line = lines_[IndexOf(paddr)];
+  return line.valid && line.tag == TagOf(paddr);
+}
+
+void Cache::InvalidateAll() {
+  for (Line& line : lines_) {
+    line.valid = false;
+  }
+}
+
+}  // namespace msim

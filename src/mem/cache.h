@@ -1,0 +1,62 @@
+// Direct-mapped cache timing model.
+//
+// The cache tracks tags only: data always comes from the backing store so the
+// model is purely a latency/statistics device. This keeps the simulator
+// functionally simple while preserving the latency ordering the paper's
+// claims rest on (MRAM ~ cache hit << DRAM). It also lets benches measure the
+// cache-pollution ablation (a trap handler fetched through the I-cache evicts
+// application lines; an mroutine in MRAM does not — paper §2, "Accesses to
+// the RAM do not alter processor caches").
+#ifndef MSIM_MEM_CACHE_H_
+#define MSIM_MEM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace msim {
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+};
+
+class Cache {
+ public:
+  // num_lines and line_size must be powers of two.
+  Cache(uint32_t num_lines, uint32_t line_size, uint32_t hit_latency, uint32_t miss_latency);
+
+  // Performs a (timing-only) access; returns the latency in cycles and
+  // updates tags and statistics.
+  uint32_t Access(uint32_t paddr);
+
+  // True if the line holding paddr is currently resident (no state change).
+  bool Probe(uint32_t paddr) const;
+
+  void InvalidateAll();
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+  uint32_t hit_latency() const { return hit_latency_; }
+  uint32_t miss_latency() const { return miss_latency_; }
+
+ private:
+  struct Line {
+    bool valid = false;
+    uint32_t tag = 0;
+  };
+
+  uint32_t IndexOf(uint32_t paddr) const { return (paddr / line_size_) & (num_lines_ - 1); }
+  uint32_t TagOf(uint32_t paddr) const { return paddr / line_size_ / num_lines_; }
+
+  uint32_t num_lines_;
+  uint32_t line_size_;
+  uint32_t hit_latency_;
+  uint32_t miss_latency_;
+  std::vector<Line> lines_;
+  CacheStats stats_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_MEM_CACHE_H_

@@ -1,0 +1,49 @@
+#include "mem/mram.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace msim {
+
+Mram::Mram() : code_(kMramCodeSize, 0), data_(kMramDataSize, 0) {}
+
+std::optional<uint32_t> Mram::FetchWord(uint32_t addr) const {
+  if (!InCodeRange(addr) || (addr & 3) != 0) {
+    return std::nullopt;
+  }
+  uint32_t word;
+  std::memcpy(&word, &code_[addr - kMramCodeBase], 4);
+  return word;
+}
+
+bool Mram::WriteCodeWord(uint32_t offset, uint32_t word) {
+  if (offset + 4 > code_.size() || (offset & 3) != 0) {
+    return false;
+  }
+  std::memcpy(&code_[offset], &word, 4);
+  return true;
+}
+
+std::optional<uint32_t> Mram::ReadData32(uint32_t offset) const {
+  if (offset + 4 > data_.size() || offset + 4 < offset) {
+    return std::nullopt;
+  }
+  uint32_t value;
+  std::memcpy(&value, &data_[offset], 4);
+  return value;
+}
+
+bool Mram::WriteData32(uint32_t offset, uint32_t value) {
+  if (offset + 4 > data_.size() || offset + 4 < offset) {
+    return false;
+  }
+  std::memcpy(&data_[offset], &value, 4);
+  return true;
+}
+
+void Mram::Clear() {
+  std::fill(code_.begin(), code_.end(), 0);
+  std::fill(data_.begin(), data_.end(), 0);
+}
+
+}  // namespace msim

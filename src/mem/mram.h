@@ -1,0 +1,49 @@
+// MRAM: the small RAM collocated with the instruction fetch unit (paper §2).
+//
+// MRAM is split into a code segment (mroutines, fetched by the pipeline when
+// executing in Metal mode) and a data segment (mroutine-private data, accessed
+// with mld/mst). It is not on the system bus: normal loads/stores cannot reach
+// it, and MRAM accesses never touch the caches.
+#ifndef MSIM_MEM_MRAM_H_
+#define MSIM_MEM_MRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace msim {
+
+// The code segment occupies a dedicated region of the fetch address space so
+// that intra-mroutine branches and jumps work unmodified.
+inline constexpr uint32_t kMramCodeBase = 0xFFFF0000u;
+inline constexpr uint32_t kMramCodeSize = 16 * 1024;  // 4096 instructions
+inline constexpr uint32_t kMramDataSize = 8 * 1024;
+
+class Mram {
+ public:
+  Mram();
+
+  static bool InCodeRange(uint32_t addr) {
+    return addr >= kMramCodeBase && addr < kMramCodeBase + kMramCodeSize;
+  }
+
+  // Fetch port (1-cycle; used combinationally for decode-stage replacement).
+  std::optional<uint32_t> FetchWord(uint32_t addr) const;
+
+  // Loader-side write into the code segment (offset from kMramCodeBase).
+  bool WriteCodeWord(uint32_t offset, uint32_t word);
+
+  // Data segment, addressed by byte offset (mld/mst).
+  std::optional<uint32_t> ReadData32(uint32_t offset) const;
+  bool WriteData32(uint32_t offset, uint32_t value);
+
+  void Clear();
+
+ private:
+  std::vector<uint8_t> code_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_MEM_MRAM_H_

@@ -1,0 +1,76 @@
+#include "mem/phys_mem.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/strings.h"
+
+namespace msim {
+
+PhysicalMemory::PhysicalMemory(uint32_t size_bytes) : bytes_(size_bytes, 0) {}
+
+std::optional<uint32_t> PhysicalMemory::Read32(uint32_t paddr) const {
+  if (paddr + 4 > bytes_.size() || paddr + 4 < paddr) {
+    return std::nullopt;
+  }
+  uint32_t value;
+  std::memcpy(&value, &bytes_[paddr], 4);
+  return value;
+}
+
+std::optional<uint16_t> PhysicalMemory::Read16(uint32_t paddr) const {
+  if (paddr + 2 > bytes_.size() || paddr + 2 < paddr) {
+    return std::nullopt;
+  }
+  uint16_t value;
+  std::memcpy(&value, &bytes_[paddr], 2);
+  return value;
+}
+
+std::optional<uint8_t> PhysicalMemory::Read8(uint32_t paddr) const {
+  if (paddr >= bytes_.size()) {
+    return std::nullopt;
+  }
+  return bytes_[paddr];
+}
+
+bool PhysicalMemory::Write32(uint32_t paddr, uint32_t value) {
+  if (paddr + 4 > bytes_.size() || paddr + 4 < paddr) {
+    return false;
+  }
+  std::memcpy(&bytes_[paddr], &value, 4);
+  return true;
+}
+
+bool PhysicalMemory::Write16(uint32_t paddr, uint16_t value) {
+  if (paddr + 2 > bytes_.size() || paddr + 2 < paddr) {
+    return false;
+  }
+  std::memcpy(&bytes_[paddr], &value, 2);
+  return true;
+}
+
+bool PhysicalMemory::Write8(uint32_t paddr, uint8_t value) {
+  if (paddr >= bytes_.size()) {
+    return false;
+  }
+  bytes_[paddr] = value;
+  return true;
+}
+
+Status PhysicalMemory::LoadSection(const Section& section) {
+  if (section.bytes.empty()) {
+    return Status::Ok();
+  }
+  if (section.base + section.bytes.size() > bytes_.size() ||
+      section.base + section.bytes.size() < section.base) {
+    return OutOfRange(StrFormat("section [0x%08x, 0x%08x) does not fit in %u bytes of memory",
+                                section.base, section.end(), size()));
+  }
+  std::copy(section.bytes.begin(), section.bytes.end(), bytes_.begin() + section.base);
+  return Status::Ok();
+}
+
+void PhysicalMemory::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+}  // namespace msim

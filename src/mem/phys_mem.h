@@ -1,0 +1,42 @@
+// Flat physical memory (the simulated DRAM).
+#ifndef MSIM_MEM_PHYS_MEM_H_
+#define MSIM_MEM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "asm/program.h"
+#include "support/result.h"
+
+namespace msim {
+
+class PhysicalMemory {
+ public:
+  explicit PhysicalMemory(uint32_t size_bytes);
+
+  uint32_t size() const { return static_cast<uint32_t>(bytes_.size()); }
+
+  // Aligned accessors; nullopt/false on out-of-range. Alignment is checked by
+  // the CPU core before these are called, but misaligned addresses are still
+  // handled correctly (byte-assembled little-endian).
+  std::optional<uint32_t> Read32(uint32_t paddr) const;
+  std::optional<uint16_t> Read16(uint32_t paddr) const;
+  std::optional<uint8_t> Read8(uint32_t paddr) const;
+  bool Write32(uint32_t paddr, uint32_t value);
+  bool Write16(uint32_t paddr, uint16_t value);
+  bool Write8(uint32_t paddr, uint8_t value);
+
+  // Copies a program section into memory. Fails if it does not fit.
+  Status LoadSection(const Section& section);
+
+  // Zeroes all of memory.
+  void Clear();
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_MEM_PHYS_MEM_H_

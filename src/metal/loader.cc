@@ -1,0 +1,74 @@
+#include "metal/loader.h"
+
+#include "support/strings.h"
+
+namespace msim {
+
+Status LoadMcode(Core& core, const McodeModule& module) {
+  if (module.storage != core.config().mroutine_storage) {
+    return FailedPrecondition("mcode module was assembled for a different mroutine storage");
+  }
+  MSIM_RETURN_IF_ERROR(VerifyMcode(module));
+  const Program& program = module.program;
+
+  if (module.storage == MroutineStorage::kMram) {
+    for (size_t offset = 0; offset + 4 <= program.text.bytes.size(); offset += 4) {
+      uint32_t word = 0;
+      for (int b = 0; b < 4; ++b) {
+        word |= static_cast<uint32_t>(program.text.bytes[offset + b]) << (8 * b);
+      }
+      if (!core.mram().WriteCodeWord(static_cast<uint32_t>(offset), word)) {
+        return Internal(StrFormat("MRAM code write failed at offset 0x%zx", offset));
+      }
+    }
+    for (size_t offset = 0; offset < program.data.bytes.size(); offset += 4) {
+      uint32_t word = 0;
+      for (size_t b = 0; b < 4 && offset + b < program.data.bytes.size(); ++b) {
+        word |= static_cast<uint32_t>(program.data.bytes[offset + b]) << (8 * b);
+      }
+      if (!core.mram().WriteData32(static_cast<uint32_t>(offset), word)) {
+        return Internal(StrFormat("MRAM data write failed at offset 0x%zx", offset));
+      }
+    }
+  } else {
+    MSIM_RETURN_IF_ERROR(core.bus().dram().LoadSection(program.text));
+    Section data = program.data;
+    data.base = core.config().dram_handler_data_base;
+    MSIM_RETURN_IF_ERROR(core.bus().dram().LoadSection(data));
+  }
+
+  for (const auto& [entry, addr] : program.metal_entries) {
+    core.metal().SetEntryAddress(entry, addr);
+  }
+  return Status::Ok();
+}
+
+Status WriteHandlerData32(Core& core, uint32_t offset, uint32_t value) {
+  if (core.config().mroutine_storage == MroutineStorage::kMram) {
+    if (!core.mram().WriteData32(offset, value)) {
+      return OutOfRange(StrFormat("MRAM data offset 0x%x out of range", offset));
+    }
+    return Status::Ok();
+  }
+  if (!core.bus().dram().Write32(core.config().dram_handler_data_base + offset, value)) {
+    return OutOfRange(StrFormat("handler data offset 0x%x out of range", offset));
+  }
+  return Status::Ok();
+}
+
+Result<uint32_t> ReadHandlerData32(Core& core, uint32_t offset) {
+  if (core.config().mroutine_storage == MroutineStorage::kMram) {
+    const auto value = core.mram().ReadData32(offset);
+    if (!value) {
+      return OutOfRange(StrFormat("MRAM data offset 0x%x out of range", offset));
+    }
+    return *value;
+  }
+  const auto value = core.bus().dram().Read32(core.config().dram_handler_data_base + offset);
+  if (!value) {
+    return OutOfRange(StrFormat("handler data offset 0x%x out of range", offset));
+  }
+  return *value;
+}
+
+}  // namespace msim

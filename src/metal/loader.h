@@ -1,0 +1,29 @@
+// Boot-time mroutine loading (paper §2: "At boot time, Metal loads a
+// collection of mcode subroutines called mroutines").
+#ifndef MSIM_METAL_LOADER_H_
+#define MSIM_METAL_LOADER_H_
+
+#include "cpu/core.h"
+#include "metal/mroutine.h"
+#include "support/result.h"
+
+namespace msim {
+
+// Verifies `module` and installs it:
+//   * kMram: code into the MRAM code segment, data into the MRAM data
+//     segment, entry table pointing at MRAM addresses;
+//   * kDramCached / kDramUncached: code/data into the DRAM handler region,
+//     entry table pointing at physical addresses (trap / PALcode
+//     comparison configurations).
+// The module must match the core's configured mroutine storage.
+Status LoadMcode(Core& core, const McodeModule& module);
+
+// Host-side access to the mroutine data segment (MRAM data, or the DRAM
+// handler data area in the trap/PALcode configurations). `offset` is the
+// mld/mst byte offset.
+Status WriteHandlerData32(Core& core, uint32_t offset, uint32_t value);
+Result<uint32_t> ReadHandlerData32(Core& core, uint32_t offset);
+
+}  // namespace msim
+
+#endif  // MSIM_METAL_LOADER_H_

@@ -1,0 +1,90 @@
+#include "metal/mroutine.h"
+
+#include "asm/assembler.h"
+#include "isa/decode.h"
+#include "mem/mram.h"
+#include "support/strings.h"
+
+namespace msim {
+
+Result<McodeModule> AssembleMcode(std::string_view source, const CoreConfig& config) {
+  AssembleOptions options;
+  options.text_base = config.mroutine_storage == MroutineStorage::kMram
+                          ? kMramCodeBase
+                          : config.dram_handler_code_base;
+  options.data_base = 0;  // mld/mst offsets
+  MSIM_ASSIGN_OR_RETURN(Program program, Assemble(source, options));
+  McodeModule module;
+  module.program = std::move(program);
+  module.storage = config.mroutine_storage;
+  return module;
+}
+
+Status VerifyMcode(const McodeModule& module) {
+  const Program& program = module.program;
+  if (program.text.bytes.size() > kMramCodeSize) {
+    return ResourceExhausted(
+        StrFormat("mcode text is %zu bytes; MRAM code segment holds %u",
+                  program.text.bytes.size(), kMramCodeSize));
+  }
+  if (program.data.bytes.size() > kMramDataSize) {
+    return ResourceExhausted(
+        StrFormat("mcode data is %zu bytes; MRAM data segment holds %u",
+                  program.data.bytes.size(), kMramDataSize));
+  }
+  if (program.metal_entries.empty()) {
+    return FailedPrecondition("mcode module declares no .mentry entries");
+  }
+  const uint32_t text_end = program.text.end();
+  for (const auto& [entry, addr] : program.metal_entries) {
+    if (entry >= kMaxMroutines) {
+      return InvalidArgument(StrFormat("entry number %u exceeds the %u-entry table", entry,
+                                       kMaxMroutines));
+    }
+    if (addr < program.text.base || addr >= text_end || (addr & 3) != 0) {
+      return InvalidArgument(
+          StrFormat("entry %u points at 0x%08x, outside the mcode text", entry, addr));
+    }
+  }
+  // Instruction-level checks.
+  for (size_t offset = 0; offset + 4 <= program.text.bytes.size(); offset += 4) {
+    uint32_t word = 0;
+    for (int b = 0; b < 4; ++b) {
+      word |= static_cast<uint32_t>(program.text.bytes[offset + b]) << (8 * b);
+    }
+    const Decoded d = DecodeInstr(word);
+    if (d.kind == InstrKind::kEcall || d.kind == InstrKind::kEbreak) {
+      return FailedPrecondition(
+          StrFormat("mcode contains %s at offset 0x%zx; traps inside Metal mode are machine "
+                    "checks",
+                    d.info().mnemonic, offset));
+    }
+  }
+  // Conservative termination scan: from each entry, straight-line execution
+  // must reach mexit, halt or an unconditional control transfer before the
+  // end of the module.
+  for (const auto& [entry, addr] : program.metal_entries) {
+    bool terminated = false;
+    for (uint32_t pc = addr; pc + 4 <= text_end; pc += 4) {
+      const size_t offset = pc - program.text.base;
+      uint32_t word = 0;
+      for (int b = 0; b < 4; ++b) {
+        word |= static_cast<uint32_t>(program.text.bytes[offset + b]) << (8 * b);
+      }
+      const Decoded d = DecodeInstr(word);
+      if (d.kind == InstrKind::kMexit || d.kind == InstrKind::kHalt ||
+          d.kind == InstrKind::kJal || d.kind == InstrKind::kJalr) {
+        terminated = true;
+        break;
+      }
+    }
+    if (!terminated) {
+      return FailedPrecondition(
+          StrFormat("mroutine entry %u can fall off the end of MRAM without reaching mexit",
+                    entry));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace msim

@@ -1,0 +1,42 @@
+// mcode modules: assembled mroutine collections.
+//
+// An mcode module is one assembly source defining any number of mroutines.
+// Each mroutine is announced with `.mentry <number>, <label>`; the label is
+// the mroutine's first instruction (paper §2: "Metal assigns each mroutine
+// with a unique entry number, which serves as entry points into Metal mode").
+// The module's `.data` section initializes the MRAM data segment and is
+// addressed by mld/mst byte offsets starting at 0.
+#ifndef MSIM_METAL_MROUTINE_H_
+#define MSIM_METAL_MROUTINE_H_
+
+#include <string_view>
+
+#include "asm/program.h"
+#include "cpu/config.h"
+#include "support/result.h"
+
+namespace msim {
+
+struct McodeModule {
+  Program program;
+  MroutineStorage storage = MroutineStorage::kMram;
+};
+
+// Assembles mcode for the given storage placement. The text base is
+// kMramCodeBase for MRAM storage or the DRAM handler region otherwise; data
+// is always assembled at offset 0 (the mld/mst address space).
+Result<McodeModule> AssembleMcode(std::string_view source, const CoreConfig& config);
+
+// Static verification (paper §2.1: static allocation and non-interruptibility
+// "improve performance, security and reliability ... simplifying mroutine
+// verification"):
+//   * code and data fit their segments,
+//   * at least one entry is declared and all entries point into the code,
+//   * no ecall/ebreak (they would machine-check inside Metal mode),
+//   * every declared entry can reach an mexit without falling off the end
+//     (conservative straight-line scan; jumps/branches end the scan).
+Status VerifyMcode(const McodeModule& module);
+
+}  // namespace msim
+
+#endif  // MSIM_METAL_MROUTINE_H_

@@ -1,0 +1,83 @@
+#include "metal/system.h"
+
+#include "asm/assembler.h"
+#include "support/strings.h"
+
+namespace msim {
+
+MetalSystem::MetalSystem(const CoreConfig& config) : core_(std::make_unique<Core>(config)) {}
+
+void MetalSystem::AddMcode(std::string_view source) {
+  mcode_source_.append(source);
+  mcode_source_.push_back('\n');
+  booted_ = false;
+}
+
+Status MetalSystem::Boot() {
+  if (booted_) {
+    return Status::Ok();
+  }
+  if (!mcode_source_.empty()) {
+    MSIM_ASSIGN_OR_RETURN(McodeModule module, AssembleMcode(mcode_source_, core_->config()));
+    MSIM_RETURN_IF_ERROR(LoadMcode(*core_, module));
+  }
+  for (const auto& hook : boot_hooks_) {
+    MSIM_RETURN_IF_ERROR(hook(*core_));
+  }
+  booted_ = true;
+  return Status::Ok();
+}
+
+void MetalSystem::AddBootHook(std::function<Status(Core&)> hook) {
+  boot_hooks_.push_back(std::move(hook));
+  booted_ = false;
+}
+
+Status MetalSystem::LoadProgramSource(std::string_view source, const AssembleOptions& options) {
+  MSIM_ASSIGN_OR_RETURN(Program program, Assemble(source, options));
+  return LoadProgram(program);
+}
+
+Status MetalSystem::LoadProgram(const Program& program) {
+  MSIM_RETURN_IF_ERROR(core_->LoadProgram(program));
+  last_program_ = program;
+  return Status::Ok();
+}
+
+Result<uint32_t> MetalSystem::Symbol(std::string_view name) const {
+  const auto it = last_program_.symbols.find(std::string(name));
+  if (it == last_program_.symbols.end()) {
+    return NotFound(StrFormat("symbol '%.*s' not found in the loaded program",
+                              static_cast<int>(name.size()), name.data()));
+  }
+  return it->second;
+}
+
+Result<uint32_t> MetalSystem::EntryAddress(uint32_t entry) const {
+  const uint32_t addr = core_->metal().EntryAddress(entry);
+  if (addr == 0) {
+    return NotFound(StrFormat("mroutine entry %u is not configured", entry));
+  }
+  return addr;
+}
+
+void MetalSystem::DelegateException(ExcCause cause, uint32_t entry) {
+  core_->metal().Delegate(cause, entry);
+}
+
+void MetalSystem::DelegateInterrupts(uint32_t entry) { core_->metal().DelegateIrq(entry); }
+
+RunResult MetalSystem::Run(uint64_t max_cycles) {
+  if (!booted_) {
+    const Status status = Boot();
+    if (!status.ok()) {
+      RunResult result;
+      result.reason = RunResult::Reason::kFatal;
+      result.fatal_message = "boot failed: " + status.ToString();
+      return result;
+    }
+  }
+  return core_->Run(max_cycles);
+}
+
+}  // namespace msim

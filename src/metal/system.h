@@ -1,0 +1,77 @@
+// MetalSystem: the library's main facade.
+//
+// Owns a Core, accumulates mcode from any number of extensions, assembles and
+// verifies it as one module at boot, loads application programs, and exposes
+// firmware-style configuration (exception/interrupt delegation).
+//
+// Typical use (see examples/quickstart.cc):
+//   MetalSystem sys;
+//   sys.AddMcode(kMyMroutines);            // .mentry N, label ...
+//   sys.LoadProgramSource(kMyApp);         // normal-mode assembly
+//   RunResult r = sys.Run();
+#ifndef MSIM_METAL_SYSTEM_H_
+#define MSIM_METAL_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "cpu/core.h"
+#include "metal/loader.h"
+#include "metal/mroutine.h"
+#include "support/result.h"
+
+namespace msim {
+
+class MetalSystem {
+ public:
+  explicit MetalSystem(const CoreConfig& config = CoreConfig{});
+
+  Core& core() { return *core_; }
+  const Core& core() const { return *core_; }
+
+  // Appends mcode source. All accumulated sources are assembled as ONE module
+  // at Boot() so they share labels and the MRAM data segment; extensions must
+  // use distinct entry numbers (each header documents its range).
+  void AddMcode(std::string_view source);
+
+  // Assembles, verifies and loads the accumulated mcode. Called implicitly by
+  // Run() if still pending. Returns an error if mcode fails verification.
+  Status Boot();
+  bool booted() const { return booted_; }
+
+  // Registers a hook run at the end of Boot(), after mcode is loaded —
+  // extensions use this to write their boot-time MRAM data and delegation.
+  void AddBootHook(std::function<Status(Core&)> hook);
+
+  // Assembles and loads a normal-mode application program.
+  Status LoadProgramSource(std::string_view source,
+                           const AssembleOptions& options = AssembleOptions{});
+  Status LoadProgram(const Program& program);
+
+  // Symbol lookup in the most recently loaded application program.
+  Result<uint32_t> Symbol(std::string_view name) const;
+  // Address of an installed mroutine entry (after Boot()).
+  Result<uint32_t> EntryAddress(uint32_t entry) const;
+
+  // Firmware-style delegation configuration (what a boot mroutine would do).
+  void DelegateException(ExcCause cause, uint32_t entry);
+  void DelegateInterrupts(uint32_t entry);
+
+  // Boots if needed, then runs the core.
+  RunResult Run(uint64_t max_cycles = 0);
+
+ private:
+  std::unique_ptr<Core> core_;
+  std::string mcode_source_;
+  std::vector<std::function<Status(Core&)>> boot_hooks_;
+  Program last_program_;
+  bool booted_ = false;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_METAL_SYSTEM_H_

@@ -1,0 +1,65 @@
+#include "mmu/mmu.h"
+
+namespace msim {
+namespace {
+
+ExcCause MissCause(AccessType type) {
+  switch (type) {
+    case AccessType::kFetch:
+      return ExcCause::kTlbMissFetch;
+    case AccessType::kLoad:
+      return ExcCause::kTlbMissLoad;
+    case AccessType::kStore:
+      return ExcCause::kTlbMissStore;
+  }
+  return ExcCause::kTlbMissLoad;
+}
+
+ExcCause FaultCause(AccessType type) {
+  switch (type) {
+    case AccessType::kFetch:
+      return ExcCause::kPageFaultFetch;
+    case AccessType::kLoad:
+      return ExcCause::kPageFaultLoad;
+    case AccessType::kStore:
+      return ExcCause::kPageFaultStore;
+  }
+  return ExcCause::kPageFaultLoad;
+}
+
+}  // namespace
+
+TranslateResult Mmu::Translate(uint32_t vaddr, AccessType type, uint16_t asid,
+                               uint32_t keyperm) {
+  TranslateResult result;
+  const TlbEntry* entry = tlb_.Lookup(vaddr, asid);
+  if (entry == nullptr) {
+    result.fault = MissCause(type);
+    return result;
+  }
+  const uint32_t pte = entry->pte;
+  const bool allowed = (type == AccessType::kFetch && (pte & kPteX) != 0) ||
+                       (type == AccessType::kLoad && (pte & kPteR) != 0) ||
+                       (type == AccessType::kStore && (pte & kPteW) != 0);
+  if (!allowed) {
+    result.fault = FaultCause(type);
+    return result;
+  }
+  const uint32_t key = entry->key();
+  const uint32_t key_bit = type == AccessType::kStore ? (2 * key + 1) : (2 * key);
+  if (((keyperm >> key_bit) & 1u) == 0) {
+    result.fault = ExcCause::kKeyViolation;
+    return result;
+  }
+  if (entry->superpage()) {
+    const uint32_t frame = pte & 0xFFC00000u;  // 4 MiB frame
+    result.paddr = frame | (vaddr & 0x003FFFFFu);
+  } else {
+    const uint32_t frame = pte & 0xFFFFF000u;
+    result.paddr = frame | (vaddr & 0x00000FFFu);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace msim

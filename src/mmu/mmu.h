@@ -1,0 +1,45 @@
+// Virtual-to-physical translation front-end.
+//
+// When paging is enabled (PGENABLE control register), every normal-mode
+// fetch, load and store is translated through the TLB. Misses and violations
+// become exceptions delivered to mroutines. Page-key checks consult the
+// KEYPERM control register: 2 bits per key (read-allow, write-allow) for 16
+// keys, allowing batch permission changes by rewriting a single register
+// (paper §2.3, "Page Keys and Address Space IDs").
+#ifndef MSIM_MMU_MMU_H_
+#define MSIM_MMU_MMU_H_
+
+#include <cstdint>
+
+#include "cpu/trap.h"
+#include "mmu/tlb.h"
+
+namespace msim {
+
+enum class AccessType { kFetch, kLoad, kStore };
+
+struct TranslateResult {
+  bool ok = false;
+  uint32_t paddr = 0;
+  ExcCause fault = ExcCause::kNone;
+};
+
+class Mmu {
+ public:
+  explicit Mmu(uint32_t tlb_entries = 32) : tlb_(tlb_entries) {}
+
+  Tlb& tlb() { return tlb_; }
+  const Tlb& tlb() const { return tlb_; }
+
+  // Translates vaddr. `keyperm` is the current KEYPERM register: bit (2*key)
+  // allows reads/execute under the key, bit (2*key + 1) allows writes.
+  TranslateResult Translate(uint32_t vaddr, AccessType type, uint16_t asid,
+                            uint32_t keyperm);
+
+ private:
+  Tlb tlb_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_MMU_MMU_H_

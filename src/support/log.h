@@ -1,0 +1,57 @@
+// Minimal leveled logging for the simulator.
+//
+// The simulator is a library first; logging defaults to warnings-and-above on
+// stderr and can be raised for debugging (e.g. per-cycle pipeline traces in
+// the CPU core honour kTrace).
+#ifndef MSIM_SUPPORT_LOG_H_
+#define MSIM_SUPPORT_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace msim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr: "[level] message".
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define MSIM_LOG(level)                                   \
+  if (::msim::GetLogLevel() > ::msim::LogLevel::k##level) \
+    ;                                                     \
+  else                                                    \
+    ::msim::log_internal::LogLine(::msim::LogLevel::k##level)
+
+}  // namespace msim
+
+#endif  // MSIM_SUPPORT_LOG_H_

@@ -1,0 +1,173 @@
+// Lightweight error handling for the Metal simulator.
+//
+// The library does not use exceptions (see DESIGN.md §7). Fallible operations
+// return Status (no payload) or Result<T> (payload or error). Both carry a
+// human-readable message describing the first failure.
+#ifndef MSIM_SUPPORT_RESULT_H_
+#define MSIM_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace msim {
+
+// Error category for programmatic inspection. Most call sites only care about
+// ok/not-ok; categories exist so tests can assert on the *kind* of failure.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kResourceExhausted,
+  kInternal,
+  kParseError,
+};
+
+// Returns a stable lowercase name for an error code ("invalid_argument", ...).
+const char* ErrorCodeName(ErrorCode code);
+
+// Status: success, or an error code plus message.
+class Status {
+ public:
+  // Success.
+  Status() = default;
+
+  Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk && "error Status requires a non-Ok code");
+  }
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code-name>: <message>"; handy for gtest failure output.
+  std::string ToString() const {
+    if (ok()) {
+      return "ok";
+    }
+    return std::string(ErrorCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) { return Status(ErrorCode::kOutOfRange, std::move(msg)); }
+inline Status NotFound(std::string msg) { return Status(ErrorCode::kNotFound, std::move(msg)); }
+inline Status AlreadyExists(std::string msg) {
+  return Status(ErrorCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(ErrorCode::kUnimplemented, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(ErrorCode::kResourceExhausted, std::move(msg));
+}
+inline Status Internal(std::string msg) { return Status(ErrorCode::kInternal, std::move(msg)); }
+inline Status ParseError(std::string msg) { return Status(ErrorCode::kParseError, std::move(msg)); }
+
+// Result<T>: either a value of T or an error Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from an error Status keeps call
+  // sites readable: `return 42;` / `return InvalidArgument("...")`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Status status) : data_(std::move(status)) {
+    assert(!std::get<Status>(data_).ok() && "Result error requires non-ok Status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+  // Error accessor; returns Ok status when the result holds a value so that
+  // `result.status().ToString()` is always safe to log.
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(data_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagates an error Status from an expression that yields Status.
+#define MSIM_RETURN_IF_ERROR(expr)      \
+  do {                                  \
+    ::msim::Status status_ = (expr);    \
+    if (!status_.ok()) return status_;  \
+  } while (0)
+
+// Evaluates a Result<T> expression, propagating errors and binding the value.
+#define MSIM_ASSIGN_OR_RETURN(lhs, expr)          \
+  MSIM_ASSIGN_OR_RETURN_IMPL_(                    \
+      MSIM_RESULT_CONCAT_(result_, __LINE__), lhs, expr)
+#define MSIM_RESULT_CONCAT_INNER_(a, b) a##b
+#define MSIM_RESULT_CONCAT_(a, b) MSIM_RESULT_CONCAT_INNER_(a, b)
+#define MSIM_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+inline const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kFailedPrecondition:
+      return "failed_precondition";
+    case ErrorCode::kUnimplemented:
+      return "unimplemented";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kInternal:
+      return "internal";
+    case ErrorCode::kParseError:
+      return "parse_error";
+  }
+  return "unknown";
+}
+
+}  // namespace msim
+
+#endif  // MSIM_SUPPORT_RESULT_H_

@@ -1,0 +1,42 @@
+#include "synth/component.h"
+
+namespace msim {
+
+DesignTotals Design::Totals() const {
+  DesignTotals totals;
+  for (const Component& component : components_) {
+    totals.cells += component.cells;
+    totals.wires += component.wires;
+  }
+  return totals;
+}
+
+Component RegisterBits(const std::string& name, double bits, double read_ports) {
+  // DFF + write mux per bit, plus one read mux path per extra read port.
+  const double cells = bits * (8.0 + 1.5 * (read_ports - 1));
+  const double wires = bits * (9.0 + 2.5 * (read_ports - 1));
+  return {name, cells, wires};
+}
+
+Component CamBits(const std::string& name, double bits) {
+  // Storage plus a match comparator per bit and priority encoding.
+  return {name, bits * 12.0, bits * 13.0};
+}
+
+Component Mux32(const std::string& name, double ways) {
+  // A 32-bit wide N-way mux: mostly wiring.
+  return {name, ways * 32.0 * 2.5, ways * 32.0 * 4.5};
+}
+
+Component Comb(const std::string& name, double cells, double wires) {
+  return {name, cells, wires};
+}
+
+Component RamMacro(const std::string& name, double bits, double ports) {
+  // Decode + sense + port routing; bit cells are in the macro.
+  const double cells = 400.0 * ports + bits * 0.008;
+  const double wires = 900.0 * ports + bits * 0.015;
+  return {name, cells, wires};
+}
+
+}  // namespace msim

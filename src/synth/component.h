@@ -1,0 +1,65 @@
+// Structural hardware-resource model (paper §2.4 / Table 2).
+//
+// The paper synthesizes a Verilog 5-stage processor with and without Metal
+// (Yosys + the Synopsys standard cell library) and reports wires and cells.
+// We cannot run logic synthesis here, so we model the design at the component
+// level: every RTL-scale block (register file, pipeline latch, ALU, TLB CAM,
+// matchers, ...) carries a cell and wire cost in abstract units, derived from
+// per-bit costs of the structures it is made of. The *ratio* between the
+// baseline and Metal designs is determined purely by which components Metal
+// adds — the quantity the paper's Table 2 argues about — while one global
+// scale factor per metric calibrates absolute units to the paper's baseline
+// row (documented in DESIGN.md §2).
+#ifndef MSIM_SYNTH_COMPONENT_H_
+#define MSIM_SYNTH_COMPONENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msim {
+
+struct Component {
+  std::string name;
+  double cells = 0;  // abstract cell units
+  double wires = 0;  // abstract wire units
+};
+
+struct DesignTotals {
+  double cells = 0;
+  double wires = 0;
+};
+
+class Design {
+ public:
+  explicit Design(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Component>& components() const { return components_; }
+
+  void Add(Component component) { components_.push_back(std::move(component)); }
+
+  DesignTotals Totals() const;
+
+ private:
+  std::string name_;
+  std::vector<Component> components_;
+};
+
+// --- Per-structure cost helpers (units per bit) -----------------------------
+// Derived from typical standard-cell mappings: a registered bit costs roughly
+// a flip-flop plus input mux and clock buffers; CAM bits add a comparator;
+// pure combinational structures are cheaper in cells but wire-heavy.
+
+Component RegisterBits(const std::string& name, double bits, double read_ports = 1);
+Component CamBits(const std::string& name, double bits);
+Component Mux32(const std::string& name, double ways);
+Component Comb(const std::string& name, double cells, double wires);
+
+// A RAM macro: bit cells live in the macro (not in the standard-cell count),
+// but address decode, sense and port routing still cost logic and wires.
+Component RamMacro(const std::string& name, double bits, double ports);
+
+}  // namespace msim
+
+#endif  // MSIM_SYNTH_COMPONENT_H_

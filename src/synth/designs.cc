@@ -1,0 +1,101 @@
+#include "synth/designs.h"
+
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// Blocks shared by both designs: the plain 5-stage pipeline.
+void AddBaselineComponents(Design& design) {
+  design.Add(Comb("pc / fetch control", 900, 1400));
+  design.Add(RamMacro("I-cache data array (4 KiB)", 32768, 1));
+  design.Add(RegisterBits("I-cache tags (64 x 21b)", 1344));
+  design.Add(RamMacro("D-cache data array (4 KiB)", 32768, 1));
+  design.Add(RegisterBits("D-cache tags (64 x 21b)", 1344));
+  design.Add(Comb("cache controllers", 1800, 2400));
+  design.Add(Comb("instruction decoder", 1500, 1800));
+  design.Add(Comb("immediate generator", 250, 420));
+  design.Add(RegisterBits("GPR file 32x32 (2R1W)", 1024, 2));
+  design.Add(RegisterBits("pipeline latches (IF/ID .. MEM/WB)", 420));
+  design.Add(Comb("ALU (32-bit)", 1600, 1900));
+  design.Add(Comb("multiplier (32x32)", 9000, 8400));
+  design.Add(Comb("divider (radix-2)", 6000, 5600));
+  design.Add(Comb("branch unit", 400, 520));
+  design.Add(Comb("hazard + forwarding control", 700, 1200));
+  design.Add(Comb("operand bypass network", 1200, 5200));
+  design.Add(Comb("load/store unit", 800, 1000));
+  design.Add(RegisterBits("store buffer (4 x 68b)", 272));
+  design.Add(CamBits("TLB CAM (32 x 36b tags)", 1152));
+  design.Add(RegisterBits("TLB data (32 x 36b)", 1152));
+  design.Add(Comb("MMU permission / page-key check", 600, 800));
+  design.Add(RegisterBits("counters + status", 200));
+  design.Add(RegisterBits("performance counters", 192));
+  design.Add(Comb("pipeline control & stall logic", 1200, 1800));
+  design.Add(Comb("bus interface", 700, 1100));
+  design.Add(Comb("interrupt / exception unit", 900, 1300));
+  design.Add(Comb("debug / trace", 1500, 1800));
+  design.Add(Comb("control signal distribution", 600, 2400));
+  design.Add(Comb("clock + reset distribution", 900, 6000));
+}
+
+// The Metal extension (paper Figure 1): what §2.4 measures the cost of.
+void AddMetalComponents(Design& design) {
+  design.Add(RegisterBits("MReg file 32x32 (m0-m31)", 1024));
+  // Entry table words are stored inside the MRAM macro (dedicated region),
+  // so the macro carries two ports: fetch and mld/mst data.
+  design.Add(RamMacro("MRAM (16 KiB code + 8 KiB data + entry table)", 196608, 2));
+  design.Add(CamBits("intercept matchers (8 x 15b)", 120));
+  design.Add(RegisterBits("intercepted-operand latch", 101));
+  design.Add(RegisterBits("Metal control registers", 96));
+  design.Add(Comb("Metal mode / transition FSM", 350, 500));
+  design.Add(Mux32("decode-stage replacement muxes", 3));
+  design.Add(Comb("fetch-path MRAM routing", 150, 700));
+  design.Add(Comb("delegation table logic", 250, 350));
+}
+
+}  // namespace
+
+Design BaselineProcessorDesign() {
+  Design design("baseline 5-stage processor");
+  AddBaselineComponents(design);
+  return design;
+}
+
+Design MetalProcessorDesign() {
+  Design design("5-stage processor + Metal");
+  AddBaselineComponents(design);
+  AddMetalComponents(design);
+  return design;
+}
+
+Table2Result GenerateTable2() {
+  const DesignTotals baseline = BaselineProcessorDesign().Totals();
+  const DesignTotals metal = MetalProcessorDesign().Totals();
+
+  // One calibration scale per metric, anchored to the paper's baseline row.
+  const double cell_scale = Table2Reference::kBaselineCells / baseline.cells;
+  const double wire_scale = Table2Reference::kBaselineWires / baseline.wires;
+
+  Table2Result result;
+  result.wires.metric = "Number of Wires";
+  result.wires.baseline = baseline.wires * wire_scale;
+  result.wires.metal = metal.wires * wire_scale;
+  result.wires.percent_change = 100.0 * (metal.wires - baseline.wires) / baseline.wires;
+  result.cells.metric = "Number of Cells";
+  result.cells.baseline = baseline.cells * cell_scale;
+  result.cells.metal = metal.cells * cell_scale;
+  result.cells.percent_change = 100.0 * (metal.cells - baseline.cells) / baseline.cells;
+  return result;
+}
+
+std::string FormatTable2(const Table2Result& result) {
+  std::string out;
+  out += StrFormat("%-18s %12s %12s %10s\n", "", "Baseline", "Metal", "%Change");
+  for (const Table2Row* row : {&result.wires, &result.cells}) {
+    out += StrFormat("%-18s %12.0f %12.0f %9.1f%%\n", row->metric.c_str(), row->baseline,
+                     row->metal, row->percent_change);
+  }
+  return out;
+}
+
+}  // namespace msim

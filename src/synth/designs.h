@@ -1,0 +1,50 @@
+// Component inventories of the baseline and Metal processors, and the
+// Table 2 report generator.
+#ifndef MSIM_SYNTH_DESIGNS_H_
+#define MSIM_SYNTH_DESIGNS_H_
+
+#include <string>
+
+#include "synth/component.h"
+
+namespace msim {
+
+// The 5-stage pipelined RISC processor without Metal.
+Design BaselineProcessorDesign();
+
+// The same processor with the Metal extension (paper Figure 1: MRAM, MReg,
+// mode logic, decode-stage replacement muxes, intercept matchers, entry
+// table, operand latch, control registers).
+Design MetalProcessorDesign();
+
+// Paper Table 2 reference values.
+struct Table2Reference {
+  static constexpr double kBaselineWires = 170264;
+  static constexpr double kBaselineCells = 180546;
+  static constexpr double kMetalWires = 197705;
+  static constexpr double kMetalCells = 206384;
+};
+
+struct Table2Row {
+  std::string metric;  // "Number of Wires" / "Number of Cells"
+  double baseline = 0;
+  double metal = 0;
+  double percent_change = 0;
+};
+
+struct Table2Result {
+  Table2Row wires;
+  Table2Row cells;
+};
+
+// Evaluates both designs and scales abstract units so that the baseline row
+// matches the paper's baseline exactly (one scale factor per metric); the
+// Metal row and the % change then follow from the component inventory alone.
+Table2Result GenerateTable2();
+
+// Renders the table in the paper's layout.
+std::string FormatTable2(const Table2Result& result);
+
+}  // namespace msim
+
+#endif  // MSIM_SYNTH_DESIGNS_H_

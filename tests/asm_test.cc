@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "asm/assembler.h"
+#include "isa/decode.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+uint32_t TextWord(const Program& program, size_t index) {
+  uint32_t word = 0;
+  for (int b = 0; b < 4; ++b) {
+    word |= static_cast<uint32_t>(program.text.bytes[4 * index + b]) << (8 * b);
+  }
+  return word;
+}
+
+TEST(AssemblerTest, BasicInstruction) {
+  const Program program = MustAssemble("add a0, a1, a2");
+  ASSERT_EQ(program.text.bytes.size(), 4u);
+  const Decoded d = DecodeInstr(TextWord(program, 0));
+  EXPECT_EQ(d.kind, InstrKind::kAdd);
+  EXPECT_EQ(d.rd, 10);
+  EXPECT_EQ(d.rs1, 11);
+  EXPECT_EQ(d.rs2, 12);
+}
+
+TEST(AssemblerTest, CommentsAndBlankLines) {
+  const Program program = MustAssemble(R"(
+    # full line comment
+    add a0, a1, a2   # trailing
+    sub a0, a0, a1   // c++ style
+    and a0, a0, a1   ; asm style
+  )");
+  EXPECT_EQ(program.text.bytes.size(), 12u);
+}
+
+TEST(AssemblerTest, LabelsAndBranches) {
+  const Program program = MustAssemble(R"(
+    _start:
+      beq a0, a1, done
+      addi a0, a0, 1
+    done:
+      halt a0
+  )");
+  const Decoded beq = DecodeInstr(TextWord(program, 0));
+  EXPECT_EQ(beq.kind, InstrKind::kBeq);
+  EXPECT_EQ(beq.imm, 8);  // two instructions forward
+  EXPECT_EQ(program.entry, program.symbols.at("_start"));
+}
+
+TEST(AssemblerTest, BackwardBranch) {
+  const Program program = MustAssemble(R"(
+    loop:
+      addi a0, a0, -1
+      bnez a0, loop
+  )");
+  const Decoded bne = DecodeInstr(TextWord(program, 1));
+  EXPECT_EQ(bne.kind, InstrKind::kBne);
+  EXPECT_EQ(bne.imm, -4);
+}
+
+TEST(AssemblerTest, MultipleLabelsSameAddress) {
+  const Program program = MustAssemble(R"(
+    a: b: c:
+      nop
+  )");
+  EXPECT_EQ(program.symbols.at("a"), program.symbols.at("c"));
+}
+
+TEST(AssemblerTest, LiSmallExpandsToOneInstruction) {
+  const Program program = MustAssemble("li a0, 42");
+  ASSERT_EQ(program.text.bytes.size(), 4u);
+  const Decoded d = DecodeInstr(TextWord(program, 0));
+  EXPECT_EQ(d.kind, InstrKind::kAddi);
+  EXPECT_EQ(d.imm, 42);
+}
+
+TEST(AssemblerTest, LiLargeExpandsToLuiAddi) {
+  const Program program = MustAssemble("li a0, 0xDEADBEEF");
+  ASSERT_EQ(program.text.bytes.size(), 8u);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).kind, InstrKind::kLui);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 1)).kind, InstrKind::kAddi);
+}
+
+TEST(AssemblerTest, LiNegative) {
+  const Program program = MustAssemble("li a0, -1");
+  ASSERT_EQ(program.text.bytes.size(), 4u);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).imm, -1);
+}
+
+TEST(AssemblerTest, LaUsesHiLo) {
+  const Program program = MustAssemble(R"(
+    .data
+    value: .word 7
+    .text
+    _start:
+      la a0, value
+  )");
+  ASSERT_EQ(program.text.bytes.size(), 8u);
+  const uint32_t addr = program.symbols.at("value");
+  const Decoded lui = DecodeInstr(TextWord(program, 0));
+  const Decoded addi = DecodeInstr(TextWord(program, 1));
+  const uint32_t materialized =
+      (static_cast<uint32_t>(lui.imm) << 12) + static_cast<uint32_t>(addi.imm);
+  EXPECT_EQ(materialized, addr);
+}
+
+TEST(AssemblerTest, PseudoInstructions) {
+  const Program program = MustAssemble(R"(
+    nop
+    mv a0, a1
+    not a0, a1
+    neg a0, a1
+    seqz a0, a1
+    snez a0, a1
+    j target
+    jr ra
+    ret
+  target:
+    call target
+  )");
+  EXPECT_EQ(program.text.bytes.size(), 10 * 4u);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).kind, InstrKind::kAddi);  // nop
+  EXPECT_EQ(DecodeInstr(TextWord(program, 6)).kind, InstrKind::kJal);   // j
+  EXPECT_EQ(DecodeInstr(TextWord(program, 6)).rd, 0);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 9)).rd, 1);                   // call links ra
+}
+
+TEST(AssemblerTest, ConditionalPseudos) {
+  const Program program = MustAssemble(R"(
+    t:
+    beqz a0, t
+    bnez a0, t
+    blez a0, t
+    bgez a0, t
+    bltz a0, t
+    bgtz a0, t
+    bgt a0, a1, t
+    ble a0, a1, t
+    bgtu a0, a1, t
+    bleu a0, a1, t
+  )");
+  EXPECT_EQ(program.text.bytes.size(), 40u);
+  // bgt a,b swaps into blt b,a
+  const Decoded bgt = DecodeInstr(TextWord(program, 6));
+  EXPECT_EQ(bgt.kind, InstrKind::kBlt);
+  EXPECT_EQ(bgt.rs1, 11);
+  EXPECT_EQ(bgt.rs2, 10);
+}
+
+TEST(AssemblerTest, DataDirectives) {
+  const Program program = MustAssemble(R"(
+    .data
+    words: .word 1, 2, 0xFFFFFFFF
+    halves: .half 3, 4
+    bytes: .byte 5, 6, 7
+    str: .asciz "hi\n"
+    .align 2
+    aligned: .word 8
+  )");
+  EXPECT_EQ(program.data.bytes[0], 1);
+  EXPECT_EQ(program.data.bytes[8], 0xFF);
+  EXPECT_EQ(program.symbols.at("halves"), program.symbols.at("words") + 12);
+  EXPECT_EQ(program.data.bytes[program.symbols.at("str") - program.data.base], 'h');
+  EXPECT_EQ(program.symbols.at("aligned") % 4, 0u);
+}
+
+TEST(AssemblerTest, EquAndExpressions) {
+  const Program program = MustAssemble(R"(
+    .equ BASE, 0x100
+    .equ SIZE, 16
+    li a0, BASE + SIZE
+    li a1, BASE - 1
+    li a2, -(SIZE)
+  )");
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).imm, 0x110);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 1)).imm, 0xFF);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 2)).imm, -16);
+}
+
+TEST(AssemblerTest, HiLoRelocations) {
+  const Program program = MustAssemble(R"(
+    .equ ADDR, 0x12345FFF
+    lui a0, %hi(ADDR)
+    addi a0, a0, %lo(ADDR)
+  )");
+  const Decoded lui = DecodeInstr(TextWord(program, 0));
+  const Decoded addi = DecodeInstr(TextWord(program, 1));
+  EXPECT_EQ((static_cast<uint32_t>(lui.imm) << 12) + static_cast<uint32_t>(addi.imm),
+            0x12345FFFu);
+}
+
+TEST(AssemblerTest, MentryDirective) {
+  AssembleOptions options;
+  options.text_base = 0x1000;
+  const Program program = MustAssemble(R"(
+      .mentry 5, handler
+      nop
+    handler:
+      mexit
+  )",
+                                       options);
+  ASSERT_TRUE(program.metal_entries.contains(5));
+  EXPECT_EQ(program.metal_entries.at(5), program.symbols.at("handler"));
+}
+
+TEST(AssemblerTest, MetalInstructions) {
+  const Program program = MustAssemble(R"(
+    menter 7
+    mexit
+    rmr a0, m3
+    wmr m3, a0
+    mld a0, 8(zero)
+    mst a0, 8(zero)
+    rcr a0, cr6
+    wcr 6, a0
+    plw a0, 0(a1)
+    psw a0, 0(a1)
+    tlbwr a0, a1
+    tlbinv a0
+    tlbflush zero
+    tlbrd a0, a1
+    mintset a0, a1
+    mopr a0, 1
+    mopw a0
+    halt
+  )");
+  EXPECT_EQ(program.text.bytes.size(), 18 * 4u);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).kind, InstrKind::kMenter);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 0)).imm, 7);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 6)).kind, InstrKind::kRcr);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 6)).imm, 6);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 15)).kind, InstrKind::kMopr);
+  EXPECT_EQ(DecodeInstr(TextWord(program, 15)).rs2, 1);
+}
+
+TEST(AssemblerTest, OrgAndSpace) {
+  AssembleOptions options;
+  options.text_base = 0x1000;
+  const Program program = MustAssemble(R"(
+      nop
+      .org 0x1010
+    here:
+      nop
+  )",
+                                       options);
+  EXPECT_EQ(program.symbols.at("here"), 0x1010u);
+  EXPECT_EQ(program.text.bytes.size(), 0x14u);
+}
+
+// ---- Error cases ----------------------------------------------------------
+
+TEST(AssemblerErrorTest, UnknownMnemonic) {
+  auto result = Assemble("frobnicate a0");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, UndefinedSymbol) {
+  auto result = Assemble("j nowhere");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, DuplicateLabel) {
+  auto result = Assemble("a:\na:\n nop");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, ImmediateOutOfRange) {
+  auto result = Assemble("addi a0, a0, 5000");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrorTest, WrongOperandCount) {
+  auto result = Assemble("add a0, a1");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrorTest, LiWithLabelRejected) {
+  auto result = Assemble("li a0, later\nlater: nop");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrorTest, ErrorNamesLine) {
+  auto result = Assemble("nop\nnop\nbogus x9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(AssemblerErrorTest, InstructionsInDataRejected) {
+  auto result = Assemble(".data\n add a0, a1, a2\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrorTest, OrgBackwardsRejected) {
+  auto result = Assemble("nop\n.org 0\n");
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(AssemblerErrorTest, BadMentryNumber) {
+  auto result = Assemble(".mentry 64, h\nh: mexit\n");
+  ASSERT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace msim

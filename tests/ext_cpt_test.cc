@@ -1,0 +1,215 @@
+// Custom page tables (paper §3.2): radix walk in mcode on TLB miss.
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "ext/cpt.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+constexpr uint32_t kRwx = kPteR | kPteW | kPteX;
+constexpr uint32_t kTableRegion = 0x00400000;
+constexpr uint32_t kTableRegionSize = 0x00100000;
+
+class CptTest : public ::testing::Test {
+ protected:
+  // Loads a program and identity-maps its code/data pages, then activates.
+  void Boot(const char* program_source, uint32_t os_fault_entry_symbol_value = 0) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(CustomPageTable::Install(*system_, os_fault_entry_symbol_value));
+    program_ = MustAssemble(program_source);
+    ASSERT_OK(system_->LoadProgram(program_));
+    ASSERT_OK(system_->Boot());
+    cpt_ = std::make_unique<CustomPageTable>(core(), kTableRegion, kTableRegionSize);
+    auto root = cpt_->CreateAddressSpace();
+    ASSERT_OK(root.status());
+    root_ = *root;
+    // Identity-map the first 64 KiB (text at 0x1000) and the data region.
+    for (uint32_t page = 0; page < 16; ++page) {
+      ASSERT_OK(cpt_->Map(root_, page * 4096, page * 4096, kRwx));
+    }
+    for (uint32_t page = 0; page < 16; ++page) {
+      const uint32_t addr = 0x00100000 + page * 4096;
+      ASSERT_OK(cpt_->Map(root_, addr, addr, kPteR | kPteW));
+    }
+    ASSERT_OK(cpt_->Activate(root_));
+    core().metal().WriteCreg(kCrPgEnable, 1);
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+
+  std::unique_ptr<MetalSystem> system_;
+  std::unique_ptr<CustomPageTable> cpt_;
+  Program program_;
+  uint32_t root_ = 0;
+};
+
+TEST_F(CptTest, WalkerRefillsOnMiss) {
+  Boot(R"(
+    _start:
+      la t0, value
+      lw a0, 0(t0)
+      halt a0
+    .data
+    value: .word 31337
+  )");
+  MustHalt(system(), 31337);
+  auto fills = cpt_->FillCount();
+  ASSERT_OK(fills.status());
+  EXPECT_GE(*fills, 2u);  // at least one fetch + one load miss
+  EXPECT_GT(core().mmu().tlb().stats().misses, 0u);
+}
+
+TEST_F(CptTest, TranslationIsNotIdentityWhenMappedElsewhere) {
+  Boot(R"(
+    _start:
+      li t0, 0x00A00000      # virtual address mapped to a different frame
+      lw a0, 0(t0)
+      halt a0
+  )");
+  // Map vaddr 0xA00000 -> paddr 0x00180000 where we planted a value.
+  ASSERT_TRUE(core().bus().dram().Write32(0x00180000, 555));
+  ASSERT_OK(cpt_->Map(root_, 0x00A00000, 0x00180000, kPteR));
+  MustHalt(system(), 555);
+}
+
+TEST_F(CptTest, StoreThenLoadThroughMapping) {
+  Boot(R"(
+    _start:
+      li t0, 0x00A00000
+      li t1, 777
+      sw t1, 0(t0)
+      lw a0, 0(t0)
+      halt a0
+  )");
+  ASSERT_OK(cpt_->Map(root_, 0x00A00000, 0x00180000, kPteR | kPteW));
+  MustHalt(system(), 777);
+  EXPECT_EQ(core().bus().dram().Read32(0x00180000), 777u);
+}
+
+TEST_F(CptTest, SuperpageMapping) {
+  Boot(R"(
+    _start:
+      li t0, 0x00C12344      # inside a 4 MiB superpage at 0x00C00000
+      lw a0, 0(t0)
+      halt a0
+  )");
+  // Superpage 0x00C00000 -> physical 0x00000000; plant at offset 0x12344.
+  ASSERT_TRUE(core().bus().dram().Write32(0x00012344, 888));
+  ASSERT_OK(cpt_->Map(root_, 0x00C00000, 0x00000000, kPteR, 0, /*superpage=*/true));
+  MustHalt(system(), 888);
+}
+
+TEST_F(CptTest, NotPresentFaultsToOs) {
+  // The OS fault entry (in the program) halts with a recognizable code.
+  const char* kProgram = R"(
+    _start:
+      li t0, 0x00B00000      # never mapped
+      lw a0, 0(t0)
+      halt zero
+    os_fault:
+      # a0 = faulting vaddr, a1 = faulting pc (from the walker)
+      li a2, 0x00B00000
+      bne a0, a2, wrong
+      li a0, 0xAF
+      halt a0
+    wrong:
+      li a0, 0x01
+      halt a0
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  program_ = MustAssemble(kProgram);
+  ASSERT_OK(CustomPageTable::Install(*system_, program_.symbols.at("os_fault")));
+  ASSERT_OK(system_->LoadProgram(program_));
+  ASSERT_OK(system_->Boot());
+  cpt_ = std::make_unique<CustomPageTable>(core(), kTableRegion, kTableRegionSize);
+  auto root = cpt_->CreateAddressSpace();
+  ASSERT_OK(root.status());
+  root_ = *root;
+  for (uint32_t page = 0; page < 16; ++page) {
+    ASSERT_OK(cpt_->Map(root_, page * 4096, page * 4096, kRwx));
+  }
+  ASSERT_OK(cpt_->Activate(root_));
+  core().metal().WriteCreg(kCrPgEnable, 1);
+  MustHalt(system(), 0xAF);
+}
+
+TEST_F(CptTest, UnmapInvalidatesAndFaults) {
+  const char* kProgram = R"(
+    _start:
+      li t0, 0x00A00000
+      lw a0, 0(t0)           # works: mapped
+      li t1, 0xF0003004      # console EXIT latch: record first read
+      sw a0, 0(t1)
+      # spin long enough for the host to observe the latch and unmap
+      li t2, 400
+    spin:
+      addi t2, t2, -1
+      bnez t2, spin
+      # second access faults to os_fault
+      lw a0, 0(t0)
+      halt zero
+    os_fault:
+      li a0, 0xAE
+      halt a0
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  program_ = MustAssemble(kProgram);
+  ASSERT_OK(CustomPageTable::Install(*system_, program_.symbols.at("os_fault")));
+  ASSERT_OK(system_->LoadProgram(program_));
+  ASSERT_OK(system_->Boot());
+  cpt_ = std::make_unique<CustomPageTable>(core(), kTableRegion, kTableRegionSize);
+  root_ = *cpt_->CreateAddressSpace();
+  for (uint32_t page = 0; page < 16; ++page) {
+    ASSERT_OK(cpt_->Map(root_, page * 4096, page * 4096, kRwx));
+  }
+  ASSERT_TRUE(core().bus().dram().Write32(0x00180000, 123));
+  ASSERT_OK(cpt_->Map(root_, 0x00A00000, 0x00180000, kPteR));
+  // The program writes the console MMIO page while paging is on.
+  ASSERT_OK(cpt_->Map(root_, 0xF0003000, 0xF0003000, kPteR | kPteW));
+  ASSERT_OK(cpt_->Activate(root_));
+  core().metal().WriteCreg(kCrPgEnable, 1);
+  // Run until the console latch records the first read, then unmap.
+  while (core().console().Read32(4) == 0) {
+    core().StepCycle();
+    ASSERT_LT(core().cycle(), 100000u);
+    ASSERT_FALSE(core().has_fatal()) << core().fatal_status().ToString();
+  }
+  EXPECT_EQ(core().console().Read32(4), 123u);
+  ASSERT_OK(cpt_->Unmap(root_, 0x00A00000));
+  MustHalt(system(), 0xAE);
+}
+
+TEST_F(CptTest, AddressSpaceSwitchViaActivate) {
+  Boot(R"(
+    _start:
+      li t0, 0x00A00000
+      lw a0, 0(t0)
+      halt a0
+  )");
+  // Two address spaces mapping the same vaddr to different frames.
+  auto root2_result = cpt_->CreateAddressSpace();
+  ASSERT_OK(root2_result.status());
+  const uint32_t root2 = *root2_result;
+  for (uint32_t page = 0; page < 16; ++page) {
+    ASSERT_OK(cpt_->Map(root2, page * 4096, page * 4096, kRwx));
+  }
+  ASSERT_TRUE(core().bus().dram().Write32(0x00180000, 111));
+  ASSERT_TRUE(core().bus().dram().Write32(0x00190000, 222));
+  ASSERT_OK(cpt_->Map(root_, 0x00A00000, 0x00180000, kPteR));
+  ASSERT_OK(cpt_->Map(root2, 0x00A00000, 0x00190000, kPteR));
+  ASSERT_OK(cpt_->Activate(root2));
+  MustHalt(system(), 222);
+}
+
+TEST_F(CptTest, WalkerIsShort) {
+  // "In a few lines of assembly, we walk an x86-style radix tree."
+  CoreConfig config;
+  auto module = AssembleMcode(CustomPageTable::McodeSource(), config);
+  ASSERT_OK(module.status());
+  EXPECT_LT(module->program.text.bytes.size() / 4, 48u);
+}
+
+}  // namespace
+}  // namespace msim

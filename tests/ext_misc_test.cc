@@ -1,0 +1,547 @@
+// Shadow stack, in-process isolation, capabilities, enclaves and nested
+// Metal (paper §3.1 / §3.5).
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "ext/caps.h"
+#include "ext/enclave.h"
+#include "ext/isolation.h"
+#include "ext/nested.h"
+#include "ext/shadowstack.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+// ---- Shadow stack -----------------------------------------------------------
+
+class ShadowStackTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(ShadowStackExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program));
+    ASSERT_OK(system_->Boot());
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(ShadowStackTest, WellBehavedCallsRunNormally) {
+  Boot(R"(
+    _start:
+      li sp, 0x8000
+      li a0, 1
+      menter 38            # enable protection
+      call f
+      call f
+      li a0, 0
+      menter 38            # disable
+      halt s1
+    f:                       # non-leaf: must save/restore ra
+      addi sp, sp, -4
+      sw ra, 0(sp)
+      addi s1, s1, 5
+      call g
+      lw ra, 0(sp)
+      addi sp, sp, 4
+      ret
+    g:
+      addi s1, s1, 1
+      ret
+  )");
+  MustHalt(system(), 12);
+  EXPECT_GE(core().stats().intercepts, 8u);  // calls + rets intercepted
+}
+
+TEST_F(ShadowStackTest, SmashedReturnAddressHalts) {
+  Boot(R"(
+    _start:
+      li sp, 0x8000
+      li a0, 1
+      menter 38
+      call f
+      halt zero
+    f:
+      la ra, attacker      # simulate a corrupted return address
+      ret                  # shadow stack mismatch -> halt 0xDC
+    attacker:
+      li a0, 0x66
+      halt a0
+  )");
+  MustHalt(system(), ShadowStackExtension::kViolationExitCode);
+}
+
+TEST_F(ShadowStackTest, ReturnWithoutCallUnderflows) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      menter 38
+      la ra, nowhere
+      ret
+    nowhere:
+      halt zero
+  )");
+  MustHalt(system(), ShadowStackExtension::kViolationExitCode);
+}
+
+TEST_F(ShadowStackTest, PlainJumpsUnaffected) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      menter 38
+      j over               # jal x0: intercepted but emulated transparently
+      halt zero
+    over:
+      la t0, target
+      jr t0                # jalr through non-ra register: plain jump
+      halt zero
+    target:
+      li a0, 0
+      menter 38
+      li a0, 33
+      halt a0
+  )");
+  MustHalt(system(), 33);
+}
+
+// ---- In-process isolation ---------------------------------------------------
+
+class IsolationTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(IsolationExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program));
+    ASSERT_OK(system_->Boot());
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+constexpr const char* kIsolationProgram = R"(
+    .equ SECRET_VADDR, 0x00300000
+  _start:
+    la a0, gate
+    menter 14              # iso_setup: register the gate
+    bnez a0, fail
+    # direct access to the secret page must fault (key closed)
+    li t0, SECRET_VADDR
+    lw a0, 0(t0)           # -> key violation -> violation handler
+    halt zero
+  after_direct:
+    # now go through the compartment gate
+    menter 12              # iso_enter
+    halt zero
+  gate:                    # trusted compartment: key open here
+    li t0, SECRET_VADDR
+    lw s1, 0(t0)           # works
+    menter 13              # iso_exit -> returns to after iso_enter... m31=caller
+  back:
+    halt zero
+  fail:
+    li a0, 0xE9
+    halt a0
+  violation:
+    # key violation lands here (delegated); continue at after_direct
+    li a0, 1
+    halt a0
+)";
+
+TEST_F(IsolationTest, SecretInaccessibleOutsideCompartment) {
+  Boot(kIsolationProgram);
+  // Map the program + secret page with paging; secret page carries key 2.
+  Core& c = core();
+  for (uint32_t page = 0; page < 16; ++page) {
+    c.mmu().tlb().Insert(0x1000 + page * 4096,
+                         MakePte(0x1000 + page * 4096, kPteR | kPteW | kPteX), 0);
+  }
+  c.mmu().tlb().Insert(0x00300000,
+                       MakePte(0x00300000, kPteR | kPteW, IsolationExtension::kSecretKey), 0);
+  c.metal().WriteCreg(kCrPgEnable, 1);
+  // Delegate key violations to a halting mroutine via extra mcode? Use the
+  // undelegated-fatal path instead: expect a fatal mentioning key_violation.
+  const RunResult r = system().Run(200000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("key_violation"), std::string::npos);
+}
+
+TEST_F(IsolationTest, GateCanReadSecret) {
+  Boot(R"(
+      .equ SECRET_VADDR, 0x00300000
+    _start:
+      la a0, gate
+      menter 14
+      bnez a0, fail
+      menter 12            # iso_enter -> gate
+      mv a0, s1            # secret value read inside the compartment
+      halt a0
+    gate:
+      li t0, SECRET_VADDR
+      lw s1, 0(t0)
+      menter 13            # iso_exit: back to the instruction after iso_enter
+      halt zero
+    fail:
+      li a0, 0xE9
+      halt a0
+  )");
+  Core& c = core();
+  for (uint32_t page = 0; page < 16; ++page) {
+    c.mmu().tlb().Insert(0x1000 + page * 4096,
+                         MakePte(0x1000 + page * 4096, kPteR | kPteW | kPteX), 0);
+  }
+  c.mmu().tlb().Insert(0x00300000,
+                       MakePte(0x00300000, kPteR | kPteW, IsolationExtension::kSecretKey), 0);
+  ASSERT_TRUE(c.bus().dram().Write32(0x00300000, 0x5EC2E7));
+  c.metal().WriteCreg(kCrPgEnable, 1);
+  MustHalt(system(), 0x5EC2E7);
+}
+
+TEST_F(IsolationTest, GateRegistrationIsOneShot) {
+  Boot(R"(
+    _start:
+      la a0, g1
+      menter 14
+      bnez a0, fail
+      la a0, g2
+      menter 14            # second registration must be refused
+      li t0, -1
+      bne a0, t0, fail
+      li a0, 0x11
+      halt a0
+    g1:
+      menter 13
+    g2:
+      menter 13
+    fail:
+      li a0, 0xE8
+      halt a0
+  )");
+  MustHalt(system(), 0x11);
+}
+
+// ---- Capabilities -----------------------------------------------------------
+
+class CapsTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(CapabilityExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program));
+    ASSERT_OK(system_->Boot());
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(CapsTest, CreateLoadStoreWithinBounds) {
+  Boot(R"(
+    _start:
+      li a0, 0x00500000    # base
+      li a1, 64            # length
+      li a2, 3             # read + write
+      menter 40            # cap_create -> a0 = id 0
+      bltz a0, fail
+      mv s0, a0
+      # store 77 at offset 8
+      mv a0, s0
+      li a1, 8
+      li a2, 77
+      menter 42            # cap_store
+      bnez a1, fail
+      # load it back
+      mv a0, s0
+      li a1, 8
+      menter 41            # cap_load
+      bnez a1, fail
+      halt a0
+    fail:
+      li a0, 0xC1
+      halt a0
+  )");
+  MustHalt(system(), 77);
+  EXPECT_EQ(core().bus().dram().Read32(0x00500008), 77u);
+}
+
+TEST_F(CapsTest, OutOfBoundsRejected) {
+  Boot(R"(
+    _start:
+      li a0, 0x00500000
+      li a1, 64
+      li a2, 3
+      menter 40
+      mv s0, a0
+      mv a0, s0
+      li a1, 61            # 61 + 4 > 64
+      menter 41
+      li t0, -1
+      bne a1, t0, fail
+      li a0, 0x22
+      halt a0
+    fail:
+      li a0, 0xC2
+      halt a0
+  )");
+  MustHalt(system(), 0x22);
+}
+
+TEST_F(CapsTest, WritePermissionEnforced) {
+  Boot(R"(
+    _start:
+      li a0, 0x00500000
+      li a1, 64
+      li a2, 1             # read-only
+      menter 40
+      mv s0, a0
+      mv a0, s0
+      li a1, 0
+      li a2, 5
+      menter 42            # cap_store must fail
+      li t0, -1
+      bne a1, t0, fail
+      li a0, 0x33
+      halt a0
+    fail:
+      li a0, 0xC3
+      halt a0
+  )");
+  MustHalt(system(), 0x33);
+}
+
+TEST_F(CapsTest, RevokedCapabilityDies) {
+  Boot(R"(
+    _start:
+      li a0, 0x00500000
+      li a1, 64
+      li a2, 3
+      menter 40
+      mv s0, a0
+      mv a0, s0
+      menter 43            # cap_revoke
+      bnez a0, fail
+      mv a0, s0
+      li a1, 0
+      menter 41            # cap_load on revoked id
+      li t0, -1
+      bne a1, t0, fail
+      li a0, 0x44
+      halt a0
+    fail:
+      li a0, 0xC4
+      halt a0
+  )");
+  MustHalt(system(), 0x44);
+}
+
+TEST_F(CapsTest, CreateRequiresKernelPrivilege) {
+  Boot(R"(
+    _start:
+      li a0, 0x00500000
+      li a1, 64
+      li a2, 3
+      menter 40
+      halt a0              # -1: denied
+  )");
+  core().metal().WriteMreg(0, 1);  // user level
+  MustHalt(system(), 0xFFFFFFFF);
+}
+
+// ---- Enclaves ---------------------------------------------------------------
+
+class EnclaveTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(EnclaveExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program));
+    ASSERT_OK(system_->Boot());
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(EnclaveTest, CreateEnterExitRoundTrip) {
+  Boot(R"(
+    _start:
+      la a0, enclave_code
+      li a1, 16            # 4 instructions
+      menter 48            # encl_create (we are kernel: m0 == 0)
+      bnez a0, fail
+      menter 49            # encl_enter -> jumps to enclave_code at level 2
+      # returned here via encl_exit
+      halt s2
+    fail:
+      li a0, 0xD1
+      halt a0
+    .align 4
+    enclave_code:
+      li s2, 0x42
+      menter 50            # encl_exit
+      nop
+      nop
+  )");
+  MustHalt(system(), 0x42);
+  // Privilege restored after exit.
+  EXPECT_EQ(core().metal().ReadMreg(0), 0u);
+}
+
+TEST_F(EnclaveTest, MeasurementMatchesHost) {
+  Boot(R"(
+    _start:
+      la a0, enclave_code
+      li a1, 16
+      menter 48
+      menter 51            # encl_measure
+      halt a0
+    .align 4
+    enclave_code:
+      li s2, 0x42
+      menter 50
+      nop
+      nop
+  )");
+  ASSERT_OK(system().Boot());
+  const uint32_t base = *system().Symbol("enclave_code");
+  const RunResult r = system().Run(2'000'000);
+  ASSERT_EQ(r.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(r.exit_code, EnclaveExtension::MeasureRegion(core(), base, 16));
+}
+
+TEST_F(EnclaveTest, EnterRequiresCreatedEnclave) {
+  Boot(R"(
+    _start:
+      menter 49            # no enclave created
+      halt a0              # -1
+  )");
+  MustHalt(system(), 0xFFFFFFFF);
+}
+
+TEST_F(EnclaveTest, OsCannotReadEnclavePages) {
+  // With paging on and the enclave page keyed, the kernel-mode application
+  // (outside the enclave) cannot touch enclave memory.
+  Boot(R"(
+      .equ ENCLAVE_PAGE, 0x00310000
+    _start:
+      li t0, ENCLAVE_PAGE
+      lw a0, 0(t0)         # key violation
+      halt zero
+  )");
+  Core& c = core();
+  for (uint32_t page = 0; page < 16; ++page) {
+    c.mmu().tlb().Insert(0x1000 + page * 4096,
+                         MakePte(0x1000 + page * 4096, kPteR | kPteW | kPteX), 0);
+  }
+  c.mmu().tlb().Insert(0x00310000,
+                       MakePte(0x00310000, kPteR | kPteW, EnclaveExtension::kEnclaveKey), 0);
+  c.metal().WriteCreg(kCrPgEnable, 1);
+  const RunResult r = system().Run(200000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("key_violation"), std::string::npos);
+}
+
+// ---- Nested Metal -----------------------------------------------------------
+
+class NestedTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(NestedMetalExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program));
+    ASSERT_OK(system_->Boot());
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(NestedTest, HigherLayerInterceptsFirst) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      la a1, guest_handler
+      menter 52            # register layer 1
+      li a0, 0
+      la a1, vmm_handler
+      menter 52            # register layer 0
+      li a0, 1
+      menter 55            # enable load interception
+      la t0, slot
+      lw s3, 0(t0)         # intercepted -> guest handler consumes with 0x91
+      li a0, 0
+      menter 55
+      mv a0, s3
+      halt a0
+    guest_handler:
+      li a0, 1             # consume
+      li a2, 0x91
+      menter 54            # nested_ret
+      halt zero
+    vmm_handler:
+      li a0, 1
+      li a2, 0x92
+      menter 54
+      halt zero
+    .data
+    slot: .word 7
+  )");
+  MustHalt(system(), 0x91);
+}
+
+TEST_F(NestedTest, ReusePropagatesDownThenEmulates) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      la a1, guest_handler
+      menter 52
+      li a0, 0
+      la a1, vmm_handler
+      menter 52
+      li a0, 1
+      menter 55
+      la t0, slot
+      lw s3, 0(t0)         # guest reuses -> vmm reuses -> native emulation
+      li a0, 0
+      menter 55
+      mv a0, s3
+      halt a0
+    guest_handler:
+      la t1, guest_mark
+      li t2, 1
+      sw t2, 0(t1)         # NOT intercepted: handlers run... (see note)
+      li a0, 0             # reuse: propagate down
+      menter 54
+      halt zero
+    vmm_handler:
+      li a0, 0             # reuse again: fall through to native emulation
+      menter 54
+      halt zero
+    .data
+    slot: .word 1234
+    guest_mark: .word 0
+  )");
+  MustHalt(system(), 1234);
+}
+
+TEST_F(NestedTest, NoHandlersMeansNativeEmulation) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      menter 55
+      la t0, slot
+      lw s3, 0(t0)
+      li a0, 0
+      menter 55
+      mv a0, s3
+      halt a0
+    .data
+    slot: .word 4321
+  )");
+  MustHalt(system(), 4321);
+}
+
+}  // namespace
+}  // namespace msim

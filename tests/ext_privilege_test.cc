@@ -1,0 +1,184 @@
+// User-defined privilege levels (paper §3.1 / Listing 2).
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "ext/privilege.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+// A mini kernel: syscall 0 adds a1 + a2; syscall 1 reports the privilege
+// level the kernel observes; the fault entry halts with 0xEE.
+constexpr const char* kKernelAndUser = R"(
+    .equ SYS_ADD, 0
+    .equ SYS_NOP, 1
+
+  _start:                     # userspace
+    li a0, SYS_ADD
+    li a1, 30
+    li a2, 12
+    menter 8                  # kenter
+    # back in userspace with the syscall result in a0
+    halt a0
+
+  sys_add:                    # kernel, entered from kenter via the table
+    add a0, a1, a2
+    menter 9                  # kexit -> returns to the saved user ra
+    halt zero                 # unreachable
+
+  sys_nop:
+    menter 9
+    halt zero
+
+  kfault:                     # privilege-fault upcall
+    li a0, 0xEE
+    halt a0
+
+    .data
+  syscall_table:
+    .word sys_add
+    .word sys_nop
+)";
+
+class PrivilegeTest : public ::testing::Test {
+ protected:
+  void BootWith(const char* program_source) {
+    system_ = std::make_unique<MetalSystem>();
+    const Program program = MustAssemble(program_source);
+    ASSERT_OK(PrivilegeExtension::Install(*system_, program.symbols.at("syscall_table"),
+                                          /*syscall_count=*/2,
+                                          program.symbols.at("kfault")));
+    ASSERT_OK(system_->LoadProgram(program));
+    ASSERT_OK(system_->Boot());
+  }
+  MetalSystem& system() { return *system_; }
+  Core& core() { return system_->core(); }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(PrivilegeTest, SyscallRoundTrip) {
+  BootWith(kKernelAndUser);
+  MustHalt(system(), 42);
+  // Back in user mode after kexit.
+  EXPECT_EQ(core().metal().ReadMreg(0), PrivilegeExtension::kUserLevel);
+}
+
+TEST_F(PrivilegeTest, KernelObservesKernelPrivilege) {
+  constexpr const char* kProgram = R"(
+    _start:
+      li a0, 0
+      menter 8
+      halt a0
+    sys_probe:                # reads m0 via a privileged mroutine? The kernel
+      # cannot read m0 directly (rmr is Metal-only), so it calls ktlbflush,
+      # which succeeds only at kernel level, then returns 7.
+      menter 10
+      li a0, 7
+      menter 9
+    kfault:
+      li a0, 0xEE
+      halt a0
+    .data
+    syscall_table:
+      .word sys_probe
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  const Program program = MustAssemble(kProgram);
+  ASSERT_OK(PrivilegeExtension::Install(*system_, program.symbols.at("syscall_table"), 1,
+                                        program.symbols.at("kfault")));
+  ASSERT_OK(system_->LoadProgram(program));
+  MustHalt(system(), 7);
+}
+
+TEST_F(PrivilegeTest, OutOfRangeSyscallHitsFaultEntry) {
+  constexpr const char* kProgram = R"(
+    _start:
+      li a0, 99               # no such syscall
+      menter 8
+      halt zero
+    sys_add:
+      menter 9
+    kfault:
+      li a0, 0xEE
+      halt a0
+    .data
+    syscall_table:
+      .word sys_add
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  const Program program = MustAssemble(kProgram);
+  ASSERT_OK(PrivilegeExtension::Install(*system_, program.symbols.at("syscall_table"), 1,
+                                        program.symbols.at("kfault")));
+  ASSERT_OK(system_->LoadProgram(program));
+  MustHalt(system(), 0xEE);
+}
+
+TEST_F(PrivilegeTest, UserCannotUsePrivilegedTlbFlush) {
+  // Calling ktlbflush from user mode (m0 == 1) must divert to the fault
+  // entry; the TLB stays intact.
+  constexpr const char* kProgram = R"(
+    _start:
+      menter 10               # privileged TLB flush, from user mode
+      halt zero               # unreachable
+    kfault:
+      li a0, 0xEE
+      halt a0
+    .data
+    syscall_table:
+      .word kfault
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  const Program program = MustAssemble(kProgram);
+  ASSERT_OK(PrivilegeExtension::Install(*system_, program.symbols.at("syscall_table"), 1,
+                                        program.symbols.at("kfault")));
+  ASSERT_OK(system_->LoadProgram(program));
+  ASSERT_OK(system_->Boot());
+  core().mmu().tlb().Insert(0x5000, MakePte(0x5000, kPteR), 0);
+  MustHalt(system(), 0xEE);
+  EXPECT_EQ(core().mmu().tlb().ValidCount(), 1u);  // flush did NOT happen
+}
+
+TEST_F(PrivilegeTest, KernelPageKeyOpensAndCloses) {
+  // kenter must open the kernel page key, kexit must close it (batch
+  // permission change through KEYPERM, paper §2.3).
+  constexpr const char* kProgram = R"(
+    _start:
+      li a0, 0
+      menter 8
+      halt a0
+    sys_probe:
+      li a0, 1                # kernel ran
+      menter 9
+    kfault:
+      li a0, 0xEE
+      halt a0
+    .data
+    syscall_table:
+      .word sys_probe
+  )";
+  system_ = std::make_unique<MetalSystem>();
+  const Program program = MustAssemble(kProgram);
+  ASSERT_OK(PrivilegeExtension::Install(*system_, program.symbols.at("syscall_table"), 1,
+                                        program.symbols.at("kfault")));
+  ASSERT_OK(system_->LoadProgram(program));
+  ASSERT_OK(system_->Boot());
+  const uint32_t kernel_bits = 3u << (2 * PrivilegeExtension::kKernelPageKey);
+  // Closed at boot (user mode).
+  EXPECT_EQ(core().metal().ReadCreg(kCrKeyPerm, 0, 0, 0) & kernel_bits, 0u);
+  MustHalt(system(), 1);
+  // Closed again after kexit.
+  EXPECT_EQ(core().metal().ReadCreg(kCrKeyPerm, 0, 0, 0) & kernel_bits, 0u);
+}
+
+TEST_F(PrivilegeTest, ListingTwoShapeIsSmall) {
+  // The paper stresses that kenter/kexit are a handful of instructions.
+  CoreConfig config;
+  auto module = AssembleMcode(PrivilegeExtension::McodeSource(), config);
+  ASSERT_OK(module.status());
+  EXPECT_LT(module->program.text.bytes.size() / 4, 48u);
+  EXPECT_OK(VerifyMcode(*module));
+}
+
+}  // namespace
+}  // namespace msim

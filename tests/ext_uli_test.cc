@@ -1,0 +1,188 @@
+// User-level interrupts (paper §3.4).
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "ext/uli.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+class UliTest : public ::testing::Test {
+ protected:
+  void Boot(const char* program_source) {
+    system_ = std::make_unique<MetalSystem>();
+    ASSERT_OK(UliExtension::Install(*system_));
+    ASSERT_OK(system_->LoadProgramSource(program_source));
+    ASSERT_OK(system_->Boot());
+    core().metal().WriteCreg(kCrIenable, 0xFFFFFFFF);
+  }
+  Core& core() { return system_->core(); }
+  MetalSystem& system() { return *system_; }
+  std::unique_ptr<MetalSystem> system_;
+};
+
+TEST_F(UliTest, NicInterruptDeliveredToUserHandler) {
+  // The "DPDK" process registers a user handler for the NIC line, then waits;
+  // the handler reads the packet word and the main loop halts with it.
+  Boot(R"(
+    .equ NIC_POP, 0xF0002008
+    .equ INTC_ACK, 0xF0000008
+    _start:
+      li sp, 0x9000
+      li a0, 1               # NIC line
+      la a1, rx_handler
+      li a2, 1               # privilege 0 allowed (we run at m0 == 0)
+      menter 34              # uli_register
+      bnez a0, fail
+      # wait for data
+    wait:
+      la t0, mailbox
+      lw t1, 0(t0)
+      beqz t1, wait
+      mv a0, t1
+      halt a0
+    rx_handler:              # runs in NORMAL mode, no kernel involved
+      # like a signal handler: preserve every register we touch (a0 is
+      # saved/restored by the dispatcher itself)
+      addi sp, sp, -8
+      sw t0, 0(sp)
+      sw t1, 4(sp)
+      la t0, mailbox
+      li t1, 0xF0002008
+      lw t1, 0(t1)           # pop the packet word
+      sw t1, 0(t0)
+      li t0, 0xF0000008
+      li t1, 2
+      sw t1, 0(t0)           # ack line 1
+      lw t0, 0(sp)
+      lw t1, 4(sp)
+      addi sp, sp, 8
+      menter 33              # uli_ret: resume the interrupted code
+      halt zero
+    fail:
+      li a0, 0xE1
+      halt a0
+    .data
+    mailbox: .word 0
+  )");
+  core().nic().SchedulePacket(2000, {0x78, 0x56, 0x34, 0x12});
+  MustHalt(system(), 0x12345678);
+  EXPECT_EQ(UliExtension::UserDeliveries(core()).value(), 1u);
+  EXPECT_EQ(core().stats().interrupts, 1u);
+}
+
+TEST_F(UliTest, UnregisteredLineFallsBackToKernel) {
+  Boot(R"(
+    _start:
+      la a0, kirq
+      menter 35              # uli_kernel_set
+      # enable the timer via MMIO and spin
+      li t0, 0xF0001004      # compare
+      li t1, 500
+      sw t1, 0(t0)
+      li t0, 0xF0001008      # ctrl
+      li t1, 1
+      sw t1, 0(t0)
+    spin:
+      j spin
+    kirq:
+      # kernel handler: a0 = cause
+      li t0, 0xF0000008
+      li t1, 1
+      sw t1, 0(t0)           # ack timer
+      halt a0
+  )");
+  const RunResult r = system().Run(100000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted) << r.fatal_message;
+  EXPECT_EQ(r.exit_code, kInterruptCauseFlag | kIrqTimer);
+  EXPECT_EQ(UliExtension::UserDeliveries(core()).value(), 0u);
+}
+
+TEST_F(UliTest, DisallowedPrivilegeFallsBackToKernel) {
+  // Register a user handler whose allowed-privilege mask excludes level 0.
+  Boot(R"(
+    _start:
+      la a0, kirq
+      menter 35
+      li a0, 1
+      la a1, user_handler
+      li a2, 2               # only privilege level 1 may take it; we are 0
+      menter 34
+    spin:
+      j spin
+    user_handler:
+      li a0, 0xE2
+      halt a0
+    kirq:
+      li t0, 0xF0000008
+      li t1, 2
+      sw t1, 0(t0)
+      li a0, 0xE3
+      halt a0
+  )");
+  core().nic().SchedulePacket(1000, {1});
+  MustHalt(system(), 0xE3);
+  EXPECT_EQ(UliExtension::UserDeliveries(core()).value(), 0u);
+}
+
+TEST_F(UliTest, LineMaskedDuringUserHandlerThenRearmed) {
+  // Two packets: the second arrives while the first handler runs; it must be
+  // delivered only after uli_ret re-enables the line.
+  Boot(R"(
+    _start:
+      li a0, 1
+      la a1, rx_handler
+      li a2, 1
+      menter 34
+    wait:
+      la t0, count
+      lw t1, 0(t0)
+      li t2, 2
+      blt t1, t2, wait
+      mv a0, t1
+      halt a0
+    rx_handler:
+      la t0, count
+      lw t1, 0(t0)
+      addi t1, t1, 1
+      sw t1, 0(t0)
+      # drop the packet and ack
+      li t0, 0xF000200C
+      sw zero, 0(t0)
+      li t0, 0xF0000008
+      li t1, 2
+      sw t1, 0(t0)
+      # burn time so packet 2 arrives while we are still in the handler
+      li t3, 400
+    burn:
+      addi t3, t3, -1
+      bnez t3, burn
+      menter 33
+      halt zero
+    .data
+    count: .word 0
+  )");
+  core().nic().SchedulePacket(1500, {1});
+  core().nic().SchedulePacket(1700, {2});
+  MustHalt(system(), 2);
+  EXPECT_EQ(UliExtension::UserDeliveries(core()).value(), 2u);
+}
+
+TEST_F(UliTest, RegistrationRequiresKernelPrivilege) {
+  Boot(R"(
+    _start:
+      li a0, 1
+      la a1, h
+      li a2, 1
+      menter 34
+      halt a0              # -1 expected (denied)
+    h:
+      halt zero
+  )");
+  core().metal().WriteMreg(0, 1);  // user privilege
+  MustHalt(system(), 0xFFFFFFFF);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,274 @@
+// Cross-extension integration tests: all extensions loaded into one MRAM
+// image, a miniature OS combining privilege levels, custom page tables and
+// preemptive timer interrupts, and ASID-based address-space isolation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cpu/creg.h"
+#include "ext/caps.h"
+#include "ext/cpt.h"
+#include "ext/enclave.h"
+#include "ext/isolation.h"
+#include "ext/nested.h"
+#include "ext/privilege.h"
+#include "ext/shadowstack.h"
+#include "ext/stm.h"
+#include "ext/uli.h"
+#include "metal/mroutine.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+TEST(IntegrationTest, AllExtensionsCoexistInOneMramImage) {
+  // Every extension installs simultaneously: entry numbers and MRAM data
+  // ranges must not collide, and the combined image must verify and fit.
+  MetalSystem system;
+  const Program probe = MustAssemble(R"(
+    _start:
+      halt zero
+    kfault:
+      halt zero
+    .data
+    syscall_table: .word kfault
+  )");
+  ASSERT_OK(PrivilegeExtension::Install(system, probe.symbols.at("syscall_table"), 1,
+                                        probe.symbols.at("kfault")));
+  ASSERT_OK(IsolationExtension::Install(system));
+  ASSERT_OK(CustomPageTable::Install(system, 0));
+  ASSERT_OK(StmExtension::Install(system, 0x00700000, 0x00704000, 1024));
+  ASSERT_OK(UliExtension::Install(system));
+  ASSERT_OK(ShadowStackExtension::Install(system));
+  ASSERT_OK(CapabilityExtension::Install(system));
+  ASSERT_OK(EnclaveExtension::Install(system));
+  ASSERT_OK(NestedMetalExtension::Install(system));
+  ASSERT_OK(system.LoadProgram(probe));
+  ASSERT_OK(system.Boot());
+  // Every advertised entry resolves to a distinct MRAM address.
+  std::set<uint32_t> addresses;
+  for (const uint32_t entry :
+       {PrivilegeExtension::kKenterEntry, PrivilegeExtension::kKexitEntry,
+        IsolationExtension::kEnterEntry, CustomPageTable::kFaultEntry,
+        StmExtension::kTstartEntry, StmExtension::kTcommitEntry, UliExtension::kDispatchEntry,
+        ShadowStackExtension::kCallEntry, CapabilityExtension::kCreateEntry,
+        EnclaveExtension::kCreateEntry, NestedMetalExtension::kDispatchEntry}) {
+    auto addr = system.EntryAddress(entry);
+    ASSERT_OK(addr.status());
+    EXPECT_TRUE(addresses.insert(*addr).second) << "entry " << entry << " address collision";
+  }
+  MustHalt(system, 0);
+}
+
+TEST(IntegrationTest, MiniOsWithPagingSyscallsAndPreemption) {
+  // A miniature OS: user code runs under custom page tables, makes syscalls
+  // through kenter/kexit, and a periodic timer interrupt increments a tick
+  // counter in the kernel — all three mechanisms active at once.
+  constexpr const char* kOsImage = R"(
+      .equ INTC_ACK, 0xF0000008
+    _start:                    # "userspace"
+      li s0, 2000
+    compute:
+      addi s1, s1, 1
+      addi s0, s0, -1
+      bnez s0, compute
+      li a0, 0                 # sys_ticks
+      menter 8
+      halt a0                  # exit with the kernel's tick count
+
+    sys_ticks:                 # kernel: report timer ticks
+      la t0, ticks
+      lw a0, 0(t0)
+      menter 9
+
+    kirq:                      # kernel interrupt handler (from ULI fallback)
+      # ULI dispatcher saved a0 in m6 and set kernel privilege.
+      la t1, ticks
+      lw t2, 0(t1)
+      addi t2, t2, 1
+      sw t2, 0(t1)
+      li t1, 0xF0000008
+      li t2, 1
+      sw t2, 0(t1)             # ack the timer line
+      menter 33                # uli_ret: restore a0, unmask, resume user
+
+    kfault:
+      li a0, 0xEE
+      halt a0
+
+    .data
+    syscall_table:
+      .word sys_ticks
+    ticks:
+      .word 0
+  )";
+
+  MetalSystem system;
+  const Program program = MustAssemble(kOsImage);
+  ASSERT_OK(PrivilegeExtension::Install(system, program.symbols.at("syscall_table"), 1,
+                                        program.symbols.at("kfault")));
+  ASSERT_OK(CustomPageTable::Install(system, program.symbols.at("kfault")));
+  ASSERT_OK(UliExtension::Install(system));
+  ASSERT_OK(system.LoadProgram(program));
+  ASSERT_OK(system.Boot());
+
+  Core& core = system.core();
+  // Page tables: identity-map text/data and the MMIO pages the kernel uses.
+  CustomPageTable cpt(core, 0x00400000, 0x00100000);
+  const uint32_t root = *cpt.CreateAddressSpace();
+  for (uint32_t page = 0; page < 16; ++page) {
+    ASSERT_OK(cpt.Map(root, page * 4096, page * 4096, kPteR | kPteW | kPteX));
+  }
+  for (uint32_t page = 0; page < 4; ++page) {
+    const uint32_t addr = 0x00100000 + page * 4096;
+    ASSERT_OK(cpt.Map(root, addr, addr, kPteR | kPteW));
+  }
+  ASSERT_OK(cpt.Map(root, 0xF0000000, 0xF0000000, kPteR | kPteW));  // intc ack
+  ASSERT_OK(cpt.Activate(root));
+  core.metal().WriteCreg(kCrPgEnable, 1);
+  // Kernel registers its interrupt handler through the ULI fallback path.
+  ASSERT_TRUE(core.mram().WriteData32(UliExtension::kDataKernel,
+                                      program.symbols.at("kirq")));
+  core.metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+  core.timer().Write32(12, 700);  // periodic, every 700 cycles
+  core.timer().Write32(4, 700);
+  core.timer().Write32(8, 1);
+
+  const RunResult result = system.Run(2'000'000);
+  ASSERT_EQ(result.reason, RunResult::Reason::kHalted) << result.fatal_message;
+  EXPECT_GE(result.exit_code, 5u);  // several ticks observed through a syscall
+  EXPECT_GT(core.stats().interrupts, 0u);
+  EXPECT_GT(core.mmu().tlb().stats().misses, 0u);  // paging really was on
+}
+
+TEST(IntegrationTest, AsidSeparatesAddressSpacesWithoutFlush) {
+  // Two "processes" map the same virtual page to different frames under
+  // different ASIDs; switching the ASID control register flips the view
+  // without flushing the TLB (paper §2.3: "Address space IDs allow TLBs to
+  // cache multiple address spaces").
+  MetalSystem system;
+  system.AddMcode(R"(
+      .equ CR_ASID, 4
+      .mentry 1, set_asid       # a0 = new ASID
+    set_asid:
+      wcr CR_ASID, a0
+      mexit
+  )");
+  ASSERT_OK(system.LoadProgramSource(R"(
+      .equ SHARED_VADDR, 0x00A00000
+    _start:
+      li a0, 1
+      menter 1                  # run as process 1
+      li t0, 0x00A00000
+      lw s1, 0(t0)
+      li a0, 2
+      menter 1                  # switch to process 2
+      li t0, 0x00A00000
+      lw s2, 0(t0)
+      li a0, 1
+      menter 1                  # and back: must still hit the TLB
+      li t0, 0x00A00000
+      lw s3, 0(t0)
+      bne s1, s3, fail
+      slli a0, s1, 8
+      or a0, a0, s2
+      halt a0
+    fail:
+      li a0, 0xBD
+      halt a0
+  )"));
+  ASSERT_OK(system.Boot());
+  Core& core = system.core();
+  // Kernel-prepared TLB: code pages global, the shared vaddr per-ASID.
+  for (uint32_t page = 0; page < 16; ++page) {
+    core.mmu().tlb().Insert(0x1000 + page * 4096,
+                            MakePte(0x1000 + page * 4096, kPteR | kPteW | kPteX, 0,
+                                    /*global=*/true),
+                            0);
+  }
+  core.mmu().tlb().Insert(0x00A00000, MakePte(0x00180000, kPteR), /*asid=*/1);
+  core.mmu().tlb().Insert(0x00A00000, MakePte(0x00190000, kPteR), /*asid=*/2);
+  ASSERT_TRUE(core.bus().dram().Write32(0x00180000, 0x11));
+  ASSERT_TRUE(core.bus().dram().Write32(0x00190000, 0x22));
+  core.metal().WriteCreg(kCrPgEnable, 1);
+  MustHalt(system, (0x11 << 8) | 0x22);
+}
+
+TEST(IntegrationTest, ShadowStackSurvivesTimerInterrupts) {
+  // Control-flow protection must stay consistent when interrupts preempt the
+  // program between intercepted calls and returns.
+  MetalSystem system;
+  ASSERT_OK(ShadowStackExtension::Install(system));
+  ASSERT_OK(UliExtension::Install(system));
+  ASSERT_OK(system.LoadProgramSource(R"(
+    _start:
+      li sp, 0x8000
+      la a0, kirq
+      menter 35              # uli_kernel_set
+      li a0, 1
+      menter 38              # shadow stack on
+      li s0, 200
+    loop:
+      call f
+      addi s0, s0, -1
+      bnez s0, loop
+      li a0, 0
+      menter 38              # off
+      halt s1
+    f:
+      addi sp, sp, -4
+      sw ra, 0(sp)
+      call g
+      lw ra, 0(sp)
+      addi sp, sp, 4
+      ret
+    g:
+      addi s1, s1, 1
+      ret
+    kirq:
+      # count and ack; no calls (handler runs with interception armed)
+      la t1, irqs
+      lw t2, 0(t1)
+      addi t2, t2, 1
+      sw t2, 0(t1)
+      li t1, 0xF0000008
+      li t2, 1
+      sw t2, 0(t1)
+      menter 33
+    .data
+    irqs: .word 0
+  )"));
+  ASSERT_OK(system.Boot());
+  Core& core = system.core();
+  core.metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+  core.timer().Write32(12, 150);
+  core.timer().Write32(4, 150);
+  core.timer().Write32(8, 1);
+  MustHalt(system, 200);
+  const uint32_t irqs = core.bus().dram().Read32(*system.Symbol("irqs")).value_or(0);
+  EXPECT_GT(irqs, 3u);
+  EXPECT_GT(core.stats().intercepts, 700u);  // calls + returns, repeatedly
+}
+
+TEST(IntegrationTest, CombinedImageStillFitsMram) {
+  MetalSystem system;
+  std::string all;
+  for (const char* source :
+       {PrivilegeExtension::McodeSource(), IsolationExtension::McodeSource(),
+        CustomPageTable::McodeSource(), StmExtension::McodeSource(),
+        UliExtension::McodeSource(), ShadowStackExtension::McodeSource(),
+        CapabilityExtension::McodeSource(), EnclaveExtension::McodeSource(),
+        NestedMetalExtension::McodeSource()}) {
+    all += source;
+    all += "\n";
+  }
+  auto module = AssembleMcode(all, CoreConfig{});
+  ASSERT_OK(module.status());
+  EXPECT_OK(VerifyMcode(*module));
+  // Report the footprint: the whole catalogue of paper applications fits in
+  // a fraction of the 16 KiB MRAM.
+  EXPECT_LT(module->program.text.bytes.size(), kMramCodeSize / 2);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,217 @@
+// Interrupt delivery: delegation to mroutines, enable/pending masking, and
+// Metal-mode non-interruptibility (paper §2.1).
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+class InterruptTest : public ::testing::Test {
+ protected:
+  void Boot(std::string_view mcode, std::string_view program,
+            const CoreConfig& config = CoreConfig{}) {
+    core_ = std::make_unique<Core>(config);
+    MustLoadMcodeRaw(*core_, mcode);
+    ASSERT_OK(core_->LoadProgram(MustAssemble(program)));
+  }
+  Core& core() { return *core_; }
+  std::unique_ptr<Core> core_;
+};
+
+// Counts timer interrupts in MRAM data[0]; acks the device each time.
+constexpr const char* kTimerHandler = R"(
+    .mentry 1, irq
+  irq:
+    wmr m10, t0
+    wmr m11, t1
+    mld t0, 0(zero)
+    addi t0, t0, 1
+    mst t0, 0(zero)
+    # ack: W1C the timer line in the interrupt controller
+    li t0, 0xF0000008
+    li t1, 1
+    psw t1, 0(t0)
+    rmr t0, m10
+    rmr t1, m11
+    mexit              # m31 = interrupted pc: resume exactly
+)";
+
+TEST_F(InterruptTest, TimerInterruptDelivered) {
+  Boot(kTimerHandler, R"(
+    _start:
+      li t2, 20000
+    loop:
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+  core().timer().Write32(12, 1000);  // interval
+  core().timer().Write32(4, 1000);   // compare
+  core().timer().Write32(8, 1);      // enable
+  const RunResult r = core().Run(2'000'000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted) << r.fatal_message;
+  const uint32_t count = core().mram().ReadData32(0).value_or(0);
+  EXPECT_GE(count, 10u);
+  EXPECT_EQ(core().stats().interrupts, count);
+}
+
+TEST_F(InterruptTest, MaskedInterruptNotDelivered) {
+  Boot(kTimerHandler, R"(
+    _start:
+      li t2, 5000
+    loop:
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 0);  // all masked
+  core().timer().Write32(12, 500);
+  core().timer().Write32(4, 500);
+  core().timer().Write32(8, 1);
+  MustHalt(core(), 0);
+  EXPECT_EQ(core().stats().interrupts, 0u);
+  EXPECT_NE(core().intc().pending(), 0u);  // raised but not taken
+}
+
+TEST_F(InterruptTest, InterruptResumesInterruptedLoopCorrectly) {
+  // The loop result must be unaffected by interrupts (precise resume).
+  Boot(kTimerHandler, R"(
+    _start:
+      li a0, 0
+      li t2, 10000
+    loop:
+      addi a0, a0, 1
+      addi t2, t2, -1
+      bnez t2, loop
+      halt a0
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+  core().timer().Write32(12, 777);
+  core().timer().Write32(4, 777);
+  core().timer().Write32(8, 1);
+  MustHalt(core(), 10000);
+  EXPECT_GT(core().stats().interrupts, 0u);
+}
+
+TEST_F(InterruptTest, MroutinesAreNonInterruptible) {
+  // A long-running mroutine must never be interrupted: the handler would
+  // observe a Metal-mode re-entry (fatal) if delivery were attempted.
+  Boot(R"(
+      .mentry 1, irq
+    irq:
+      mld t0, 0(zero)
+      addi t0, t0, 1
+      mst t0, 0(zero)
+      li t0, 0xF0000008
+      li t1, 1
+      psw t1, 0(t0)
+      mexit
+      .mentry 2, long_routine
+    long_routine:
+      li t0, 3000          # longer than the timer interval
+    spin:
+      addi t0, t0, -1
+      bnez t0, spin
+      li a0, 1
+      mexit
+  )",
+       R"(
+    _start:
+      menter 2
+      # interrupts only fire here, after the mroutine completes
+      li t2, 5000
+    loop:
+      addi t2, t2, -1
+      bnez t2, loop
+      halt a0
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+  core().timer().Write32(12, 100);
+  core().timer().Write32(4, 100);
+  core().timer().Write32(8, 1);
+  const RunResult r = core().Run(2'000'000);
+  // No fatal: delivery was deferred until normal mode.
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted) << r.fatal_message;
+  EXPECT_EQ(r.exit_code, 1u);
+  EXPECT_GT(core().stats().interrupts, 0u);
+}
+
+TEST_F(InterruptTest, SoftwareInterruptViaIntcRegister) {
+  Boot(R"(
+      .mentry 1, irq
+    irq:
+      rcr a0, 0              # cause
+      li t0, 0xF0000008
+      li t1, 8               # ack software line (3)
+      psw t1, 0(t0)
+      # skip halt-loop: jump to done
+      mld t0, 4(zero)
+      wmr m31, t0
+      mexit
+  )",
+       R"(
+    _start:
+      li t0, 0xF0000004      # intc RAISE register
+      li t1, 8               # line 3
+      sw t1, 0(t0)
+    spin:
+      j spin
+    done:
+      halt a0
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 1u << kIrqSoftware);
+  // Tell the handler where "done" is via MRAM data[4].
+  const Program program = MustAssemble(R"(
+    _start:
+      li t0, 0xF0000004
+      li t1, 8
+      sw t1, 0(t0)
+    spin:
+      j spin
+    done:
+      halt a0
+  )");
+  ASSERT_TRUE(core().mram().WriteData32(4, program.symbols.at("done")));
+  const RunResult r = core().Run(1'000'000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted) << r.fatal_message;
+  EXPECT_EQ(r.exit_code, kInterruptCauseFlag | kIrqSoftware);
+}
+
+TEST_F(InterruptTest, NicInterruptWakesReceiver) {
+  Boot(R"(
+      .mentry 1, irq
+    irq:
+      # read one word from the NIC and stash it for the app
+      li t0, 0xF0002008      # RX_POP
+      plw t1, 0(t0)
+      mst t1, 8(zero)
+      li t0, 0xF0000008
+      li t1, 2               # ack NIC line (1)
+      psw t1, 0(t0)
+      li t2, 1
+      mst t2, 12(zero)       # flag: got it
+      mexit
+  )",
+       R"(
+    _start:
+    wait:
+      j wait
+  )");
+  core().metal().DelegateIrq(1);
+  core().metal().WriteCreg(kCrIenable, 1u << kIrqNic);
+  core().nic().SchedulePacket(500, {0xAA, 0xBB, 0xCC, 0xDD});
+  (void)core().Run(2000);
+  EXPECT_EQ(core().mram().ReadData32(8).value_or(0), 0xDDCCBBAAu);
+  EXPECT_EQ(core().mram().ReadData32(12).value_or(0), 1u);
+}
+
+}  // namespace
+}  // namespace msim

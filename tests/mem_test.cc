@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "dev/console.h"
+#include "dev/intc.h"
+#include "dev/nic.h"
+#include "dev/timer.h"
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "mem/mram.h"
+#include "mem/phys_mem.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+TEST(PhysicalMemoryTest, ReadWriteWidths) {
+  PhysicalMemory mem(4096);
+  EXPECT_TRUE(mem.Write32(0, 0xDEADBEEF));
+  EXPECT_EQ(mem.Read32(0), 0xDEADBEEFu);
+  EXPECT_EQ(mem.Read8(0), 0xEF);   // little-endian
+  EXPECT_EQ(mem.Read8(3), 0xDE);
+  EXPECT_EQ(mem.Read16(0), 0xBEEF);
+  EXPECT_TRUE(mem.Write8(1, 0x11));
+  EXPECT_EQ(mem.Read32(0), 0xDEAD11EFu);
+  EXPECT_TRUE(mem.Write16(2, 0x2233));
+  EXPECT_EQ(mem.Read32(0), 0x223311EFu);
+}
+
+TEST(PhysicalMemoryTest, OutOfRange) {
+  PhysicalMemory mem(16);
+  EXPECT_FALSE(mem.Read32(13).has_value());
+  EXPECT_FALSE(mem.Read32(16).has_value());
+  EXPECT_TRUE(mem.Read32(12).has_value());
+  EXPECT_FALSE(mem.Write32(0xFFFFFFFE, 1));  // overflow guard
+  EXPECT_FALSE(mem.Read8(16).has_value());
+}
+
+TEST(PhysicalMemoryTest, LoadSection) {
+  PhysicalMemory mem(64);
+  Section section;
+  section.base = 8;
+  section.bytes = {1, 2, 3, 4};
+  ASSERT_OK(mem.LoadSection(section));
+  EXPECT_EQ(mem.Read32(8), 0x04030201u);
+  section.base = 62;
+  EXPECT_FALSE(mem.LoadSection(section).ok());
+}
+
+TEST(BusTest, RoutesDramAndDevices) {
+  Bus bus(4096);
+  ConsoleDevice console;
+  ASSERT_OK(bus.AttachDevice(ConsoleDevice::kDefaultBase, &console));
+  EXPECT_TRUE(bus.Write32(0, 7));
+  EXPECT_EQ(bus.Read32(0), 7u);
+  EXPECT_TRUE(bus.Write32(ConsoleDevice::kDefaultBase, 'A'));
+  EXPECT_TRUE(bus.Write32(ConsoleDevice::kDefaultBase, 'B'));
+  EXPECT_EQ(console.output(), "AB");
+}
+
+TEST(BusTest, UnmappedMmioFails) {
+  Bus bus(4096);
+  EXPECT_FALSE(bus.Read32(0xF0000000).has_value());
+  EXPECT_FALSE(bus.Write32(0xF0000000, 1));
+}
+
+TEST(BusTest, RejectsOverlappingDevices) {
+  Bus bus(4096);
+  ConsoleDevice a;
+  ConsoleDevice b;
+  ASSERT_OK(bus.AttachDevice(0xF0000000, &a));
+  EXPECT_FALSE(bus.AttachDevice(0xF0000800, &b).ok());
+  EXPECT_OK(bus.AttachDevice(0xF0001000, &b));
+}
+
+TEST(BusTest, SubWordMmioRejected) {
+  Bus bus(4096);
+  ConsoleDevice console;
+  ASSERT_OK(bus.AttachDevice(0xF0000000, &console));
+  EXPECT_FALSE(bus.Read8(0xF0000000).has_value());
+  EXPECT_FALSE(bus.Write16(0xF0000000, 1));
+}
+
+TEST(CacheTest, HitAfterMiss) {
+  Cache cache(4, 16, 1, 20);
+  EXPECT_EQ(cache.Access(0x100), 20u);  // cold miss
+  EXPECT_EQ(cache.Access(0x100), 1u);   // hit
+  EXPECT_EQ(cache.Access(0x104), 1u);   // same line
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, ConflictEviction) {
+  Cache cache(4, 16, 1, 20);
+  // 4 lines x 16 bytes: addresses 0 and 64 share index 0.
+  EXPECT_EQ(cache.Access(0), 20u);
+  EXPECT_EQ(cache.Access(64), 20u);  // evicts 0
+  EXPECT_EQ(cache.Access(0), 20u);   // miss again
+}
+
+TEST(CacheTest, ProbeDoesNotModify) {
+  Cache cache(4, 16, 1, 20);
+  EXPECT_FALSE(cache.Probe(0x40));
+  cache.Access(0x40);
+  EXPECT_TRUE(cache.Probe(0x40));
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CacheTest, InvalidateAll) {
+  Cache cache(4, 16, 1, 20);
+  cache.Access(0);
+  cache.InvalidateAll();
+  EXPECT_EQ(cache.Access(0), 20u);
+}
+
+TEST(MramTest, CodeFetch) {
+  Mram mram;
+  EXPECT_TRUE(mram.WriteCodeWord(0, 0x12345678));
+  EXPECT_EQ(mram.FetchWord(kMramCodeBase), 0x12345678u);
+  EXPECT_FALSE(mram.FetchWord(kMramCodeBase - 4).has_value());
+  EXPECT_FALSE(mram.FetchWord(kMramCodeBase + kMramCodeSize).has_value());
+  EXPECT_FALSE(mram.FetchWord(kMramCodeBase + 2).has_value());  // misaligned
+}
+
+TEST(MramTest, DataSegment) {
+  Mram mram;
+  EXPECT_TRUE(mram.WriteData32(0, 0xAABBCCDD));
+  EXPECT_EQ(mram.ReadData32(0), 0xAABBCCDDu);
+  EXPECT_TRUE(mram.WriteData32(kMramDataSize - 4, 1));
+  EXPECT_FALSE(mram.WriteData32(kMramDataSize, 1));
+  EXPECT_FALSE(mram.ReadData32(kMramDataSize - 2).has_value());
+}
+
+TEST(MramTest, InCodeRange) {
+  EXPECT_TRUE(Mram::InCodeRange(kMramCodeBase));
+  EXPECT_TRUE(Mram::InCodeRange(kMramCodeBase + kMramCodeSize - 4));
+  EXPECT_FALSE(Mram::InCodeRange(kMramCodeBase - 1));
+  EXPECT_FALSE(Mram::InCodeRange(0x1000));
+}
+
+TEST(IntcTest, RaiseAckViaRegisters) {
+  InterruptController intc;
+  intc.Raise(3);
+  EXPECT_EQ(intc.Read32(0), 8u);
+  intc.Write32(4, 0x10);  // software raise line 4
+  EXPECT_EQ(intc.pending(), 0x18u);
+  intc.Write32(8, 0x08);  // W1C ack line 3
+  EXPECT_EQ(intc.pending(), 0x10u);
+}
+
+TEST(TimerTest, OneShotFires) {
+  InterruptController intc;
+  TimerDevice timer;
+  timer.Write32(4, 10);  // compare
+  timer.Write32(8, 1);   // enable
+  for (uint64_t cycle = 1; cycle < 10; ++cycle) {
+    timer.Tick(cycle, intc);
+    EXPECT_EQ(intc.pending(), 0u) << cycle;
+  }
+  timer.Tick(10, intc);
+  EXPECT_EQ(intc.pending(), 1u << kIrqTimer);
+  intc.Clear(kIrqTimer);
+  timer.Tick(11, intc);
+  EXPECT_EQ(intc.pending(), 0u);  // one-shot
+}
+
+TEST(TimerTest, PeriodicRearms) {
+  InterruptController intc;
+  TimerDevice timer;
+  timer.Write32(12, 10);  // interval
+  timer.Write32(4, 10);
+  timer.Write32(8, 1);
+  int fires = 0;
+  for (uint64_t cycle = 1; cycle <= 35; ++cycle) {
+    timer.Tick(cycle, intc);
+    if (intc.pending() != 0) {
+      ++fires;
+      intc.Clear(kIrqTimer);
+    }
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(NicTest, PacketDeliveryAndDrain) {
+  InterruptController intc;
+  NicDevice nic;
+  nic.SchedulePacket(5, {1, 2, 3, 4, 5});
+  nic.Tick(4, intc);
+  EXPECT_EQ(nic.rx_queued(), 0u);
+  nic.Tick(5, intc);
+  EXPECT_EQ(nic.rx_queued(), 1u);
+  EXPECT_EQ(intc.pending(), 1u << kIrqNic);
+  EXPECT_EQ(nic.Read32(4), 5u);           // length
+  EXPECT_EQ(nic.Read32(8), 0x04030201u);  // first word
+  EXPECT_EQ(nic.Read32(8), 0x00000005u);  // tail word, zero-padded
+  EXPECT_EQ(nic.rx_queued(), 0u);
+}
+
+TEST(NicTest, OrderedByArrival) {
+  InterruptController intc;
+  NicDevice nic;
+  nic.SchedulePacket(20, {2});
+  nic.SchedulePacket(10, {1});
+  nic.Tick(30, intc);
+  EXPECT_EQ(nic.rx_queued(), 2u);
+  EXPECT_EQ(nic.Read32(8) & 0xFF, 1u);
+  EXPECT_EQ(nic.Read32(8) & 0xFF, 2u);
+}
+
+TEST(NicTest, DropHead) {
+  InterruptController intc;
+  NicDevice nic;
+  nic.SchedulePacket(0, {9});
+  nic.Tick(1, intc);
+  nic.Write32(12, 1);
+  EXPECT_EQ(nic.rx_queued(), 0u);
+}
+
+TEST(ConsoleTest, ExitCodeLatch) {
+  ConsoleDevice console;
+  console.Write32(4, 55);
+  EXPECT_EQ(console.Read32(4), 55u);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,150 @@
+// Direct unit tests of the Metal hardware unit (register file, control
+// registers, delegation, intercept matchers, operand latch).
+#include <gtest/gtest.h>
+
+#include "cpu/creg.h"
+#include "cpu/metal_unit.h"
+#include "isa/encoding.h"
+
+namespace msim {
+namespace {
+
+TEST(MetalUnitTest, ResetState) {
+  MetalUnit unit;
+  for (uint8_t i = 0; i < kNumMetalRegisters; ++i) {
+    EXPECT_EQ(unit.ReadMreg(i), 0u);
+  }
+  EXPECT_EQ(unit.ReadCreg(kCrKeyPerm, 0, 0, 0), 0xFFFFFFFFu);  // permissive
+  EXPECT_EQ(unit.DelegatedEntry(ExcCause::kEcall), kNoDelegation);
+  EXPECT_EQ(unit.IrqEntry(), kNoDelegation);
+  EXPECT_FALSE(unit.AnyInterceptEnabled());
+}
+
+TEST(MetalUnitTest, MregReadWrite) {
+  MetalUnit unit;
+  unit.WriteMreg(5, 0xABCD);
+  EXPECT_EQ(unit.ReadMreg(5), 0xABCDu);
+  unit.WriteMreg(kMetalLinkRegister, 0x1234);
+  EXPECT_EQ(unit.ReadMreg(31), 0x1234u);
+}
+
+TEST(MetalUnitTest, CountersComeFromCore) {
+  MetalUnit unit;
+  EXPECT_EQ(unit.ReadCreg(kCrCycle, 0x100000005ull, 77, 0), 5u);
+  EXPECT_EQ(unit.ReadCreg(kCrCycleH, 0x100000005ull, 77, 0), 1u);
+  EXPECT_EQ(unit.ReadCreg(kCrInstret, 0, 77, 0), 77u);
+  EXPECT_EQ(unit.ReadCreg(kCrIpend, 0, 0, 0xA5), 0xA5u);
+  // All read-only: writes are ignored.
+  unit.WriteCreg(kCrCycle, 99);
+  unit.WriteCreg(kCrIpend, 99);
+  EXPECT_EQ(unit.ReadCreg(kCrCycle, 5, 0, 0), 5u);
+  EXPECT_EQ(unit.ReadCreg(kCrIpend, 0, 0, 3), 3u);
+}
+
+TEST(MetalUnitTest, DelegationViaControlRegisters) {
+  MetalUnit unit;
+  unit.WriteCreg(kCrDelegBase + static_cast<uint32_t>(ExcCause::kEcall), 9);
+  EXPECT_EQ(unit.DelegatedEntry(ExcCause::kEcall), 9u);
+  EXPECT_EQ(unit.ReadCreg(kCrDelegBase + static_cast<uint32_t>(ExcCause::kEcall), 0, 0, 0), 9u);
+  unit.WriteCreg(kCrIrqEntry, 12);
+  EXPECT_EQ(unit.IrqEntry(), 12u);
+}
+
+TEST(MetalUnitTest, TrapStateLatches) {
+  MetalUnit unit;
+  unit.SetTrapState(0x11, 0x1000, 0xBAD0, 0xDEAD);
+  EXPECT_EQ(unit.ReadCreg(kCrMcause, 0, 0, 0), 0x11u);
+  EXPECT_EQ(unit.ReadCreg(kCrMepc, 0, 0, 0), 0x1000u);
+  EXPECT_EQ(unit.ReadCreg(kCrMbadvaddr, 0, 0, 0), 0xBAD0u);
+  EXPECT_EQ(unit.ReadCreg(kCrMinstr, 0, 0, 0), 0xDEADu);
+}
+
+TEST(MetalUnitTest, InterceptMatchByOpcodeOnly) {
+  MetalUnit unit;
+  // enable | opcode LOAD(0x03) -> slot 0, entry 25
+  unit.ApplyMintset(0x80000003, 25);
+  EXPECT_TRUE(unit.AnyInterceptEnabled());
+  const uint32_t lw = *EncodeI(InstrKind::kLw, 1, 2, 4);
+  const uint32_t lb = *EncodeI(InstrKind::kLb, 1, 2, 4);
+  const uint32_t sw = *EncodeS(InstrKind::kSw, 1, 2, 4);
+  ASSERT_NE(unit.MatchIntercept(lw), nullptr);
+  ASSERT_NE(unit.MatchIntercept(lb), nullptr);  // opcode-only: all loads
+  EXPECT_EQ(unit.MatchIntercept(lw)->entry, 25);
+  EXPECT_EQ(unit.MatchIntercept(sw), nullptr);
+}
+
+TEST(MetalUnitTest, InterceptMatchWithFunct3) {
+  MetalUnit unit;
+  // enable | match_funct3 | funct3=2 (lw) | opcode LOAD
+  const uint32_t spec = 0x80000003u | (1u << 24) | (2u << 7);
+  unit.ApplyMintset(spec, 7);
+  const uint32_t lw = *EncodeI(InstrKind::kLw, 1, 2, 4);
+  const uint32_t lb = *EncodeI(InstrKind::kLb, 1, 2, 4);
+  EXPECT_NE(unit.MatchIntercept(lw), nullptr);
+  EXPECT_EQ(unit.MatchIntercept(lb), nullptr);  // funct3 differs
+}
+
+TEST(MetalUnitTest, InterceptDisableClearsSlot) {
+  MetalUnit unit;
+  unit.ApplyMintset(0x80000003, 25);
+  unit.ApplyMintset(0x00000003, 25);  // enable bit clear, same slot
+  EXPECT_FALSE(unit.AnyInterceptEnabled());
+  EXPECT_EQ(unit.MatchIntercept(*EncodeI(InstrKind::kLw, 1, 2, 4)), nullptr);
+}
+
+TEST(MetalUnitTest, MultipleSlotsIndependent) {
+  MetalUnit unit;
+  unit.ApplyMintset(0x80000003, 25);          // loads -> entry 25, slot 0
+  unit.ApplyMintset(0x80000023, (1 << 8) | 26);  // stores -> entry 26, slot 1
+  const InterceptSlot* load_slot = unit.MatchIntercept(*EncodeI(InstrKind::kLw, 1, 2, 4));
+  const InterceptSlot* store_slot = unit.MatchIntercept(*EncodeS(InstrKind::kSw, 1, 2, 4));
+  ASSERT_NE(load_slot, nullptr);
+  ASSERT_NE(store_slot, nullptr);
+  EXPECT_EQ(load_slot->entry, 25);
+  EXPECT_EQ(store_slot->entry, 26);
+  // Disabling one leaves the other armed.
+  unit.ApplyMintset(0x00000003, 25);
+  EXPECT_EQ(unit.MatchIntercept(*EncodeI(InstrKind::kLw, 1, 2, 4)), nullptr);
+  EXPECT_NE(unit.MatchIntercept(*EncodeS(InstrKind::kSw, 1, 2, 4)), nullptr);
+  EXPECT_TRUE(unit.AnyInterceptEnabled());
+}
+
+TEST(MetalUnitTest, PackHelpersRoundTrip) {
+  InterceptSlot slot;
+  slot.enable = true;
+  slot.opcode = 0x63;
+  slot.funct3 = 5;
+  slot.match_funct3 = true;
+  slot.entry = 42;
+  MetalUnit unit;
+  unit.ApplyMintset(PackInterceptSpec(slot), PackInterceptTarget(3, slot));
+  const uint32_t bge = *EncodeB(InstrKind::kBge, 1, 2, 8);
+  const uint32_t blt = *EncodeB(InstrKind::kBlt, 1, 2, 8);
+  ASSERT_NE(unit.MatchIntercept(bge), nullptr);  // funct3 5 = bge
+  EXPECT_EQ(unit.MatchIntercept(bge)->entry, 42);
+  EXPECT_EQ(unit.MatchIntercept(blt), nullptr);
+}
+
+TEST(MetalUnitTest, PendingWritebackConsumedOnce) {
+  MetalUnit unit;
+  OperandLatch latch;
+  latch.rd_index = 7;
+  unit.LatchOperands(latch);
+  unit.SetPendingWriteback(0x55);
+  uint8_t rd = 0;
+  uint32_t value = 0;
+  ASSERT_TRUE(unit.TakePendingWriteback(&rd, &value));
+  EXPECT_EQ(rd, 7);
+  EXPECT_EQ(value, 0x55u);
+  EXPECT_FALSE(unit.TakePendingWriteback(&rd, &value));
+}
+
+TEST(MetalUnitTest, EntryTableWraps) {
+  MetalUnit unit;
+  unit.SetEntryAddress(5, 0xFFFF0040);
+  EXPECT_EQ(unit.EntryAddress(5), 0xFFFF0040u);
+  EXPECT_EQ(unit.EntryAddress(5 + 64), 0xFFFF0040u);  // masked to 64 entries
+}
+
+}  // namespace
+}  // namespace msim

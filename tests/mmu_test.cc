@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "mmu/mmu.h"
+#include "mmu/tlb.h"
+
+namespace msim {
+namespace {
+
+constexpr uint32_t kRwx = kPteR | kPteW | kPteX;
+
+TEST(TlbTest, InsertAndLookup) {
+  Tlb tlb(4);
+  tlb.Insert(0x00401000, MakePte(0x00080000, kRwx), /*asid=*/1);
+  const TlbEntry* entry = tlb.Lookup(0x00401ABC, 1);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->pte & 0xFFFFF000u, 0x00080000u);
+  EXPECT_EQ(tlb.stats().hits, 1u);
+  EXPECT_EQ(tlb.Lookup(0x00402000, 1), nullptr);
+  EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(TlbTest, AsidIsolation) {
+  Tlb tlb(4);
+  tlb.Insert(0x1000, MakePte(0x2000, kRwx), 1);
+  EXPECT_EQ(tlb.Lookup(0x1000, 2), nullptr);
+  EXPECT_NE(tlb.Lookup(0x1000, 1), nullptr);
+}
+
+TEST(TlbTest, GlobalEntriesMatchAllAsids) {
+  Tlb tlb(4);
+  tlb.Insert(0x1000, MakePte(0x2000, kRwx, 0, /*global=*/true), 1);
+  EXPECT_NE(tlb.Lookup(0x1000, 2), nullptr);
+  EXPECT_NE(tlb.Lookup(0x1000, 7), nullptr);
+}
+
+TEST(TlbTest, SuperpageMatches4MiB) {
+  Tlb tlb(4);
+  tlb.Insert(0x00800000, MakePte(0x11400000, kRwx, 0, false, /*superpage=*/true), 1);
+  EXPECT_NE(tlb.Lookup(0x00BFFFFC, 1), nullptr);  // same 4 MiB region
+  EXPECT_EQ(tlb.Lookup(0x00C00000, 1), nullptr);
+}
+
+TEST(TlbTest, UpdateInPlace) {
+  Tlb tlb(2);
+  tlb.Insert(0x1000, MakePte(0x2000, kPteR), 1);
+  tlb.Insert(0x1000, MakePte(0x3000, kRwx), 1);
+  EXPECT_EQ(tlb.ValidCount(), 1u);
+  EXPECT_EQ(tlb.Probe(0x1000, 1) & 0xFFFFF000u, 0x3000u);
+}
+
+TEST(TlbTest, RoundRobinReplacement) {
+  Tlb tlb(2);
+  tlb.Insert(0x1000, MakePte(0xA000, kRwx), 1);
+  tlb.Insert(0x2000, MakePte(0xB000, kRwx), 1);
+  tlb.Insert(0x3000, MakePte(0xC000, kRwx), 1);  // evicts one
+  EXPECT_EQ(tlb.ValidCount(), 2u);
+  EXPECT_NE(tlb.Probe(0x3000, 1), 0u);
+}
+
+TEST(TlbTest, InvalidateAndFlush) {
+  Tlb tlb(8);
+  tlb.Insert(0x1000, MakePte(0xA000, kRwx), 1);
+  tlb.Insert(0x2000, MakePte(0xB000, kRwx), 1);
+  tlb.Insert(0x3000, MakePte(0xC000, kRwx), 2);
+  tlb.InvalidateVaddr(0x1000, 1);
+  EXPECT_EQ(tlb.Probe(0x1000, 1), 0u);
+  EXPECT_NE(tlb.Probe(0x2000, 1), 0u);
+  tlb.FlushAsid(1);
+  EXPECT_EQ(tlb.Probe(0x2000, 1), 0u);
+  EXPECT_NE(tlb.Probe(0x3000, 2), 0u);
+  tlb.FlushAll();
+  EXPECT_EQ(tlb.ValidCount(), 0u);
+}
+
+TEST(TlbTest, FlushAsidKeepsGlobal) {
+  Tlb tlb(8);
+  tlb.Insert(0x1000, MakePte(0xA000, kRwx, 0, /*global=*/true), 1);
+  tlb.FlushAsid(1);
+  EXPECT_NE(tlb.Probe(0x1000, 1), 0u);
+}
+
+class MmuTranslateTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kAllKeys = 0xFFFFFFFF;
+  Mmu mmu_{8};
+};
+
+TEST_F(MmuTranslateTest, MissFaultsByAccessType) {
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kLoad, 0, kAllKeys).fault,
+            ExcCause::kTlbMissLoad);
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kStore, 0, kAllKeys).fault,
+            ExcCause::kTlbMissStore);
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kFetch, 0, kAllKeys).fault,
+            ExcCause::kTlbMissFetch);
+}
+
+TEST_F(MmuTranslateTest, PermissionChecks) {
+  mmu_.tlb().Insert(0x1000, MakePte(0x5000, kPteR), 0);
+  EXPECT_TRUE(mmu_.Translate(0x1000, AccessType::kLoad, 0, kAllKeys).ok);
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kStore, 0, kAllKeys).fault,
+            ExcCause::kPageFaultStore);
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kFetch, 0, kAllKeys).fault,
+            ExcCause::kPageFaultFetch);
+}
+
+TEST_F(MmuTranslateTest, OffsetPreserved) {
+  mmu_.tlb().Insert(0x00401000, MakePte(0x00080000, kRwx), 0);
+  const TranslateResult r = mmu_.Translate(0x00401ABC, AccessType::kLoad, 0, kAllKeys);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.paddr, 0x00080ABCu);
+}
+
+TEST_F(MmuTranslateTest, SuperpageOffset) {
+  mmu_.tlb().Insert(0x00800000, MakePte(0x11400000, kRwx, 0, false, true), 0);
+  const TranslateResult r = mmu_.Translate(0x008ABCDE, AccessType::kLoad, 0, kAllKeys);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.paddr, 0x114ABCDEu);
+}
+
+TEST_F(MmuTranslateTest, PageKeyDeniesRead) {
+  // Key 2 occupies KEYPERM bits 4 (read) and 5 (write).
+  mmu_.tlb().Insert(0x1000, MakePte(0x5000, kRwx, /*key=*/2), 0);
+  const uint32_t no_key2 = 0xFFFFFFFF & ~0x30u;
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kLoad, 0, no_key2).fault,
+            ExcCause::kKeyViolation);
+  EXPECT_TRUE(mmu_.Translate(0x1000, AccessType::kLoad, 0, 0xFFFFFFFF).ok);
+}
+
+TEST_F(MmuTranslateTest, PageKeyReadOnlyDeniesWrite) {
+  mmu_.tlb().Insert(0x1000, MakePte(0x5000, kRwx, /*key=*/2), 0);
+  const uint32_t read_only_key2 = (0xFFFFFFFF & ~0x30u) | 0x10u;
+  EXPECT_TRUE(mmu_.Translate(0x1000, AccessType::kLoad, 0, read_only_key2).ok);
+  EXPECT_EQ(mmu_.Translate(0x1000, AccessType::kStore, 0, read_only_key2).fault,
+            ExcCause::kKeyViolation);
+}
+
+TEST_F(MmuTranslateTest, BatchPermissionChangeViaKeyperm) {
+  // The paper's motivation for page keys: one register write revokes a whole
+  // class of pages at once.
+  for (uint32_t page = 0; page < 4; ++page) {
+    mmu_.tlb().Insert(0x10000 + page * kPageSize, MakePte(0x50000 + page * kPageSize, kRwx, 5),
+                      0);
+  }
+  const uint32_t all = 0xFFFFFFFF;
+  const uint32_t revoked = all & ~(3u << 10);  // key 5 bits
+  for (uint32_t page = 0; page < 4; ++page) {
+    EXPECT_TRUE(mmu_.Translate(0x10000 + page * kPageSize, AccessType::kLoad, 0, all).ok);
+    EXPECT_EQ(mmu_.Translate(0x10000 + page * kPageSize, AccessType::kLoad, 0, revoked).fault,
+              ExcCause::kKeyViolation);
+  }
+}
+
+}  // namespace
+}  // namespace msim

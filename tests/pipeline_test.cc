@@ -1,0 +1,493 @@
+// Functional and timing tests of the 5-stage pipeline.
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+// Runs an assembly program on a fresh default core and returns the result.
+RunResult RunProgram(std::string_view source, const CoreConfig& config = CoreConfig{}) {
+  Core core(config);
+  const Program program = MustAssemble(source);
+  EXPECT_OK(core.LoadProgram(program));
+  return core.Run(2'000'000);
+}
+
+// Fixture keeping the core alive for post-run inspection.
+class PipelineTest : public ::testing::Test {
+ protected:
+  RunResult Run(std::string_view source, const CoreConfig& config = CoreConfig{}) {
+    core_ = std::make_unique<Core>(config);
+    const Program program = MustAssemble(source);
+    EXPECT_OK(core_->LoadProgram(program));
+    return core_->Run(2'000'000);
+  }
+
+  Core& core() { return *core_; }
+
+  std::unique_ptr<Core> core_;
+};
+
+TEST_F(PipelineTest, ArithmeticHaltsWithResult) {
+  const RunResult r = Run(R"(
+    _start:
+      li a0, 20
+      li a1, 22
+      add a0, a0, a1
+      halt a0
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(r.exit_code, 42u);
+}
+
+TEST_F(PipelineTest, SumLoop) {
+  const RunResult r = Run(R"(
+    _start:
+      li a0, 0
+      li t0, 1
+      li t1, 101
+    loop:
+      add a0, a0, t0
+      addi t0, t0, 1
+      bne t0, t1, loop
+      halt a0
+  )");
+  EXPECT_EQ(r.exit_code, 5050u);
+}
+
+TEST_F(PipelineTest, ComparisonAndLogicOps) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, -5
+      li t1, 3
+      slt t2, t0, t1      # 1 (signed)
+      sltu t3, t0, t1     # 0 (unsigned: big)
+      xor t4, t0, t1      # -8+... just use known: -5 ^ 3 = -8
+      and t5, t0, t1      # 3
+      or t6, t0, t1       # -5
+      slli a0, t2, 4      # 0x10
+      add a0, a0, t3      # 0x10
+      li a1, -8
+      bne t4, a1, fail
+      li a1, 3
+      bne t5, a1, fail
+      li a1, -5
+      bne t6, a1, fail
+      halt a0
+    fail:
+      li a0, 99
+      halt a0
+  )");
+  EXPECT_EQ(r.exit_code, 0x10u);
+}
+
+TEST_F(PipelineTest, ShiftsAndArithmeticRightShift) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, -16
+      srai t1, t0, 2     # -4
+      srli t2, t0, 28    # 0xF
+      li t3, 1
+      sll t3, t3, t2     # 1 << 15
+      li a0, 0
+      li t4, -4
+      bne t1, t4, fail
+      li t4, 15
+      bne t2, t4, fail
+      li t4, 0x8000
+      bne t3, t4, fail
+      li a0, 1
+      halt a0
+    fail:
+      halt zero
+  )");
+  EXPECT_EQ(r.exit_code, 1u);
+}
+
+TEST_F(PipelineTest, MulDivRem) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, -7
+      li t1, 3
+      mul t2, t0, t1      # -21
+      div t3, t0, t1      # -2 (trunc)
+      rem t4, t0, t1      # -1
+      divu t5, t0, t1     # big
+      li a0, 0
+      li t6, -21
+      bne t2, t6, fail
+      li t6, -2
+      bne t3, t6, fail
+      li t6, -1
+      bne t4, t6, fail
+      # div by zero: result all ones, no trap (RISC-V semantics)
+      div t6, t1, zero
+      li t5, -1
+      bne t6, t5, fail
+      rem t6, t1, zero    # dividend
+      bne t6, t1, fail
+      li a0, 1
+      halt a0
+    fail:
+      halt zero
+  )");
+  EXPECT_EQ(r.exit_code, 1u);
+}
+
+TEST_F(PipelineTest, MulhVariants) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 0x40000000
+      li t1, 4
+      mulhu t2, t0, t1     # (0x40000000 * 4) >> 32 = 1
+      li t3, -1
+      mulh t4, t3, t3      # (-1 * -1) >> 32 = 0
+      mulhsu t5, t3, t1    # (-1 * 4) >> 32 = -1
+      li a0, 0
+      li t6, 1
+      bne t2, t6, fail
+      bnez t4, fail
+      li t6, -1
+      bne t5, t6, fail
+      li a0, 1
+      halt a0
+    fail:
+      halt zero
+  )");
+  EXPECT_EQ(r.exit_code, 1u);
+}
+
+TEST_F(PipelineTest, LoadStoreAllWidths) {
+  const RunResult r = Run(R"(
+    _start:
+      la t0, buffer
+      li t1, 0x80FF7F01
+      sw t1, 0(t0)
+      lb t2, 0(t0)        # 0x01
+      lb t3, 1(t0)        # 0x7F
+      lb t4, 2(t0)        # -1 (0xFF sign-extended)
+      lbu t5, 2(t0)       # 0xFF
+      lh t6, 2(t0)        # 0x80FF sign-extended = negative
+      lhu a1, 2(t0)       # 0x80FF
+      li a0, 0
+      li a2, 1
+      bne t2, a2, fail
+      li a2, 0x7F
+      bne t3, a2, fail
+      li a2, -1
+      bne t4, a2, fail
+      li a2, 0xFF
+      bne t5, a2, fail
+      li a2, -32513        # 0xFFFF80FF
+      bne t6, a2, fail
+      li a2, 0x80FF
+      bne a1, a2, fail
+      # byte/halfword stores
+      sb a2, 4(t0)
+      lbu a3, 4(t0)
+      li a2, 0xFF
+      bne a3, a2, fail
+      li a0, 1
+      halt a0
+    fail:
+      halt zero
+    .data
+    buffer: .space 16
+  )");
+  EXPECT_EQ(r.exit_code, 1u);
+}
+
+TEST_F(PipelineTest, JalJalrLinkAndCall) {
+  const RunResult r = Run(R"(
+    _start:
+      li sp, 0x8000
+      li a0, 5
+      call double_it
+      call double_it
+      halt a0            # 20
+    double_it:
+      add a0, a0, a0
+      ret
+  )");
+  EXPECT_EQ(r.exit_code, 20u);
+}
+
+TEST_F(PipelineTest, JalrClearsLowBit) {
+  const RunResult r = Run(R"(
+    _start:
+      la t0, target
+      ori t0, t0, 1
+      jalr ra, 0(t0)     # bit 0 cleared by hardware
+      halt zero
+    target:
+      li a0, 7
+      halt a0
+  )");
+  EXPECT_EQ(r.exit_code, 7u);
+}
+
+TEST_F(PipelineTest, AuipcIsPcRelative) {
+  const RunResult r = Run(R"(
+    _start:
+      auipc a0, 0
+      la a1, _start
+      sub a0, a0, a1
+      halt a0           # 0: auipc at _start
+  )");
+  EXPECT_EQ(r.exit_code, 0u);
+}
+
+TEST_F(PipelineTest, BranchTakenAndNotTaken) {
+  const RunResult r = Run(R"(
+    _start:
+      li a0, 0
+      li t0, 3
+      li t1, 5
+      blt t0, t1, l1
+      j fail
+    l1:
+      addi a0, a0, 1
+      bge t1, t0, l2
+      j fail
+    l2:
+      addi a0, a0, 1
+      bltu t0, t1, l3
+      j fail
+    l3:
+      addi a0, a0, 1
+      bgeu t1, t0, l4
+      j fail
+    l4:
+      addi a0, a0, 1
+      beq t0, t0, l5
+      j fail
+    l5:
+      addi a0, a0, 1
+      bne t0, t1, done
+      j fail
+    done:
+      addi a0, a0, 1
+      halt a0
+    fail:
+      halt zero
+  )");
+  EXPECT_EQ(r.exit_code, 6u);
+}
+
+TEST_F(PipelineTest, X0IsHardwiredZero) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 77
+      add zero, t0, t0
+      halt zero
+  )");
+  EXPECT_EQ(r.exit_code, 0u);
+}
+
+// ---- Timing behaviour ------------------------------------------------------
+
+TEST_F(PipelineTest, SteadyStateCpiApproachesOne) {
+  // 2000 independent ALU ops: cycles should be ~instructions + small constant.
+  std::string source = "_start:\n";
+  for (int i = 0; i < 2000; ++i) {
+    source += "  addi a0, a0, 1\n";
+  }
+  source += "  halt a0\n";
+  const RunResult r = Run(source);
+  EXPECT_EQ(r.exit_code, 2000u);
+  // Pipeline fill + a handful of I-cache misses (2000 instrs / 16 per line).
+  const uint64_t expected_overhead = 2000 / 16 * (core().config().dram_latency - 1) + 40;
+  EXPECT_LT(r.cycles, 2000 + expected_overhead);
+  EXPECT_GT(r.cycles, 2000u);
+}
+
+TEST_F(PipelineTest, TakenBranchCostsTwoBubbles) {
+  // Tight loop: addi + taken bne = 2 instructions + 2 flush bubbles per iter.
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 1000
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      halt zero
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+  // ~4 cycles per iteration.
+  EXPECT_NEAR(static_cast<double>(r.cycles) / 1000.0, 4.0, 0.3);
+}
+
+TEST_F(PipelineTest, LoadUseHazardAddsOneBubble) {
+  // Compare a dependent load-use pair against an independent pair.
+  const char* kDependent = R"(
+    _start:
+      la t0, word
+      li t2, 4000
+    loop:
+      lw t1, 0(t0)
+      add t3, t1, t1     # uses t1 immediately -> 1 bubble
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+    .data
+    word: .word 1
+  )";
+  const char* kIndependent = R"(
+    _start:
+      la t0, word
+      li t2, 4000
+    loop:
+      lw t1, 0(t0)
+      add t3, t4, t4     # independent
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+    .data
+    word: .word 1
+  )";
+  const RunResult dependent = Run(kDependent);
+  const uint64_t dep_cycles = dependent.cycles;
+  const uint64_t dep_stalls = core().stats().load_use_stalls;
+  const RunResult independent = Run(kIndependent);
+  EXPECT_EQ(dependent.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(independent.reason, RunResult::Reason::kHalted);
+  EXPECT_NEAR(static_cast<double>(dep_cycles - independent.cycles), 4000.0, 100.0);
+  EXPECT_GE(dep_stalls, 4000u);
+  EXPECT_LT(core().stats().load_use_stalls, 10u);
+}
+
+TEST_F(PipelineTest, DcacheMissCostsDramLatency) {
+  // Stride past the cache so every load misses vs. hitting one line.
+  const char* kMissy = R"(
+    _start:
+      li t0, 0x100000
+      li t3, 4096
+      li t2, 256
+    loop:
+      lw t1, 0(t0)
+      add t0, t0, t3      # new line + new index every time
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+  )";
+  const char* kHitty = R"(
+    _start:
+      li t0, 0x100000
+      li t2, 256
+    loop:
+      lw t1, 0(t0)
+      addi t2, t2, -1
+      bnez t2, loop
+      halt zero
+  )";
+  const RunResult missy = Run(kMissy);
+  const uint64_t missy_cycles = missy.cycles;
+  const RunResult hitty = Run(kHitty);
+  // 256 extra misses x (dram_latency - hit) ~= 256 * 19.
+  EXPECT_GT(missy_cycles, hitty.cycles + 256 * 15);
+}
+
+TEST_F(PipelineTest, InstretCountsRetiredInstructions) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 10
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      halt zero
+  )");
+  // li + 10 * (addi + bnez) + halt
+  EXPECT_EQ(r.instret, 1 + 20 + 1u);
+}
+
+// ---- Exceptions ------------------------------------------------------------
+
+TEST_F(PipelineTest, UndelegatedExceptionIsFatal) {
+  const RunResult r = Run(R"(
+    _start:
+      .word 0xFFFFFFFF    # illegal instruction
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("illegal_instruction"), std::string::npos);
+}
+
+TEST_F(PipelineTest, MisalignedLoadFatalWithoutHandler) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 0x1001
+      lw t1, 0(t0)
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("misaligned_load"), std::string::npos);
+}
+
+TEST_F(PipelineTest, BusErrorOnUnmappedMmio) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 0xF8000000
+      lw t1, 0(t0)
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("bus_error"), std::string::npos);
+}
+
+TEST_F(PipelineTest, MetalOnlyInstructionFaultsInNormalMode) {
+  const RunResult r = Run(R"(
+    _start:
+      tlbflush zero
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kFatal);
+  EXPECT_NE(r.fatal_message.find("privilege_violation"), std::string::npos);
+}
+
+TEST_F(PipelineTest, ConsoleOutput) {
+  const RunResult r = Run(R"(
+    _start:
+      li t0, 0xF0003000
+      li t1, 72          # 'H'
+      sw t1, 0(t0)
+      li t1, 105         # 'i'
+      sw t1, 0(t0)
+      halt zero
+  )");
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(core().console().output(), "Hi");
+}
+
+TEST_F(PipelineTest, CycleLimitStopsRunaway) {
+  core_ = std::make_unique<Core>(CoreConfig{});
+  const Program program = MustAssemble(R"(
+    _start:
+      j _start
+  )");
+  ASSERT_OK(core_->LoadProgram(program));
+  const RunResult r = core_->Run(1000);
+  EXPECT_EQ(r.reason, RunResult::Reason::kCycleLimit);
+}
+
+TEST_F(PipelineTest, SelfModifyingCodeTakesEffect) {
+  // Store a "li a0, 9" over a "li a0, 1" before reaching it. The fetch path
+  // reads DRAM functionally, so the new instruction executes.
+  const RunResult r = Run(R"(
+    _start:
+      la t0, patch_me
+      # encoding of "addi a0, zero, 9" = 0x00900513
+      li t1, 0x00900513
+      sw t1, 0(t0)
+      # flush the pipeline with a jump so the patched word is refetched
+      j patch_me
+    patch_me:
+      li a0, 1
+      halt a0
+  )");
+  EXPECT_EQ(r.exit_code, 9u);
+}
+
+TEST(RunProgramHelper, Compiles) {
+  // Silences unused-function warnings for the standalone helper.
+  const RunResult r = RunProgram("_start: halt zero");
+  EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/bits.h"
+#include "support/result.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = InvalidArgument("bad register");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad register");
+  EXPECT_EQ(status.ToString(), "invalid_argument: bad register");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFound("missing");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> input) {
+  MSIM_ASSIGN_OR_RETURN(int value, std::move(input));
+  return value * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(OutOfRange("x")).status().code(), ErrorCode::kOutOfRange);
+}
+
+TEST(BitsTest, ExtractAndSignExtend) {
+  EXPECT_EQ(Bits(0xDEADBEEF, 31, 28), 0xDu);
+  EXPECT_EQ(Bits(0xDEADBEEF, 7, 0), 0xEFu);
+  EXPECT_EQ(Bits(0xFFFFFFFF, 31, 0), 0xFFFFFFFFu);
+  EXPECT_EQ(Bit(0x80000000, 31), 1u);
+  EXPECT_EQ(Bit(0x80000000, 0), 0u);
+  EXPECT_EQ(SignExtend(0xFFF, 12), -1);
+  EXPECT_EQ(SignExtend(0x7FF, 12), 2047);
+  EXPECT_EQ(SignExtend(0x800, 12), -2048);
+}
+
+TEST(BitsTest, FitsChecks) {
+  EXPECT_TRUE(FitsSigned(-2048, 12));
+  EXPECT_TRUE(FitsSigned(2047, 12));
+  EXPECT_FALSE(FitsSigned(2048, 12));
+  EXPECT_FALSE(FitsSigned(-2049, 12));
+  EXPECT_TRUE(FitsUnsigned(31, 5));
+  EXPECT_FALSE(FitsUnsigned(32, 5));
+}
+
+TEST(BitsTest, Alignment) {
+  EXPECT_EQ(AlignUp(13, 4), 16u);
+  EXPECT_EQ(AlignUp(16, 4), 16u);
+  EXPECT_EQ(AlignDown(13, 4), 12u);
+  EXPECT_TRUE(IsPowerOfTwo(64));
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_FALSE(IsPowerOfTwo(48));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(TrimWhitespace("  hi \t"), "hi");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, Split) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, ParseIntForms) {
+  EXPECT_EQ(ParseInt("42"), 42);
+  EXPECT_EQ(ParseInt("-42"), -42);
+  EXPECT_EQ(ParseInt("0x10"), 16);
+  EXPECT_EQ(ParseInt("0b101"), 5);
+  EXPECT_EQ(ParseInt("0xFFFFFFFF"), 0xFFFFFFFFll);
+  EXPECT_EQ(ParseInt("1_000"), 1000);
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("0x").has_value());
+  EXPECT_FALSE(ParseInt("12z").has_value());
+  EXPECT_FALSE(ParseInt("--3").has_value());
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%08x", 0xABu), "000000ab");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next64(), b.Next64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next64() == b.Next64() ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+    const uint64_t r = rng.Range(5, 9);
+    EXPECT_GE(r, 5u);
+    EXPECT_LE(r, 9u);
+  }
+}
+
+TEST(RngTest, CoversRange) {
+  Rng rng(99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.Below(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,81 @@
+// Tests for the structural hardware-resource model (paper Table 2).
+#include <gtest/gtest.h>
+
+#include "synth/designs.h"
+
+namespace msim {
+namespace {
+
+TEST(ComponentTest, CostHelpersArePositiveAndMonotonic) {
+  EXPECT_GT(RegisterBits("r", 32).cells, 0);
+  EXPECT_GT(RegisterBits("r", 64).cells, RegisterBits("r", 32).cells);
+  EXPECT_GT(RegisterBits("r", 32, 2).cells, RegisterBits("r", 32, 1).cells);
+  EXPECT_GT(CamBits("c", 32).cells, RegisterBits("r", 32).cells);  // CAM adds matchers
+  EXPECT_GT(Mux32("m", 4).wires, Mux32("m", 4).cells);             // muxes are wire-heavy
+  EXPECT_GT(RamMacro("ram", 65536, 1).wires, RamMacro("ram", 32768, 1).wires);
+}
+
+TEST(DesignTest, TotalsSumComponents) {
+  Design design("d");
+  design.Add(Comb("a", 10, 20));
+  design.Add(Comb("b", 5, 7));
+  EXPECT_DOUBLE_EQ(design.Totals().cells, 15);
+  EXPECT_DOUBLE_EQ(design.Totals().wires, 27);
+}
+
+TEST(DesignTest, MetalIsSupersetOfBaseline) {
+  const Design baseline = BaselineProcessorDesign();
+  const Design metal = MetalProcessorDesign();
+  EXPECT_GT(metal.components().size(), baseline.components().size());
+  // Every baseline component appears in the Metal design.
+  for (size_t i = 0; i < baseline.components().size(); ++i) {
+    EXPECT_EQ(metal.components()[i].name, baseline.components()[i].name);
+  }
+}
+
+TEST(Table2Test, BaselineCalibratedToPaper) {
+  const Table2Result table = GenerateTable2();
+  EXPECT_NEAR(table.wires.baseline, Table2Reference::kBaselineWires, 1.0);
+  EXPECT_NEAR(table.cells.baseline, Table2Reference::kBaselineCells, 1.0);
+}
+
+TEST(Table2Test, MetalOverheadMatchesPaperShape) {
+  // Paper: +16.1% wires, +14.3% cells. The component inventory must land in
+  // the same band without per-row fudging.
+  const Table2Result table = GenerateTable2();
+  EXPECT_GT(table.cells.percent_change, 11.0);
+  EXPECT_LT(table.cells.percent_change, 18.0);
+  EXPECT_GT(table.wires.percent_change, 12.0);
+  EXPECT_LT(table.wires.percent_change, 20.0);
+  // Wires grow at least as fast as cells (Metal's additions are routing- and
+  // port-heavy), matching the paper's ordering.
+  EXPECT_GE(table.wires.percent_change, table.cells.percent_change - 0.5);
+}
+
+TEST(Table2Test, MramDominatesMetalAdditions) {
+  // Sanity on the inventory: the MRAM macro and MReg file are the largest
+  // Metal additions, as Figure 1 suggests.
+  const Design baseline = BaselineProcessorDesign();
+  const Design metal = MetalProcessorDesign();
+  double mram_wires = 0;
+  double total_added_wires = 0;
+  for (size_t i = baseline.components().size(); i < metal.components().size(); ++i) {
+    const Component& component = metal.components()[i];
+    total_added_wires += component.wires;
+    if (component.name.find("MRAM") != std::string::npos ||
+        component.name.find("MReg") != std::string::npos) {
+      mram_wires += component.wires;
+    }
+  }
+  EXPECT_GT(mram_wires, 0.5 * total_added_wires);
+}
+
+TEST(Table2Test, FormatContainsPaperRows) {
+  const std::string text = FormatTable2(GenerateTable2());
+  EXPECT_NE(text.find("Number of Wires"), std::string::npos);
+  EXPECT_NE(text.find("Number of Cells"), std::string::npos);
+  EXPECT_NE(text.find('%'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,105 @@
+// Retirement-trace facility: program order, Metal-mode attribution, and
+// agreement with the instret counter.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "isa/decode.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+TEST(RetireTraceTest, EventsArriveInProgramOrder) {
+  Core core;
+  ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+    _start:
+      li t0, 3
+    loop:
+      addi t0, t0, -1
+      bnez t0, loop
+      la t1, word
+      lw t2, 0(t1)
+      sw t2, 4(t1)
+      halt zero
+    .data
+    word: .word 5, 0
+  )")));
+  std::vector<Core::RetireEvent> events;
+  core.SetRetireTrace([&](const Core::RetireEvent& event) { events.push_back(event); });
+  MustHalt(core, 0);
+  ASSERT_EQ(events.size(), core.stats().instret);
+  // Cycles are non-decreasing and pcs follow the executed path.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].cycle, events[i - 1].cycle);
+  }
+  EXPECT_EQ(events.front().pc, 0x1000u);
+  EXPECT_EQ(DecodeInstr(events.back().raw).kind, InstrKind::kHalt);
+  // The loop body retires exactly 3 times (bnez at 0x1008).
+  int loop_branches = 0;
+  for (const auto& event : events) {
+    if (event.pc == 0x1008) {
+      ++loop_branches;
+    }
+  }
+  EXPECT_EQ(loop_branches, 3);
+  // Loads and stores (MEM-retired) appear in order with ALU ops.
+  std::vector<InstrKind> kinds;
+  for (const auto& event : events) {
+    kinds.push_back(DecodeInstr(event.raw).kind);
+  }
+  const auto lw_it = std::find(kinds.begin(), kinds.end(), InstrKind::kLw);
+  const auto sw_it = std::find(kinds.begin(), kinds.end(), InstrKind::kSw);
+  ASSERT_NE(lw_it, kinds.end());
+  ASSERT_NE(sw_it, kinds.end());
+  EXPECT_LT(lw_it - kinds.begin(), sw_it - kinds.begin());
+}
+
+TEST(RetireTraceTest, MetalInstructionsAttributed) {
+  Core core;
+  MustLoadMcodeRaw(core, R"(
+      .mentry 1, work
+    work:
+      addi a0, a0, 1
+      addi a0, a0, 1
+      mexit
+  )");
+  ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+    _start:
+      menter 1
+      halt a0
+  )")));
+  uint64_t metal_events = 0;
+  uint64_t normal_events = 0;
+  core.SetRetireTrace([&](const Core::RetireEvent& event) {
+    (event.metal ? metal_events : normal_events) += 1;
+  });
+  MustHalt(core, 2);
+  EXPECT_EQ(metal_events, core.stats().metal_instret);
+  EXPECT_EQ(metal_events + normal_events, core.stats().instret);
+  EXPECT_GE(metal_events, 2u);  // the two mroutine addis
+}
+
+TEST(RetireTraceTest, SquashedInstructionsNeverRetire) {
+  // Instructions after a taken branch must not appear in the trace.
+  Core core;
+  ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+    _start:
+      j over
+      li s1, 99          # must never retire
+    over:
+      halt zero
+  )")));
+  bool saw_skipped = false;
+  core.SetRetireTrace([&](const Core::RetireEvent& event) {
+    if (event.pc == 0x1004) {
+      saw_skipped = true;
+    }
+  });
+  MustHalt(core, 0);
+  EXPECT_FALSE(saw_skipped);
+}
+
+}  // namespace
+}  // namespace msim

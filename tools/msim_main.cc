@@ -1,0 +1,242 @@
+// msim — command-line front end for the Metal simulator.
+//
+// Usage:
+//   msim run <program.s> [--mcode file.s]... [options]   assemble + simulate
+//   msim asm <file.s>                                    assemble + disassemble
+//   msim table2                                          print paper Table 2
+//
+// Options for `run`:
+//   --mcode FILE        install an mcode module (repeatable)
+//   --storage MODE      mram | dram-cached | dram-uncached
+//   --no-fast           disable decode-stage menter/mexit replacement
+//   --max-cycles N      simulation budget (default 50M)
+//   --trace-stats       print detailed pipeline statistics
+//   --trace [N]         print the first N retired instructions (default 200)
+//
+// The program's exit code (from `halt rs1`) becomes the process exit code.
+#include <cstdio>
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asm/assembler.h"
+#include "cpu/core.h"
+#include "isa/disasm.h"
+#include "metal/system.h"
+#include "support/strings.h"
+#include "synth/designs.h"
+
+using namespace msim;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  msim run <program.s> [--mcode file.s]... [--storage mram|dram-cached|"
+               "dram-uncached]\n"
+               "           [--no-fast] [--max-cycles N] [--trace-stats]\n"
+               "  msim asm <file.s>\n"
+               "  msim table2\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void PrintStats(Core& core) {
+  const CoreStats& stats = core.stats();
+  std::printf("--- pipeline statistics ---\n");
+  std::printf("cycles             %12llu\n", (unsigned long long)stats.cycles);
+  std::printf("instructions       %12llu (IPC %.3f)\n", (unsigned long long)stats.instret,
+              stats.cycles ? (double)stats.instret / stats.cycles : 0.0);
+  std::printf("metal instructions %12llu\n", (unsigned long long)stats.metal_instret);
+  std::printf("metal cycles       %12llu\n", (unsigned long long)stats.metal_cycles);
+  std::printf("menter / mexit     %12llu / %llu (fast replacements %llu)\n",
+              (unsigned long long)stats.menters, (unsigned long long)stats.mexits,
+              (unsigned long long)stats.fast_replacements);
+  std::printf("exceptions         %12llu\n", (unsigned long long)stats.exceptions);
+  std::printf("interrupts         %12llu\n", (unsigned long long)stats.interrupts);
+  std::printf("intercepts         %12llu\n", (unsigned long long)stats.intercepts);
+  std::printf("control flushes    %12llu\n", (unsigned long long)stats.control_flushes);
+  std::printf("load-use stalls    %12llu\n", (unsigned long long)stats.load_use_stalls);
+  std::printf("icache hits/misses %12llu / %llu\n",
+              (unsigned long long)core.icache().stats().hits,
+              (unsigned long long)core.icache().stats().misses);
+  std::printf("dcache hits/misses %12llu / %llu\n",
+              (unsigned long long)core.dcache().stats().hits,
+              (unsigned long long)core.dcache().stats().misses);
+  std::printf("TLB hits/misses    %12llu / %llu\n",
+              (unsigned long long)core.mmu().tlb().stats().hits,
+              (unsigned long long)core.mmu().tlb().stats().misses);
+}
+
+int CmdRun(const std::vector<std::string>& args) {
+  std::string program_path;
+  std::vector<std::string> mcode_paths;
+  CoreConfig config;
+  uint64_t max_cycles = 0;
+  bool trace_stats = false;
+  uint64_t trace_limit = 0;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--mcode" && i + 1 < args.size()) {
+      mcode_paths.push_back(args[++i]);
+    } else if (arg == "--storage" && i + 1 < args.size()) {
+      const std::string& mode = args[++i];
+      if (mode == "mram") {
+        config.mroutine_storage = MroutineStorage::kMram;
+      } else if (mode == "dram-cached") {
+        config.mroutine_storage = MroutineStorage::kDramCached;
+      } else if (mode == "dram-uncached") {
+        config.mroutine_storage = MroutineStorage::kDramUncached;
+      } else {
+        std::fprintf(stderr, "unknown storage mode '%s'\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-fast") {
+      config.fast_transition = false;
+    } else if (arg == "--max-cycles" && i + 1 < args.size()) {
+      max_cycles = std::strtoull(args[++i].c_str(), nullptr, 0);
+    } else if (arg == "--trace-stats") {
+      trace_stats = true;
+    } else if (arg == "--trace") {
+      trace_limit = 200;
+      if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-' &&
+          isdigit(static_cast<unsigned char>(args[i + 1][0]))) {
+        trace_limit = std::strtoull(args[++i].c_str(), nullptr, 0);
+      }
+    } else if (!arg.empty() && arg[0] != '-' && program_path.empty()) {
+      program_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (program_path.empty()) {
+    return Usage();
+  }
+
+  MetalSystem system(config);
+  for (const std::string& path : mcode_paths) {
+    auto source = ReadFile(path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+      return 1;
+    }
+    system.AddMcode(*source);
+  }
+  auto program_source = ReadFile(program_path);
+  if (!program_source.ok()) {
+    std::fprintf(stderr, "%s\n", program_source.status().ToString().c_str());
+    return 1;
+  }
+  if (Status status = system.LoadProgramSource(*program_source); !status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", program_path.c_str(), status.ToString().c_str());
+    return 1;
+  }
+
+  uint64_t traced = 0;
+  if (trace_limit != 0) {
+    system.core().SetRetireTrace([&traced, trace_limit](const Core::RetireEvent& event) {
+      if (traced++ >= trace_limit) {
+        return;
+      }
+      std::fprintf(stderr, "%10llu  %c %08x  %s\n", (unsigned long long)event.cycle,
+                   event.metal ? 'M' : ' ', event.pc, Disassemble(event.raw).c_str());
+    });
+  }
+
+  const RunResult result = system.Run(max_cycles);
+  const std::string& console = system.core().console().output();
+  if (!console.empty()) {
+    std::fwrite(console.data(), 1, console.size(), stdout);
+  }
+  switch (result.reason) {
+    case RunResult::Reason::kHalted:
+      std::fprintf(stderr, "[halted] exit=%u cycles=%llu instret=%llu\n", result.exit_code,
+                   (unsigned long long)result.cycles, (unsigned long long)result.instret);
+      break;
+    case RunResult::Reason::kCycleLimit:
+      std::fprintf(stderr, "[cycle limit reached] cycles=%llu\n",
+                   (unsigned long long)result.cycles);
+      break;
+    case RunResult::Reason::kFatal:
+      std::fprintf(stderr, "[fatal] %s\n", result.fatal_message.c_str());
+      break;
+  }
+  if (trace_stats) {
+    PrintStats(system.core());
+  }
+  return result.reason == RunResult::Reason::kHalted ? static_cast<int>(result.exit_code & 0xFF)
+                                                     : 1;
+}
+
+int CmdAsm(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Usage();
+  }
+  auto source = ReadFile(args[0]);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  auto program = Assemble(*source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args[0].c_str(), program.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("; text @ 0x%08x, %zu bytes; data @ 0x%08x, %zu bytes; entry 0x%08x\n",
+              program->text.base, program->text.bytes.size(), program->data.base,
+              program->data.bytes.size(), program->entry);
+  for (size_t offset = 0; offset + 4 <= program->text.bytes.size(); offset += 4) {
+    uint32_t word = 0;
+    for (int b = 0; b < 4; ++b) {
+      word |= static_cast<uint32_t>(program->text.bytes[offset + b]) << (8 * b);
+    }
+    const uint32_t addr = program->text.base + static_cast<uint32_t>(offset);
+    // Label?
+    for (const auto& [name, value] : program->symbols) {
+      if (value == addr) {
+        std::printf("%s:\n", name.c_str());
+      }
+    }
+    std::printf("  %08x:  %08x  %s\n", addr, word, Disassemble(word).c_str());
+  }
+  for (const auto& [entry, addr] : program->metal_entries) {
+    std::printf("; .mentry %u -> 0x%08x\n", entry, addr);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "run") {
+    return CmdRun(args);
+  }
+  if (command == "asm") {
+    return CmdAsm(args);
+  }
+  if (command == "table2") {
+    std::printf("%s", FormatTable2(GenerateTable2()).c_str());
+    return 0;
+  }
+  return Usage();
+}
