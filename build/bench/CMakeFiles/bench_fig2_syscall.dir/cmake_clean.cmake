@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_syscall.dir/bench_fig2_syscall.cc.o"
+  "CMakeFiles/bench_fig2_syscall.dir/bench_fig2_syscall.cc.o.d"
+  "bench_fig2_syscall"
+  "bench_fig2_syscall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_syscall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intercept.dir/bench_intercept.cc.o"
+  "CMakeFiles/bench_intercept.dir/bench_intercept.cc.o.d"
+  "bench_intercept"
+  "bench_intercept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intercept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_uli.dir/bench_uli.cc.o"
+  "CMakeFiles/bench_uli.dir/bench_uli.cc.o.d"
+  "bench_uli"
+  "bench_uli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_uli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

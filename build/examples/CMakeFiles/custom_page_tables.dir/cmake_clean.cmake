@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_page_tables.dir/custom_page_tables.cc.o"
+  "CMakeFiles/custom_page_tables.dir/custom_page_tables.cc.o.d"
+  "custom_page_tables"
+  "custom_page_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_page_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for custom_page_tables.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_isolation.dir/key_isolation.cc.o"
+  "CMakeFiles/key_isolation.dir/key_isolation.cc.o.d"
+  "key_isolation"
+  "key_isolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_isolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privilege_levels.dir/privilege_levels.cc.o"
+  "CMakeFiles/privilege_levels.dir/privilege_levels.cc.o.d"
+  "privilege_levels"
+  "privilege_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privilege_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transactional_memory.dir/transactional_memory.cc.o"
+  "CMakeFiles/transactional_memory.dir/transactional_memory.cc.o.d"
+  "transactional_memory"
+  "transactional_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transactional_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

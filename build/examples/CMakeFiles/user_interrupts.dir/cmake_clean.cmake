@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_interrupts.dir/user_interrupts.cc.o"
+  "CMakeFiles/user_interrupts.dir/user_interrupts.cc.o.d"
+  "user_interrupts"
+  "user_interrupts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_interrupts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

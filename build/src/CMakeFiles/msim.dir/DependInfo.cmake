@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cc" "src/CMakeFiles/msim.dir/asm/assembler.cc.o" "gcc" "src/CMakeFiles/msim.dir/asm/assembler.cc.o.d"
+  "/root/repo/src/asm/lexer.cc" "src/CMakeFiles/msim.dir/asm/lexer.cc.o" "gcc" "src/CMakeFiles/msim.dir/asm/lexer.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/CMakeFiles/msim.dir/cpu/core.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/core.cc.o.d"
+  "/root/repo/src/cpu/metal_unit.cc" "src/CMakeFiles/msim.dir/cpu/metal_unit.cc.o" "gcc" "src/CMakeFiles/msim.dir/cpu/metal_unit.cc.o.d"
+  "/root/repo/src/dev/console.cc" "src/CMakeFiles/msim.dir/dev/console.cc.o" "gcc" "src/CMakeFiles/msim.dir/dev/console.cc.o.d"
+  "/root/repo/src/dev/intc.cc" "src/CMakeFiles/msim.dir/dev/intc.cc.o" "gcc" "src/CMakeFiles/msim.dir/dev/intc.cc.o.d"
+  "/root/repo/src/dev/nic.cc" "src/CMakeFiles/msim.dir/dev/nic.cc.o" "gcc" "src/CMakeFiles/msim.dir/dev/nic.cc.o.d"
+  "/root/repo/src/dev/timer.cc" "src/CMakeFiles/msim.dir/dev/timer.cc.o" "gcc" "src/CMakeFiles/msim.dir/dev/timer.cc.o.d"
+  "/root/repo/src/ext/caps.cc" "src/CMakeFiles/msim.dir/ext/caps.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/caps.cc.o.d"
+  "/root/repo/src/ext/cpt.cc" "src/CMakeFiles/msim.dir/ext/cpt.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/cpt.cc.o.d"
+  "/root/repo/src/ext/enclave.cc" "src/CMakeFiles/msim.dir/ext/enclave.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/enclave.cc.o.d"
+  "/root/repo/src/ext/isolation.cc" "src/CMakeFiles/msim.dir/ext/isolation.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/isolation.cc.o.d"
+  "/root/repo/src/ext/nested.cc" "src/CMakeFiles/msim.dir/ext/nested.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/nested.cc.o.d"
+  "/root/repo/src/ext/privilege.cc" "src/CMakeFiles/msim.dir/ext/privilege.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/privilege.cc.o.d"
+  "/root/repo/src/ext/shadowstack.cc" "src/CMakeFiles/msim.dir/ext/shadowstack.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/shadowstack.cc.o.d"
+  "/root/repo/src/ext/stm.cc" "src/CMakeFiles/msim.dir/ext/stm.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/stm.cc.o.d"
+  "/root/repo/src/ext/uli.cc" "src/CMakeFiles/msim.dir/ext/uli.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/uli.cc.o.d"
+  "/root/repo/src/ext/virt.cc" "src/CMakeFiles/msim.dir/ext/virt.cc.o" "gcc" "src/CMakeFiles/msim.dir/ext/virt.cc.o.d"
+  "/root/repo/src/isa/decode.cc" "src/CMakeFiles/msim.dir/isa/decode.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/decode.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/msim.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/encoding.cc" "src/CMakeFiles/msim.dir/isa/encoding.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/encoding.cc.o.d"
+  "/root/repo/src/isa/instr_table.cc" "src/CMakeFiles/msim.dir/isa/instr_table.cc.o" "gcc" "src/CMakeFiles/msim.dir/isa/instr_table.cc.o.d"
+  "/root/repo/src/mem/bus.cc" "src/CMakeFiles/msim.dir/mem/bus.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/bus.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/msim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/mram.cc" "src/CMakeFiles/msim.dir/mem/mram.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/mram.cc.o.d"
+  "/root/repo/src/mem/phys_mem.cc" "src/CMakeFiles/msim.dir/mem/phys_mem.cc.o" "gcc" "src/CMakeFiles/msim.dir/mem/phys_mem.cc.o.d"
+  "/root/repo/src/metal/loader.cc" "src/CMakeFiles/msim.dir/metal/loader.cc.o" "gcc" "src/CMakeFiles/msim.dir/metal/loader.cc.o.d"
+  "/root/repo/src/metal/mroutine.cc" "src/CMakeFiles/msim.dir/metal/mroutine.cc.o" "gcc" "src/CMakeFiles/msim.dir/metal/mroutine.cc.o.d"
+  "/root/repo/src/metal/system.cc" "src/CMakeFiles/msim.dir/metal/system.cc.o" "gcc" "src/CMakeFiles/msim.dir/metal/system.cc.o.d"
+  "/root/repo/src/mmu/mmu.cc" "src/CMakeFiles/msim.dir/mmu/mmu.cc.o" "gcc" "src/CMakeFiles/msim.dir/mmu/mmu.cc.o.d"
+  "/root/repo/src/mmu/tlb.cc" "src/CMakeFiles/msim.dir/mmu/tlb.cc.o" "gcc" "src/CMakeFiles/msim.dir/mmu/tlb.cc.o.d"
+  "/root/repo/src/support/log.cc" "src/CMakeFiles/msim.dir/support/log.cc.o" "gcc" "src/CMakeFiles/msim.dir/support/log.cc.o.d"
+  "/root/repo/src/support/strings.cc" "src/CMakeFiles/msim.dir/support/strings.cc.o" "gcc" "src/CMakeFiles/msim.dir/support/strings.cc.o.d"
+  "/root/repo/src/synth/component.cc" "src/CMakeFiles/msim.dir/synth/component.cc.o" "gcc" "src/CMakeFiles/msim.dir/synth/component.cc.o.d"
+  "/root/repo/src/synth/designs.cc" "src/CMakeFiles/msim.dir/synth/designs.cc.o" "gcc" "src/CMakeFiles/msim.dir/synth/designs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/asm_test.cc" "tests/CMakeFiles/msim_tests.dir/asm_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/asm_test.cc.o.d"
+  "/root/repo/tests/config_variants_test.cc" "tests/CMakeFiles/msim_tests.dir/config_variants_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/config_variants_test.cc.o.d"
+  "/root/repo/tests/ext_cpt_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_cpt_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_cpt_test.cc.o.d"
+  "/root/repo/tests/ext_misc_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_misc_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_misc_test.cc.o.d"
+  "/root/repo/tests/ext_privilege_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_privilege_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_privilege_test.cc.o.d"
+  "/root/repo/tests/ext_stm_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_stm_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_stm_test.cc.o.d"
+  "/root/repo/tests/ext_uli_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_uli_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_uli_test.cc.o.d"
+  "/root/repo/tests/ext_virt_test.cc" "tests/CMakeFiles/msim_tests.dir/ext_virt_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/ext_virt_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/msim_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/interrupt_test.cc" "tests/CMakeFiles/msim_tests.dir/interrupt_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/interrupt_test.cc.o.d"
+  "/root/repo/tests/isa_test.cc" "tests/CMakeFiles/msim_tests.dir/isa_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/isa_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/msim_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/metal_test.cc" "tests/CMakeFiles/msim_tests.dir/metal_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/metal_test.cc.o.d"
+  "/root/repo/tests/metal_unit_test.cc" "tests/CMakeFiles/msim_tests.dir/metal_unit_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/metal_unit_test.cc.o.d"
+  "/root/repo/tests/mmu_test.cc" "tests/CMakeFiles/msim_tests.dir/mmu_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/mmu_test.cc.o.d"
+  "/root/repo/tests/pipeline_edge_test.cc" "tests/CMakeFiles/msim_tests.dir/pipeline_edge_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/pipeline_edge_test.cc.o.d"
+  "/root/repo/tests/pipeline_property_test.cc" "tests/CMakeFiles/msim_tests.dir/pipeline_property_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/pipeline_property_test.cc.o.d"
+  "/root/repo/tests/pipeline_test.cc" "tests/CMakeFiles/msim_tests.dir/pipeline_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/pipeline_test.cc.o.d"
+  "/root/repo/tests/support_test.cc" "tests/CMakeFiles/msim_tests.dir/support_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/support_test.cc.o.d"
+  "/root/repo/tests/synth_test.cc" "tests/CMakeFiles/msim_tests.dir/synth_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/synth_test.cc.o.d"
+  "/root/repo/tests/trace_test.cc" "tests/CMakeFiles/msim_tests.dir/trace_test.cc.o" "gcc" "tests/CMakeFiles/msim_tests.dir/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/msim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
