@@ -72,9 +72,10 @@ double MeasureSyscall(const CoreConfig& config) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("kenter/kexit system-call round trip (cycles per syscall)",
               "paper Figure 2 / §3.1 (user-defined privilege levels)");
+  BenchReport report("fig2_syscall", "paper Figure 2 / §3.1");
 
   CoreConfig metal;
   CoreConfig metal_slow;
@@ -84,14 +85,22 @@ int main() {
   CoreConfig palcode;
   palcode.mroutine_storage = MroutineStorage::kDramUncached;
 
+  struct Row {
+    const char* name;
+    const CoreConfig* config;
+  };
+  const Row rows[] = {
+      {StorageName(MroutineStorage::kMram), &metal},
+      {"Metal w/o fast transition (ablation)", &metal_slow},
+      {StorageName(MroutineStorage::kDramCached), &trap},
+      {StorageName(MroutineStorage::kDramUncached), &palcode},
+  };
   std::printf("\n%-42s %10s\n", "configuration", "cycles");
-  std::printf("%-42s %10.2f\n", StorageName(MroutineStorage::kMram), MeasureSyscall(metal));
-  std::printf("%-42s %10.2f\n", "Metal w/o fast transition (ablation)",
-              MeasureSyscall(metal_slow));
-  std::printf("%-42s %10.2f\n", StorageName(MroutineStorage::kDramCached),
-              MeasureSyscall(trap));
-  std::printf("%-42s %10.2f\n", StorageName(MroutineStorage::kDramUncached),
-              MeasureSyscall(palcode));
+  for (const Row& row : rows) {
+    const double cycles = MeasureSyscall(*row.config);
+    std::printf("%-42s %10.2f\n", row.name, cycles);
+    report.AddRow(row.name).Field("cycles_per_syscall", cycles);
+  }
 
   std::printf(
       "\nThe syscall executes the paper's kenter (privilege update, kernel page\n"
@@ -99,5 +108,5 @@ int main() {
       "decode-stage replacement the entire privilege switch costs a handful of\n"
       "cycles — the mroutine instructions themselves — while DRAM-resident\n"
       "handlers pay tens to hundreds of cycles of fetch latency.\n");
-  return 0;
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

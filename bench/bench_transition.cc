@@ -66,9 +66,10 @@ double MeasureOverhead(const CoreConfig& config, int body_nops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Metal mode transition overhead (cycles per invocation)",
               "paper §2.2 (fast transitions; PALcode ~18-cycle no-op call, §5)");
+  BenchReport report("transition", "paper §2.2 / §5");
 
   CoreConfig metal_fast;
   CoreConfig metal_slow;
@@ -97,8 +98,11 @@ int main() {
   std::printf("\n");
   for (const Config& config : configs) {
     std::printf("%-40s", config.name);
+    report.AddRow(config.name);
     for (const int body : kBodies) {
-      std::printf("%8.2f", MeasureOverhead(*config.config, body));
+      const double overhead = MeasureOverhead(*config.config, body);
+      std::printf("%8.2f", overhead);
+      report.Field(StrFormat("overhead_body_%d", body), overhead);
     }
     std::printf("\n");
   }
@@ -109,5 +113,5 @@ int main() {
       "~18-cycle Alpha no-op PAL call the paper cites (§5). Longer bodies show\n"
       "that MRAM-resident code executes at pipeline speed while PALcode-style\n"
       "handlers pay main-memory latency on every fetch.\n");
-  return 0;
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

@@ -2,15 +2,21 @@
 //
 // Every bench prints the paper-style rows it reproduces (see DESIGN.md §1 and
 // EXPERIMENTS.md). Results are simulated cycle counts — deterministic, not
-// wall clock — so the output is stable across runs and machines.
+// wall clock — so the output is stable across runs and machines. Benches that
+// fill a BenchReport can additionally emit their rows as a JSON file for CI
+// and plotting (`--json FILE` / `--stats-json FILE`, or MSIM_BENCH_JSON=FILE).
 #ifndef MSIM_BENCH_BENCH_UTIL_H_
 #define MSIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "metal/system.h"
+#include "trace/json.h"
 
 namespace msim {
 
@@ -59,6 +65,95 @@ inline const char* StorageName(MroutineStorage storage) {
   }
   return "?";
 }
+
+// Collects named result rows and writes them as one JSON document:
+//   {"bench": ..., "paper_ref": ..., "rows": [{"label": ..., <fields>}, ...]}
+class BenchReport {
+ public:
+  BenchReport(std::string bench, std::string paper_ref)
+      : bench_(std::move(bench)), paper_ref_(std::move(paper_ref)) {}
+
+  // Starts a row; chain Field() calls to fill it.
+  BenchReport& AddRow(std::string label) {
+    rows_.push_back(Row{std::move(label), {}});
+    return *this;
+  }
+  BenchReport& Field(std::string name, uint64_t value) {
+    rows_.back().fields.push_back(FieldValue{std::move(name), false, value, 0.0});
+    return *this;
+  }
+  BenchReport& Field(std::string name, double value) {
+    rows_.back().fields.push_back(FieldValue{std::move(name), true, 0, value});
+    return *this;
+  }
+
+  void WriteJson(std::ostream& out) const {
+    JsonWriter json(out);
+    json.BeginObject();
+    json.Field("bench", bench_);
+    json.Field("paper_ref", paper_ref_);
+    json.BeginArray("rows");
+    for (const Row& row : rows_) {
+      json.BeginObject();
+      json.Field("label", row.label);
+      for (const FieldValue& field : row.fields) {
+        if (field.is_double) {
+          json.Field(field.name, field.real);
+        } else {
+          json.Field(field.name, field.integer);
+        }
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+    out << "\n";
+  }
+
+  // Writes the report if the command line (`--json FILE`, `--stats-json FILE`)
+  // or the MSIM_BENCH_JSON environment variable requests a path. Returns
+  // false when a requested write failed.
+  bool WriteIfRequested(int argc, char** argv) const {
+    std::string path;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json" || std::string(argv[i]) == "--stats-json") {
+        path = argv[i + 1];
+      }
+    }
+    if (path.empty()) {
+      if (const char* env = std::getenv("MSIM_BENCH_JSON")) {
+        path = env;
+      }
+    }
+    if (path.empty()) {
+      return true;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+      return false;
+    }
+    WriteJson(out);
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+    return out.good();
+  }
+
+ private:
+  struct FieldValue {
+    std::string name;
+    bool is_double;
+    uint64_t integer;
+    double real;
+  };
+  struct Row {
+    std::string label;
+    std::vector<FieldValue> fields;
+  };
+
+  std::string bench_;
+  std::string paper_ref_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace msim
 

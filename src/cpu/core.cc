@@ -83,6 +83,61 @@ Core::Core(const CoreConfig& config)
   (void)bus_.AttachDevice(TimerDevice::kDefaultBase, &timer_);
   (void)bus_.AttachDevice(NicDevice::kDefaultBase, &nic_);
   (void)bus_.AttachDevice(ConsoleDevice::kDefaultBase, &console_);
+  // Observability wiring: one tracer shared by the pipeline and all
+  // instrumented components, and a registry enumerating every counter.
+  icache_.SetTracer(&tracer_, TraceEventKind::kICacheMiss);
+  dcache_.SetTracer(&tracer_, TraceEventKind::kDCacheMiss);
+  mram_.SetTracer(&tracer_);
+  mmu_.SetTracer(&tracer_);
+  metal_.SetTracer(&tracer_);
+  RegisterMetrics();
+  SetLogCycleSource(&cycle_);
+}
+
+Core::~Core() {
+  // Another core constructed later may have taken over the log prefix.
+  if (GetLogCycleSource() == &cycle_) {
+    SetLogCycleSource(nullptr);
+  }
+}
+
+void Core::RegisterMetrics() {
+  metrics_.Register("core", "cycles", &stats_.cycles, "simulated clock cycles");
+  metrics_.Register("core", "instret", &stats_.instret, "retired instructions");
+  metrics_.Register("core", "metal_instret", &stats_.metal_instret,
+                    "instructions retired in Metal mode");
+  metrics_.Register("core", "metal_cycles", &stats_.metal_cycles,
+                    "cycles with the committed mode == Metal");
+  metrics_.Register("core", "menters", &stats_.menters, "committed menter transitions");
+  metrics_.Register("core", "mexits", &stats_.mexits, "committed mexit transitions");
+  metrics_.Register("core", "fast_replacements", &stats_.fast_replacements,
+                    "decode-stage menter/mexit replacements");
+  metrics_.Register("core", "exceptions", &stats_.exceptions, "exceptions delivered");
+  metrics_.Register("core", "interrupts", &stats_.interrupts, "interrupts delivered");
+  metrics_.Register("core", "intercepts", &stats_.intercepts, "instructions intercepted");
+  metrics_.Register("core", "control_flushes", &stats_.control_flushes,
+                    "pipeline flushes from taken control transfers");
+  metrics_.Register("core", "load_use_stalls", &stats_.load_use_stalls,
+                    "1-cycle load-use bubbles");
+  icache_.RegisterMetrics(metrics_, "icache");
+  dcache_.RegisterMetrics(metrics_, "dcache");
+  mmu_.tlb().RegisterMetrics(metrics_);
+  mram_.RegisterMetrics(metrics_);
+  metal_.RegisterMetrics(metrics_);
+  metrics_.RegisterFn("nic", "packets_delivered",
+                      [this] { return nic_.packets_delivered(); },
+                      "packets handed to the rx queue");
+  metrics_.RegisterFn("console", "bytes_written",
+                      [this] { return static_cast<uint64_t>(console_.output().size()); },
+                      "bytes written to the console device");
+}
+
+void Core::SetTraceSink(TraceSink* sink) {
+  if (sink == nullptr) {
+    tracer_.Detach();
+  } else {
+    tracer_.Attach(sink, &cycle_);
+  }
 }
 
 Status Core::LoadProgram(const Program& program) {
@@ -109,6 +164,8 @@ void Core::ResetStats() {
   icache_.ResetStats();
   dcache_.ResetStats();
   mmu_.tlb().ResetStats();
+  mram_.ResetStats();
+  metal_.ResetStats();
 }
 
 RunResult Core::Run(uint64_t max_cycles) {
@@ -180,6 +237,7 @@ void Core::FlushFrontend() {
 
 void Core::RedirectFetch(uint32_t target) {
   FlushFrontend();
+  tracer_.Emit(TraceEventKind::kFlush, target, 0, 0, arch_metal_);
   fetch_pc_ = target;
   redirect_this_cycle_ = true;
 }
@@ -215,6 +273,9 @@ void Core::TakeTrapToEntry(uint32_t entry, uint32_t cause, uint32_t epc, uint32_
     }
     id_ex_.valid = false;
   }
+  tracer_.Emit((cause & kInterruptCauseFlag) != 0 ? TraceEventKind::kInterrupt
+                                                  : TraceEventKind::kTrap,
+               epc, cause, entry);
   metal_.SetTrapState(cause, epc, badvaddr, instr);
   metal_.WriteMreg(kMetalLinkRegister, m31);
   arch_metal_ = true;
@@ -329,6 +390,7 @@ void Core::StageMem() {
   if (op.metal) {
     ++stats_.metal_instret;
   }
+  tracer_.Emit(TraceEventKind::kRetire, op.pc, op.raw, 0, op.metal);
   if (retire_trace_) {
     retire_trace_(RetireEvent{cycle_, op.pc, op.raw, op.metal});
   }
@@ -467,6 +529,21 @@ void Core::StageEx() {
     --inflight_mode_ops_;
     stats_.menters += op.enters;
     stats_.mexits += op.exits;
+    if (tracer_.enabled()) {
+      // Replay the folded transition chain in committed order. Enter and exit
+      // land on the same cycle, which is exactly the zero-bubble contract.
+      for (uint8_t i = 0; i < op.chain_len; ++i) {
+        const ChainStep& step = op.chain[i];
+        if (step.is_enter) {
+          tracer_.Emit(TraceEventKind::kMenter, step.pc, step.entry, step.target);
+        } else {
+          tracer_.Emit(TraceEventKind::kMexit, step.pc, step.target, 0, /*metal=*/true);
+        }
+      }
+      if (op.enters + op.exits >= 2) {
+        tracer_.Emit(TraceEventKind::kChainFold, op.pc, op.enters, op.exits, op.metal);
+      }
+    }
     for (int i = 0; i < op.exits; ++i) {
       uint8_t rd = 0;
       uint32_t value = 0;
@@ -691,6 +768,8 @@ void Core::ExecuteAluOp(Op& op) {
         retire = false;
         break;
       }
+      tracer_.Emit(TraceEventKind::kMenter, pc, static_cast<uint32_t>(op.d.imm) & 63,
+                   handler);
       metal_.SetTrapState(0, pc, 0, op.d.raw);
       metal_.WriteMreg(kMetalLinkRegister, pc + 4);
       arch_metal_ = true;
@@ -702,6 +781,7 @@ void Core::ExecuteAluOp(Op& op) {
     }
     case K::kMexit: {
       const uint32_t resume = metal_.ReadMreg(kMetalLinkRegister);
+      tracer_.Emit(TraceEventKind::kMexit, pc, resume, 0, /*metal=*/true);
       arch_metal_ = false;
       frontend_metal_ = false;
       ++stats_.mexits;
@@ -791,6 +871,7 @@ void Core::ExecuteAluOp(Op& op) {
     if (op.metal) {
       ++stats_.metal_instret;
     }
+    tracer_.Emit(TraceEventKind::kRetire, op.pc, op.d.raw, 0, op.metal);
     if (retire_trace_) {
       retire_trace_(RetireEvent{cycle_, op.pc, op.d.raw, op.metal});
     }
@@ -825,6 +906,10 @@ void Core::IdReplacementChain(Op& op) {
       // Replace menter with the first mroutine instruction (paper §2.2).
       if (!op.has_transition()) {
         ++inflight_mode_ops_;
+      }
+      if (op.chain_len < op.chain.size()) {
+        op.chain[op.chain_len++] =
+            ChainStep{true, static_cast<uint8_t>(op.d.imm & 63), op.pc, handler};
       }
       ++op.enters;
       op.link = op.pc + 4;
@@ -873,6 +958,9 @@ void Core::IdReplacementChain(Op& op) {
       if (!op.has_transition()) {
         ++inflight_mode_ops_;
       }
+      if (op.chain_len < op.chain.size()) {
+        op.chain[op.chain_len++] = ChainStep{false, 0, op.pc, resume};
+      }
       ++op.exits;
       op.pc = resume;
       op.metal = false;
@@ -913,6 +1001,7 @@ void Core::StageId() {
     // Load-use hazard: the load is in EX this cycle; stall one cycle.
     if (ex_load_this_cycle_ && UsesReg(op.d, ex_load_rd_)) {
       ++stats_.load_use_stalls;
+      tracer_.Emit(TraceEventKind::kStall, op.pc, /*arg0=*/0, 0, op.metal);
       return;  // keep if_id_
     }
 

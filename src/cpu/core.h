@@ -48,6 +48,8 @@
 #include "mem/mram.h"
 #include "mmu/mmu.h"
 #include "support/result.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace msim {
 
@@ -78,6 +80,10 @@ struct RunResult {
 class Core {
  public:
   explicit Core(const CoreConfig& config = CoreConfig{});
+  ~Core();
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
 
   // Loads a program's sections into DRAM and points fetch at its entry.
   Status LoadProgram(const Program& program);
@@ -119,6 +125,16 @@ class Core {
   const CoreStats& stats() const { return stats_; }
   void ResetStats();
 
+  // Enumerable counters: every CoreStats field plus the cache/TLB/MRAM/Metal
+  // unit and device counters, registered at construction (trace/metrics.h).
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+  // Attaches a structured-event sink (trace/trace.h) fed by the pipeline and
+  // all instrumented components; null detaches. Like the retirement trace,
+  // emission costs one predictable branch when no sink is attached.
+  void SetTraceSink(TraceSink* sink);
+
   // Retirement trace: when set, the callback fires once per architecturally
   // retired instruction, in program order. Useful for debugging mroutines
   // (tools/msim --trace) and for test assertions; adds no cost when unset.
@@ -137,6 +153,16 @@ class Core {
   // or an mexit whose resume instruction is itself a menter), so enters and
   // exits are counted; the committed mode after the op is simply the mode the
   // final replacement instruction decodes in (`metal`).
+  // One folded decode-stage transition, recorded so trace events can be
+  // emitted in committed order at EX (speculative chains that get squashed
+  // are never emitted).
+  struct ChainStep {
+    bool is_enter = false;
+    uint8_t entry = 0;    // enters: the target mroutine entry
+    uint32_t pc = 0;      // pc of the replaced menter/mexit
+    uint32_t target = 0;  // enters: handler address; exits: resume address
+  };
+
   struct Op {
     bool valid = false;
     uint32_t pc = 0;
@@ -146,6 +172,8 @@ class Core {
     uint8_t enters = 0;      // menter transitions folded into this op
     uint8_t exits = 0;       // mexit transitions folded into this op
     uint32_t link = 0;       // m31 link value of the LAST menter in the chain
+    std::array<ChainStep, 4> chain{};  // bounded by the replacement guard
+    uint8_t chain_len = 0;
     bool intercepted = false;
     uint8_t intercept_entry = 0;
     ExcCause fetch_fault = ExcCause::kNone;
@@ -221,6 +249,9 @@ class Core {
 
   bool InterruptDeliverable() const;
 
+  // Registers every component's counters into metrics_ (constructor only).
+  void RegisterMetrics();
+
   CoreConfig config_;
   Bus bus_;
   Mram mram_;
@@ -256,6 +287,8 @@ class Core {
   bool redirect_this_cycle_ = false;
 
   RetireTrace retire_trace_;
+  MetricRegistry metrics_;
+  Tracer tracer_;
 
   bool halted_ = false;
   uint32_t exit_code_ = 0;

@@ -85,7 +85,25 @@ void MetalUnit::WriteCreg(uint32_t number, uint32_t value) {
   }
 }
 
+void MetalUnit::LatchOperands(const OperandLatch& latch) {
+  operands_ = latch;
+  ++stats_.operand_latches;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(TraceEventKind::kIntercept, /*pc=*/0, latch.raw, latch.rd_index);
+  }
+}
+
+void MetalUnit::RegisterMetrics(MetricRegistry& registry) const {
+  registry.Register("metal", "intercept_configs", &stats_.intercept_configs,
+                    "mintset slot writes");
+  registry.Register("metal", "operand_latches", &stats_.operand_latches,
+                    "committed instruction interceptions");
+  registry.Register("metal", "writebacks_taken", &stats_.writebacks_taken,
+                    "mopw writebacks applied at mexit");
+}
+
 void MetalUnit::ApplyMintset(uint32_t spec, uint32_t target) {
+  ++stats_.intercept_configs;
   const unsigned index = (target >> 8) & (kNumInterceptSlots - 1);
   InterceptSlot& slot = intercepts_[index];
   slot.opcode = static_cast<uint8_t>(spec & 0x7F);

@@ -10,6 +10,8 @@
 #include "cpu/creg.h"
 #include "cpu/trap.h"
 #include "isa/isa.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace msim {
 
@@ -46,6 +48,12 @@ struct OperandLatch {
   uint8_t rs1_index = 0;
   uint8_t rs2_index = 0;
   uint32_t raw = 0;
+};
+
+struct MetalUnitStats {
+  uint64_t intercept_configs = 0;   // mintset writes
+  uint64_t operand_latches = 0;     // committed interceptions
+  uint64_t writebacks_taken = 0;    // mopw values applied at mexit
 };
 
 class MetalUnit {
@@ -89,7 +97,9 @@ class MetalUnit {
   bool AnyInterceptEnabled() const { return any_intercept_; }
 
   // --- Operand latch ---
-  void LatchOperands(const OperandLatch& latch) { operands_ = latch; }
+  // Latches the operands of a committed intercepted instruction (the core
+  // calls this exactly once per interception, from the EX stage).
+  void LatchOperands(const OperandLatch& latch);
   const OperandLatch& operands() const { return operands_; }
   // mopw: value to write to the intercepted instruction's rd on mexit.
   void SetPendingWriteback(uint32_t value) {
@@ -101,10 +111,17 @@ class MetalUnit {
       return false;
     }
     pending_writeback_valid_ = false;
+    ++stats_.writebacks_taken;
     *rd = operands_.rd_index;
     *value = pending_writeback_;
     return true;
   }
+
+  // --- Observability ---
+  const MetalUnitStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MetalUnitStats{}; }
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
   // --- Trap state (set by the core on Metal-mode entry) ---
   void SetTrapState(uint32_t cause, uint32_t epc, uint32_t badvaddr, uint32_t instr) {
@@ -130,6 +147,8 @@ class MetalUnit {
   OperandLatch operands_{};
   bool pending_writeback_valid_ = false;
   uint32_t pending_writeback_ = 0;
+  MetalUnitStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace msim

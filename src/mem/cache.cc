@@ -23,9 +23,17 @@ uint32_t Cache::Access(uint32_t paddr) {
     return hit_latency_;
   }
   ++stats_.misses;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(miss_kind_, paddr);
+  }
   line.valid = true;
   line.tag = tag;
   return miss_latency_;
+}
+
+void Cache::RegisterMetrics(MetricRegistry& registry, const std::string& component) const {
+  registry.Register(component, "hits", &stats_.hits, "accesses that hit a resident line");
+  registry.Register(component, "misses", &stats_.misses, "accesses that filled a line");
 }
 
 bool Cache::Probe(uint32_t paddr) const {

@@ -11,7 +11,11 @@
 #define MSIM_MEM_CACHE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace msim {
 
@@ -37,6 +41,15 @@ class Cache {
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 
+  // Registers hit/miss counters under `component` (e.g. "icache").
+  void RegisterMetrics(MetricRegistry& registry, const std::string& component) const;
+
+  // Attaches the core's tracer; misses emit `miss_kind` events.
+  void SetTracer(Tracer* tracer, TraceEventKind miss_kind) {
+    tracer_ = tracer;
+    miss_kind_ = miss_kind;
+  }
+
   uint32_t hit_latency() const { return hit_latency_; }
   uint32_t miss_latency() const { return miss_latency_; }
 
@@ -55,6 +68,8 @@ class Cache {
   uint32_t miss_latency_;
   std::vector<Line> lines_;
   CacheStats stats_;
+  Tracer* tracer_ = nullptr;
+  TraceEventKind miss_kind_ = TraceEventKind::kDCacheMiss;
 };
 
 }  // namespace msim

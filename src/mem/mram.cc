@@ -11,6 +11,10 @@ std::optional<uint32_t> Mram::FetchWord(uint32_t addr) const {
   if (!InCodeRange(addr) || (addr & 3) != 0) {
     return std::nullopt;
   }
+  ++stats_.code_fetches;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(TraceEventKind::kMramAccess, addr, /*arg0=*/0, /*arg1=*/0, /*metal=*/true);
+  }
   uint32_t word;
   std::memcpy(&word, &code_[addr - kMramCodeBase], 4);
   return word;
@@ -28,6 +32,10 @@ std::optional<uint32_t> Mram::ReadData32(uint32_t offset) const {
   if (offset + 4 > data_.size() || offset + 4 < offset) {
     return std::nullopt;
   }
+  ++stats_.data_reads;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(TraceEventKind::kMramAccess, offset, /*arg0=*/1, /*arg1=*/0, /*metal=*/true);
+  }
   uint32_t value;
   std::memcpy(&value, &data_[offset], 4);
   return value;
@@ -37,6 +45,10 @@ bool Mram::WriteData32(uint32_t offset, uint32_t value) {
   if (offset + 4 > data_.size() || offset + 4 < offset) {
     return false;
   }
+  ++stats_.data_writes;
+  if (tracer_ != nullptr) {
+    tracer_->Emit(TraceEventKind::kMramAccess, offset, /*arg0=*/2, /*arg1=*/0, /*metal=*/true);
+  }
   std::memcpy(&data_[offset], &value, 4);
   return true;
 }
@@ -44,6 +56,13 @@ bool Mram::WriteData32(uint32_t offset, uint32_t value) {
 void Mram::Clear() {
   std::fill(code_.begin(), code_.end(), 0);
   std::fill(data_.begin(), data_.end(), 0);
+}
+
+void Mram::RegisterMetrics(MetricRegistry& registry) const {
+  registry.Register("mram", "code_fetches", &stats_.code_fetches,
+                    "instruction words read through the fetch port");
+  registry.Register("mram", "data_reads", &stats_.data_reads, "mld accesses");
+  registry.Register("mram", "data_writes", &stats_.data_writes, "mst accesses");
 }
 
 }  // namespace msim

@@ -11,6 +11,9 @@
 #include <optional>
 #include <vector>
 
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
 namespace msim {
 
 // The code segment occupies a dedicated region of the fetch address space so
@@ -18,6 +21,12 @@ namespace msim {
 inline constexpr uint32_t kMramCodeBase = 0xFFFF0000u;
 inline constexpr uint32_t kMramCodeSize = 16 * 1024;  // 4096 instructions
 inline constexpr uint32_t kMramDataSize = 8 * 1024;
+
+struct MramStats {
+  uint64_t code_fetches = 0;  // successful fetch-port reads
+  uint64_t data_reads = 0;
+  uint64_t data_writes = 0;
+};
 
 class Mram {
  public:
@@ -39,9 +48,18 @@ class Mram {
 
   void Clear();
 
+  const MramStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = MramStats{}; }
+  void RegisterMetrics(MetricRegistry& registry) const;
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   std::vector<uint8_t> code_;
   std::vector<uint8_t> data_;
+  // The fetch/read ports are architecturally read-only, so accounting from
+  // the const accessors mutates through `mutable`.
+  mutable MramStats stats_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace msim

@@ -33,6 +33,12 @@ class MetalSystem {
   Core& core() { return *core_; }
   const Core& core() const { return *core_; }
 
+  // Observability passthroughs (see src/trace/): the core's counter registry
+  // and structured-event sink (null detaches).
+  MetricRegistry& metrics() { return core_->metrics(); }
+  const MetricRegistry& metrics() const { return core_->metrics(); }
+  void SetTraceSink(TraceSink* sink) { core_->SetTraceSink(sink); }
+
   // Appends mcode source. All accumulated sources are assembled as ONE module
   // at Boot() so they share labels and the MRAM data segment; extensions must
   // use distinct entry numbers (each header documents its range).

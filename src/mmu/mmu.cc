@@ -34,6 +34,9 @@ TranslateResult Mmu::Translate(uint32_t vaddr, AccessType type, uint16_t asid,
   TranslateResult result;
   const TlbEntry* entry = tlb_.Lookup(vaddr, asid);
   if (entry == nullptr) {
+    if (tracer_ != nullptr) {
+      tracer_->Emit(TraceEventKind::kTlbMiss, vaddr, static_cast<uint32_t>(type));
+    }
     result.fault = MissCause(type);
     return result;
   }

@@ -13,6 +13,7 @@
 
 #include "cpu/trap.h"
 #include "mmu/tlb.h"
+#include "trace/trace.h"
 
 namespace msim {
 
@@ -36,8 +37,12 @@ class Mmu {
   TranslateResult Translate(uint32_t vaddr, AccessType type, uint16_t asid,
                             uint32_t keyperm);
 
+  // Attaches the core's tracer; TLB misses emit kTlbMiss events.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Tlb tlb_;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace msim

@@ -14,6 +14,8 @@
 #include <optional>
 #include <vector>
 
+#include "trace/metrics.h"
+
 namespace msim {
 
 // PTE layout (the rs2 operand of tlbwr and the result of tlbrd):
@@ -90,6 +92,12 @@ class Tlb {
 
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }
+
+  void RegisterMetrics(MetricRegistry& registry) const {
+    registry.Register("tlb", "hits", &stats_.hits);
+    registry.Register("tlb", "misses", &stats_.misses);
+    registry.Register("tlb", "insertions", &stats_.insertions);
+  }
 
  private:
   bool Matches(const TlbEntry& entry, uint32_t vaddr, uint16_t asid) const;

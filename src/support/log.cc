@@ -1,11 +1,18 @@
 #include "support/log.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace msim {
 namespace {
 
-LogLevel g_level = LogLevel::kWarning;
+LogLevel InitialLevel() {
+  return ParseLogLevel(std::getenv("MSIM_LOG_LEVEL"), LogLevel::kWarning);
+}
+
+LogLevel g_level = InitialLevel();
+const uint64_t* g_cycle_source = nullptr;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -27,15 +34,42 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
+LogLevel ParseLogLevel(const char* text, LogLevel fallback) {
+  if (text == nullptr || *text == '\0') {
+    return fallback;
+  }
+  if (std::strcmp(text, "trace") == 0) return LogLevel::kTrace;
+  if (std::strcmp(text, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(text, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(text, "warn") == 0 || std::strcmp(text, "warning") == 0) {
+    return LogLevel::kWarning;
+  }
+  if (std::strcmp(text, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(text, "off") == 0) return LogLevel::kOff;
+  if (text[0] >= '0' && text[0] <= '5' && text[1] == '\0') {
+    return static_cast<LogLevel>(text[0] - '0');
+  }
+  return fallback;
+}
+
 void SetLogLevel(LogLevel level) { g_level = level; }
 
 LogLevel GetLogLevel() { return g_level; }
+
+void SetLogCycleSource(const uint64_t* cycle) { g_cycle_source = cycle; }
+
+const uint64_t* GetLogCycleSource() { return g_cycle_source; }
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (level < g_level) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_cycle_source != nullptr) {
+    std::fprintf(stderr, "[%s] [cyc %llu] %s\n", LevelName(level),
+                 (unsigned long long)*g_cycle_source, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  }
 }
 
 }  // namespace msim

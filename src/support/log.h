@@ -2,10 +2,14 @@
 //
 // The simulator is a library first; logging defaults to warnings-and-above on
 // stderr and can be raised for debugging (e.g. per-cycle pipeline traces in
-// the CPU core honour kTrace).
+// the CPU core honour kTrace). The initial threshold honours the
+// MSIM_LOG_LEVEL environment variable (a name like "debug" or a number 0-5);
+// SetLogLevel overrides it. When a core registers its cycle counter, every
+// line carries the current simulated cycle so logs correlate with traces.
 #ifndef MSIM_SUPPORT_LOG_H_
 #define MSIM_SUPPORT_LOG_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -24,7 +28,16 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one line to stderr: "[level] message".
+// Parses "trace|debug|info|warn[ing]|error|off" or "0".."5"; returns the
+// fallback on anything else.
+LogLevel ParseLogLevel(const char* text, LogLevel fallback);
+
+// Registers the simulated-cycle counter to prefix log lines with (the Core
+// constructor registers, its destructor unregisters); null disables.
+void SetLogCycleSource(const uint64_t* cycle);
+const uint64_t* GetLogCycleSource();
+
+// Emits one line to stderr: "[level] [cyc N] message" (cycle when registered).
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace log_internal {

@@ -1,0 +1,332 @@
+#include "trace/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace msim {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (!has_members_.empty()) {
+    if (has_members_.back()) {
+      out_ << ',';
+    }
+    has_members_.back() = true;
+  }
+}
+
+void JsonWriter::Key(std::string_view key) {
+  Separate();
+  out_ << '"' << JsonEscape(key) << "\":";
+}
+
+void JsonWriter::BeginObject() {
+  Separate();
+  out_ << '{';
+  has_members_.push_back(false);
+}
+
+void JsonWriter::BeginObject(std::string_view key) {
+  Key(key);
+  out_ << '{';
+  has_members_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ << '}';
+  has_members_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  Separate();
+  out_ << '[';
+  has_members_.push_back(false);
+}
+
+void JsonWriter::BeginArray(std::string_view key) {
+  Key(key);
+  out_ << '[';
+  has_members_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ << ']';
+  has_members_.pop_back();
+}
+
+void JsonWriter::Field(std::string_view key, std::string_view value) {
+  Key(key);
+  out_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Field(std::string_view key, uint64_t value) {
+  Key(key);
+  out_ << value;
+}
+
+void JsonWriter::Field(std::string_view key, int64_t value) {
+  Key(key);
+  out_ << value;
+}
+
+void JsonWriter::Field(std::string_view key, double value) {
+  Key(key);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ << buf;
+}
+
+void JsonWriter::Field(std::string_view key, bool value) {
+  Key(key);
+  out_ << (value ? "true" : "false");
+}
+
+void JsonWriter::Value(std::string_view value) {
+  Separate();
+  out_ << '"' << JsonEscape(value) << '"';
+}
+
+void JsonWriter::Value(uint64_t value) {
+  Separate();
+  out_ << value;
+}
+
+// ---------------------------------------------------------------------------
+// Validator: a small recursive-descent parser over the JSON grammar.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Validate() {
+    SkipWs();
+    if (!ParseValue()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool ParseLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) {
+      return false;
+    }
+    pos_ += literal.size();
+    return true;
+  }
+
+  bool ParseString() {
+    if (!Eat('"')) {
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') {
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // raw control character
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= text_.size() ||
+                  std::isxdigit(static_cast<unsigned char>(text_[pos_])) == 0) {
+                return false;
+              }
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber() {
+    const size_t start = pos_;
+    Eat('-');
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    } else {
+      return false;
+    }
+    if (Eat('.')) {
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') {
+        ++pos_;
+      }
+      if (std::isdigit(static_cast<unsigned char>(Peek())) == 0) {
+        return false;
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek())) != 0) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool ParseObject() {
+    if (!Eat('{')) {
+      return false;
+    }
+    SkipWs();
+    if (Eat('}')) {
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!ParseString()) {
+        return false;
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return false;
+      }
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat('}')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseArray() {
+    if (!Eat('[')) {
+      return false;
+    }
+    SkipWs();
+    if (Eat(']')) {
+      return true;
+    }
+    while (true) {
+      if (!ParseValue()) {
+        return false;
+      }
+      SkipWs();
+      if (Eat(']')) {
+        return true;
+      }
+      if (!Eat(',')) {
+        return false;
+      }
+    }
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    switch (Peek()) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool JsonLooksValid(std::string_view text) { return JsonValidator(text).Validate(); }
+
+}  // namespace msim

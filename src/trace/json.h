@@ -1,0 +1,68 @@
+// Minimal JSON emission helpers for the observability layer.
+//
+// The simulator has no external dependencies, so the stats/trace exporters
+// build their JSON with this small streaming writer instead of a full
+// serialization library. The writer tracks nesting and comma placement; the
+// caller is responsible for pairing Begin*/End* calls. `JsonLooksValid` is a
+// strict structural validator used by tests and tools to check exported files
+// without third-party parsers.
+#ifndef MSIM_TRACE_JSON_H_
+#define MSIM_TRACE_JSON_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msim {
+
+// Escapes `text` per RFC 8259 (quotes, backslashes, control characters).
+std::string JsonEscape(std::string_view text);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  // Containers. The Begin* overloads taking a key are for use inside objects.
+  void BeginObject();
+  void BeginObject(std::string_view key);
+  void EndObject();
+  void BeginArray();
+  void BeginArray(std::string_view key);
+  void EndArray();
+
+  // Scalar members (inside an object).
+  void Field(std::string_view key, std::string_view value);
+  void Field(std::string_view key, const char* value) {
+    Field(key, std::string_view(value));
+  }
+  void Field(std::string_view key, uint64_t value);
+  void Field(std::string_view key, int64_t value);
+  void Field(std::string_view key, uint32_t value) {
+    Field(key, static_cast<uint64_t>(value));
+  }
+  void Field(std::string_view key, int value) { Field(key, static_cast<int64_t>(value)); }
+  void Field(std::string_view key, double value);
+  void Field(std::string_view key, bool value);
+
+  // Scalar elements (inside an array).
+  void Value(std::string_view value);
+  void Value(uint64_t value);
+
+ private:
+  void Separate();
+  void Key(std::string_view key);
+
+  std::ostream& out_;
+  // One entry per open container: true once the first member was written.
+  std::vector<bool> has_members_;
+};
+
+// Structural JSON validation (objects, arrays, strings, numbers, literals).
+// Accepts exactly one top-level value surrounded by whitespace.
+bool JsonLooksValid(std::string_view text);
+
+}  // namespace msim
+
+#endif  // MSIM_TRACE_JSON_H_

@@ -1,0 +1,84 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "trace/json.h"
+
+namespace msim {
+
+void MetricRegistry::Register(std::string component, std::string name, const uint64_t* counter,
+                              std::string help) {
+  Metric metric;
+  metric.component = std::move(component);
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.counter = counter;
+  metrics_.push_back(std::move(metric));
+}
+
+void MetricRegistry::RegisterFn(std::string component, std::string name,
+                                std::function<uint64_t()> getter, std::string help) {
+  Metric metric;
+  metric.component = std::move(component);
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.getter = std::move(getter);
+  metrics_.push_back(std::move(metric));
+}
+
+uint64_t MetricRegistry::Value(std::string_view component, std::string_view name,
+                               bool* found) const {
+  for (const Metric& metric : metrics_) {
+    if (metric.component == component && metric.name == name) {
+      if (found != nullptr) {
+        *found = true;
+      }
+      return metric.value();
+    }
+  }
+  if (found != nullptr) {
+    *found = false;
+  }
+  return 0;
+}
+
+void MetricRegistry::WriteJson(std::ostream& out) const {
+  JsonWriter json(out);
+  json.BeginObject();
+  AppendJson(json);
+  json.EndObject();
+}
+
+void MetricRegistry::AppendJson(JsonWriter& json) const {
+  // Group by component in first-seen order; registration clusters per
+  // component, but re-scan for stragglers registered out of order.
+  std::vector<std::string> emitted;
+  for (const Metric& metric : metrics_) {
+    if (std::find(emitted.begin(), emitted.end(), metric.component) != emitted.end()) {
+      continue;
+    }
+    emitted.push_back(metric.component);
+    json.BeginObject(metric.component);
+    for (const Metric& member : metrics_) {
+      if (member.component == metric.component) {
+        json.Field(member.name, member.value());
+      }
+    }
+    json.EndObject();
+  }
+}
+
+void MetricRegistry::WriteText(std::ostream& out) const {
+  size_t width = 0;
+  for (const Metric& metric : metrics_) {
+    width = std::max(width, metric.component.size() + 1 + metric.name.size());
+  }
+  for (const Metric& metric : metrics_) {
+    const std::string label = metric.component + "." + metric.name;
+    out << std::left << std::setw(static_cast<int>(width) + 2) << label << std::right
+        << std::setw(12) << metric.value() << "\n";
+  }
+}
+
+}  // namespace msim

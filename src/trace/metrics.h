@@ -1,0 +1,68 @@
+// MetricRegistry: a central, enumerable registry of named counters.
+//
+// Components (core, caches, TLB, MRAM, Metal unit, devices) register their
+// counters once at construction; exporters then enumerate the registry
+// instead of hand-copying struct fields. Two registration forms exist:
+//   * a raw pointer to a uint64_t the component increments on its hot path
+//     (no per-increment overhead — the registry only reads at dump time), and
+//   * a getter callback for values that are derived or owned elsewhere.
+// Registration order is preserved so text and JSON dumps are stable.
+#ifndef MSIM_TRACE_METRICS_H_
+#define MSIM_TRACE_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace msim {
+
+class JsonWriter;
+
+class MetricRegistry {
+ public:
+  struct Metric {
+    std::string component;  // e.g. "core", "icache"
+    std::string name;       // e.g. "cycles", "misses"
+    std::string help;       // one-line description (may be empty)
+    const uint64_t* counter = nullptr;       // used when non-null
+    std::function<uint64_t()> getter;        // used otherwise
+
+    uint64_t value() const { return counter != nullptr ? *counter : getter(); }
+  };
+
+  // Registers a counter backed by component-owned storage. The pointer must
+  // outlive the registry (counters live in long-lived component structs).
+  void Register(std::string component, std::string name, const uint64_t* counter,
+                std::string help = {});
+
+  // Registers a derived/computed value.
+  void RegisterFn(std::string component, std::string name, std::function<uint64_t()> getter,
+                  std::string help = {});
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+
+  // Looks up a metric's current value; returns 0 if absent (`found` reports
+  // whether the metric exists when non-null).
+  uint64_t Value(std::string_view component, std::string_view name,
+                 bool* found = nullptr) const;
+
+  // Writes `{"component": {"name": value, ...}, ...}` grouped by component in
+  // registration order.
+  void WriteJson(std::ostream& out) const;
+
+  // Same component groups, appended as members of an already-open JSON object
+  // (lets callers embed the registry in a larger stats document).
+  void AppendJson(JsonWriter& json) const;
+
+  // Writes aligned `component.name  value` lines.
+  void WriteText(std::ostream& out) const;
+
+ private:
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_TRACE_METRICS_H_

@@ -1,0 +1,167 @@
+#include "trace/profiler.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "trace/json.h"
+
+namespace msim {
+
+void MroutineProfiler::OpenSpan(uint32_t entry, uint64_t cycle, bool via_trap) {
+  if (in_metal_) {
+    // Defensive: the architecture brackets Metal mode strictly (traps inside
+    // Metal mode are fatal, nested menter faults), but never double-open.
+    CloseSpan(cycle);
+  }
+  in_metal_ = true;
+  span_start_ = cycle;
+  if (entry < kMaxMroutines) {
+    current_known_ = true;
+    current_entry_ = entry;
+    if (via_trap) {
+      ++entries_[entry].trap_enters;
+    } else {
+      ++entries_[entry].enters;
+    }
+  } else {
+    current_known_ = false;
+    if (via_trap) {
+      ++unattributed_.trap_enters;
+    } else {
+      ++unattributed_.enters;
+    }
+  }
+}
+
+void MroutineProfiler::CloseSpan(uint64_t cycle) {
+  if (!in_metal_) {
+    return;
+  }
+  EntryProfile& profile = current_known_ ? entries_[current_entry_] : unattributed_;
+  profile.cycles += cycle >= span_start_ ? cycle - span_start_ : 0;
+  last_known_ = current_known_;
+  last_entry_ = current_entry_;
+  in_metal_ = false;
+  current_known_ = false;
+}
+
+void MroutineProfiler::OnEvent(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kMenter:
+      OpenSpan(event.arg0, event.cycle, /*via_trap=*/false);
+      break;
+    case TraceEventKind::kTrap:
+    case TraceEventKind::kInterrupt:
+      OpenSpan(event.arg1, event.cycle, /*via_trap=*/true);
+      break;
+    case TraceEventKind::kMexit:
+      CloseSpan(event.cycle);
+      break;
+    case TraceEventKind::kChainFold:
+      ++chain_folds_;
+      break;
+    case TraceEventKind::kRetire:
+      if (event.metal) {
+        if (in_metal_) {
+          (current_known_ ? entries_[current_entry_] : unattributed_).instret += 1;
+        } else {
+          (last_known_ ? entries_[last_entry_] : unattributed_).instret += 1;
+        }
+      } else {
+        ++normal_instret_;
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void MroutineProfiler::Finalize(uint64_t final_cycle) { CloseSpan(final_cycle); }
+
+uint64_t MroutineProfiler::total_metal_cycles() const {
+  uint64_t total = unattributed_.cycles;
+  for (const EntryProfile& profile : entries_) {
+    total += profile.cycles;
+  }
+  return total;
+}
+
+uint64_t MroutineProfiler::total_metal_instret() const {
+  uint64_t total = unattributed_.instret;
+  for (const EntryProfile& profile : entries_) {
+    total += profile.instret;
+  }
+  return total;
+}
+
+void MroutineProfiler::WriteText(std::ostream& out, uint64_t total_cycles) const {
+  char line[160];
+  out << "--- per-mroutine profile ---\n";
+  std::snprintf(line, sizeof(line), "%-8s %10s %10s %12s %12s %8s\n", "entry", "menters",
+                "traps", "instret", "cycles", "%cycles");
+  out << line;
+  auto row = [&](const char* label, const EntryProfile& profile) {
+    const double pct =
+        total_cycles != 0 ? 100.0 * static_cast<double>(profile.cycles) / total_cycles : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "%-8s %10" PRIu64 " %10" PRIu64 " %12" PRIu64 " %12" PRIu64 " %7.2f%%\n",
+                  label, profile.enters, profile.trap_enters, profile.instret, profile.cycles,
+                  pct);
+    out << line;
+  };
+  for (uint32_t entry = 0; entry < kMaxMroutines; ++entry) {
+    const EntryProfile& profile = entries_[entry];
+    if (profile.total_enters() == 0 && profile.instret == 0 && profile.cycles == 0) {
+      continue;
+    }
+    char label[16];
+    std::snprintf(label, sizeof(label), "%u", entry);
+    row(label, profile);
+  }
+  if (unattributed_.total_enters() != 0 || unattributed_.instret != 0 ||
+      unattributed_.cycles != 0) {
+    row("(other)", unattributed_);
+  }
+  const uint64_t metal_cycles = total_metal_cycles();
+  const uint64_t normal_cycles = total_cycles >= metal_cycles ? total_cycles - metal_cycles : 0;
+  std::snprintf(line, sizeof(line),
+                "normal: %" PRIu64 " instret / %" PRIu64 " cycles;  Metal: %" PRIu64
+                " instret / %" PRIu64 " cycles;  chain folds: %" PRIu64 "\n",
+                normal_instret_, normal_cycles, total_metal_instret(), metal_cycles,
+                chain_folds_);
+  out << line;
+}
+
+void MroutineProfiler::AppendJson(JsonWriter& json, uint64_t total_cycles) const {
+  json.BeginArray("entries");
+  auto entry_object = [&](int64_t entry, const EntryProfile& profile) {
+    json.BeginObject();
+    json.Field("entry", entry);
+    json.Field("menters", profile.enters);
+    json.Field("trap_enters", profile.trap_enters);
+    json.Field("instret", profile.instret);
+    json.Field("cycles", profile.cycles);
+    json.EndObject();
+  };
+  for (uint32_t entry = 0; entry < kMaxMroutines; ++entry) {
+    const EntryProfile& profile = entries_[entry];
+    if (profile.total_enters() == 0 && profile.instret == 0 && profile.cycles == 0) {
+      continue;
+    }
+    entry_object(entry, profile);
+  }
+  if (unattributed_.total_enters() != 0 || unattributed_.instret != 0 ||
+      unattributed_.cycles != 0) {
+    entry_object(-1, unattributed_);
+  }
+  json.EndArray();
+  json.BeginObject("totals");
+  json.Field("total_cycles", total_cycles);
+  json.Field("metal_cycles", total_metal_cycles());
+  json.Field("metal_instret", total_metal_instret());
+  json.Field("normal_instret", normal_instret_);
+  json.Field("chain_folds", chain_folds_);
+  json.EndObject();
+}
+
+}  // namespace msim

@@ -1,0 +1,85 @@
+// Per-mroutine profiler: attributes cycles and retired instructions to MRAM
+// entries by consuming the structured trace stream (trace/trace.h).
+//
+// Attribution model. The committed mode becomes Metal exactly when the core
+// emits kMenter / kTrap / kInterrupt, and reverts on kMexit; CoreStats
+// counts a cycle as a Metal cycle for every cycle strictly after the entering
+// event up to and including the cycle of the exiting event. The profiler
+// mirrors that: a span entered at cycle C and exited at cycle M contributes
+// (M - C) cycles to its entry, so the per-entry cycle attribution sums to
+// CoreStats.metal_cycles when the profiler observes the whole run (decode-
+// stage transition chains commit enter and exit at the same cycle and thus
+// contribute zero, matching the hardware's zero-bubble path).
+#ifndef MSIM_TRACE_PROFILER_H_
+#define MSIM_TRACE_PROFILER_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+
+#include "isa/isa.h"
+#include "trace/trace.h"
+
+namespace msim {
+
+class JsonWriter;
+
+class MroutineProfiler : public TraceSink {
+ public:
+  struct EntryProfile {
+    uint64_t enters = 0;       // menter invocations (fast or slow path)
+    uint64_t trap_enters = 0;  // deliveries via exception/interrupt/intercept
+    uint64_t instret = 0;      // Metal instructions retired under this entry
+    uint64_t cycles = 0;       // Metal cycles attributed to this entry
+
+    uint64_t total_enters() const { return enters + trap_enters; }
+  };
+
+  void OnEvent(const TraceEvent& event) override;
+
+  // Closes a span still open when the simulation stopped (e.g. halted inside
+  // an mroutine). Call with Core::cycle() after the run, before reporting.
+  void Finalize(uint64_t final_cycle);
+
+  const std::array<EntryProfile, kMaxMroutines>& entries() const { return entries_; }
+
+  // Metal activity that could not be tied to an entry (profiler attached
+  // mid-run, or ring-buffer style loss upstream).
+  uint64_t unattributed_cycles() const { return unattributed_.cycles; }
+  uint64_t unattributed_instret() const { return unattributed_.instret; }
+
+  uint64_t total_metal_cycles() const;   // sum over entries + unattributed
+  uint64_t total_metal_instret() const;
+  uint64_t normal_instret() const { return normal_instret_; }
+  uint64_t chain_folds() const { return chain_folds_; }
+
+  // Paper-style breakdown (normal vs. Metal vs. per-entry), skipping entries
+  // that were never entered. `total_cycles` scales the %cycles column.
+  void WriteText(std::ostream& out, uint64_t total_cycles) const;
+
+  // Appends {"entries": [...], "totals": {...}} members to an open object.
+  void AppendJson(JsonWriter& json, uint64_t total_cycles) const;
+
+ private:
+  void OpenSpan(uint32_t entry, uint64_t cycle, bool via_trap);
+  void CloseSpan(uint64_t cycle);
+
+  std::array<EntryProfile, kMaxMroutines> entries_{};
+  EntryProfile unattributed_{};
+  uint64_t normal_instret_ = 0;
+  uint64_t chain_folds_ = 0;
+
+  bool in_metal_ = false;
+  bool current_known_ = false;  // false: attribute the open span to unattributed_
+  uint32_t current_entry_ = 0;
+  uint64_t span_start_ = 0;
+  // The slow-path mexit instruction retires (as a Metal instruction) after
+  // its own exit event closed the span; attribute such trailing retires to
+  // the entry that just ended.
+  bool last_known_ = false;
+  uint32_t last_entry_ = 0;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_TRACE_PROFILER_H_

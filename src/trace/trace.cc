@@ -1,0 +1,183 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "cpu/trap.h"
+#include "support/strings.h"
+#include "trace/json.h"
+
+namespace msim {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRetire:
+      return "retire";
+    case TraceEventKind::kMenter:
+      return "menter";
+    case TraceEventKind::kMexit:
+      return "mexit";
+    case TraceEventKind::kChainFold:
+      return "chain_fold";
+    case TraceEventKind::kTrap:
+      return "trap";
+    case TraceEventKind::kInterrupt:
+      return "interrupt";
+    case TraceEventKind::kIntercept:
+      return "intercept";
+    case TraceEventKind::kICacheMiss:
+      return "icache_miss";
+    case TraceEventKind::kDCacheMiss:
+      return "dcache_miss";
+    case TraceEventKind::kTlbMiss:
+      return "tlb_miss";
+    case TraceEventKind::kMramAccess:
+      return "mram_access";
+    case TraceEventKind::kStall:
+      return "stall";
+    case TraceEventKind::kFlush:
+      return "flush";
+    case TraceEventKind::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+RingBufferSink::RingBufferSink(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  buffer_.reserve(std::min<size_t>(capacity_, 4096));
+}
+
+void RingBufferSink::OnEvent(const TraceEvent& event) {
+  ++total_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> RingBufferSink::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void RingBufferSink::Clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+// Display name for the slice opened by a mode-entering event.
+std::string SliceName(const TraceEvent& event) {
+  switch (event.kind) {
+    case TraceEventKind::kMenter:
+      return StrFormat("mroutine %u", event.arg0);
+    case TraceEventKind::kTrap:
+      return StrFormat("trap %s -> entry %u",
+                       ExcCauseName(static_cast<ExcCause>(event.arg0)), event.arg1);
+    case TraceEventKind::kInterrupt:
+      return StrFormat("irq %u -> entry %u", event.arg0 & ~kInterruptCauseFlag, event.arg1);
+    case TraceEventKind::kIntercept:
+      return StrFormat("intercept -> entry %u", event.arg1);
+    default:
+      return TraceEventKindName(event.kind);
+  }
+}
+
+void WriteCommon(JsonWriter& json, const char* name, const char* phase, uint64_t ts) {
+  json.Field("name", name);
+  json.Field("ph", phase);
+  json.Field("ts", ts);
+  json.Field("pid", 0);
+  json.Field("tid", 0);
+}
+
+}  // namespace
+
+void ExportChromeTrace(const std::vector<TraceEvent>& events, std::ostream& out) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.BeginArray("traceEvents");
+
+  // Name the single process/thread for the trace viewer.
+  json.BeginObject();
+  json.Field("name", "process_name");
+  json.Field("ph", "M");
+  json.Field("pid", 0);
+  json.Field("tid", 0);
+  json.BeginObject("args");
+  json.Field("name", "msim");
+  json.EndObject();
+  json.EndObject();
+
+  uint64_t last_cycle = 0;
+  int open_slices = 0;
+  for (const TraceEvent& event : events) {
+    last_cycle = std::max(last_cycle, event.cycle);
+    switch (event.kind) {
+      case TraceEventKind::kMenter:
+      case TraceEventKind::kTrap:
+      case TraceEventKind::kInterrupt: {
+        json.BeginObject();
+        const std::string name = SliceName(event);
+        WriteCommon(json, name.c_str(), "B", event.cycle);
+        json.BeginObject("args");
+        json.Field("pc", StrFormat("0x%08x", event.pc));
+        if (event.kind == TraceEventKind::kMenter) {
+          json.Field("entry", event.arg0);
+          json.Field("handler", StrFormat("0x%08x", event.arg1));
+        } else {
+          json.Field("cause", event.arg0);
+          json.Field("entry", event.arg1);
+        }
+        json.EndObject();
+        json.EndObject();
+        ++open_slices;
+        break;
+      }
+      case TraceEventKind::kMexit: {
+        if (open_slices == 0) {
+          break;  // exit without a recorded enter (ring buffer wrapped)
+        }
+        json.BeginObject();
+        WriteCommon(json, "mexit", "E", event.cycle);
+        json.EndObject();
+        --open_slices;
+        break;
+      }
+      default: {
+        json.BeginObject();
+        WriteCommon(json, TraceEventKindName(event.kind), "i", event.cycle);
+        json.Field("s", "t");
+        json.BeginObject("args");
+        json.Field("pc", StrFormat("0x%08x", event.pc));
+        json.Field("arg0", event.arg0);
+        json.Field("arg1", event.arg1);
+        json.Field("metal", event.metal);
+        json.EndObject();
+        json.EndObject();
+        break;
+      }
+    }
+  }
+  // Close any slice still open when tracing stopped (e.g. the simulation
+  // halted inside an mroutine) so viewers do not drop it.
+  for (; open_slices > 0; --open_slices) {
+    json.BeginObject();
+    WriteCommon(json, "end_of_trace", "E", last_cycle);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Field("displayTimeUnit", "ms");
+  json.EndObject();
+}
+
+}  // namespace msim

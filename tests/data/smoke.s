@@ -1,0 +1,7 @@
+# Tiny CI smoke program: count down and halt with exit code 0.
+_start:
+  li t0, 10
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  halt t0

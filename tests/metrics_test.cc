@@ -1,0 +1,166 @@
+// MetricRegistry: registration, enumeration, lookup, exporters — and the
+// core's registry agreeing with its CoreStats after a run.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tests/sim_test_util.h"
+#include "trace/json.h"
+#include "trace/metrics.h"
+
+namespace msim {
+namespace {
+
+TEST(MetricRegistryTest, RegisterAndEnumerate) {
+  MetricRegistry registry;
+  uint64_t hits = 7;
+  uint64_t misses = 3;
+  registry.Register("cache", "hits", &hits, "cache hits");
+  registry.Register("cache", "misses", &misses);
+  registry.RegisterFn("cache", "accesses", [&] { return hits + misses; });
+
+  ASSERT_EQ(registry.metrics().size(), 3u);
+  EXPECT_EQ(registry.metrics()[0].component, "cache");
+  EXPECT_EQ(registry.metrics()[0].name, "hits");
+  EXPECT_EQ(registry.metrics()[0].help, "cache hits");
+  EXPECT_EQ(registry.metrics()[0].value(), 7u);
+  EXPECT_EQ(registry.metrics()[2].value(), 10u);
+
+  // Registered pointers are read live, not copied.
+  hits = 100;
+  EXPECT_EQ(registry.metrics()[0].value(), 100u);
+  EXPECT_EQ(registry.metrics()[2].value(), 103u);
+}
+
+TEST(MetricRegistryTest, ValueLookup) {
+  MetricRegistry registry;
+  uint64_t counter = 42;
+  registry.Register("core", "cycles", &counter);
+
+  bool found = false;
+  EXPECT_EQ(registry.Value("core", "cycles", &found), 42u);
+  EXPECT_TRUE(found);
+  EXPECT_EQ(registry.Value("core", "nonexistent", &found), 0u);
+  EXPECT_FALSE(found);
+  EXPECT_EQ(registry.Value("nope", "cycles", &found), 0u);
+  EXPECT_FALSE(found);
+}
+
+TEST(MetricRegistryTest, WriteJsonIsValidAndGrouped) {
+  MetricRegistry registry;
+  uint64_t a = 1, b = 2, c = 3;
+  registry.Register("alpha", "a", &a);
+  registry.Register("beta", "b", &b);
+  registry.Register("alpha", "c", &c);  // straggler joins its component group
+
+  std::ostringstream out;
+  registry.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_TRUE(JsonLooksValid(json)) << json;
+  EXPECT_EQ(json, R"({"alpha":{"a":1,"c":3},"beta":{"b":2}})");
+}
+
+TEST(MetricRegistryTest, WriteTextListsEveryMetric) {
+  MetricRegistry registry;
+  uint64_t a = 11, b = 22;
+  registry.Register("core", "cycles", &a);
+  registry.Register("icache", "misses", &b);
+
+  std::ostringstream out;
+  registry.WriteText(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("core.cycles"), std::string::npos);
+  EXPECT_NE(text.find("11"), std::string::npos);
+  EXPECT_NE(text.find("icache.misses"), std::string::npos);
+  EXPECT_NE(text.find("22"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, AppendJsonEmbedsInLargerDocument) {
+  MetricRegistry registry;
+  uint64_t v = 5;
+  registry.Register("core", "cycles", &v);
+
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("schema", "test");
+  json.BeginObject("metrics");
+  registry.AppendJson(json);
+  json.EndObject();
+  json.EndObject();
+  EXPECT_TRUE(JsonLooksValid(out.str())) << out.str();
+  EXPECT_EQ(out.str(), R"({"schema":"test","metrics":{"core":{"cycles":5}}})");
+}
+
+TEST(JsonTest, EscapeAndValidate) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_TRUE(JsonLooksValid(R"({"k":[1,2.5,-3,"s",true,false,null]})"));
+  EXPECT_FALSE(JsonLooksValid(R"({"k":1,})"));
+  EXPECT_FALSE(JsonLooksValid(R"({"k":1} extra)"));
+  EXPECT_FALSE(JsonLooksValid("{"));
+}
+
+TEST(CoreMetricsTest, RegistryMatchesStatsAfterRun) {
+  Core core;
+  MustLoadMcodeRaw(core, R"(
+      .mentry 1, work
+    work:
+      addi a0, a0, 1
+      mexit
+  )");
+  ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+    _start:
+      li t0, 5
+    loop:
+      menter 1
+      addi t0, t0, -1
+      bnez t0, loop
+      la t1, word
+      lw t2, 0(t1)
+      halt a0
+    .data
+    word: .word 9
+  )")));
+  MustHalt(core, 5);
+
+  const CoreStats& stats = core.stats();
+  const MetricRegistry& metrics = core.metrics();
+  EXPECT_EQ(metrics.Value("core", "cycles"), stats.cycles);
+  EXPECT_EQ(metrics.Value("core", "instret"), stats.instret);
+  EXPECT_EQ(metrics.Value("core", "metal_instret"), stats.metal_instret);
+  EXPECT_EQ(metrics.Value("core", "metal_cycles"), stats.metal_cycles);
+  EXPECT_EQ(metrics.Value("core", "menters"), stats.menters);
+  EXPECT_EQ(metrics.Value("core", "mexits"), stats.mexits);
+  EXPECT_EQ(metrics.Value("icache", "hits"), core.icache().stats().hits);
+  EXPECT_EQ(metrics.Value("icache", "misses"), core.icache().stats().misses);
+  EXPECT_EQ(metrics.Value("dcache", "hits"), core.dcache().stats().hits);
+  EXPECT_EQ(metrics.Value("tlb", "misses"), core.mmu().tlb().stats().misses);
+  EXPECT_EQ(metrics.Value("mram", "code_fetches"), core.mram().stats().code_fetches);
+  EXPECT_GE(core.mram().stats().code_fetches, 5u);  // five mroutine activations
+
+  // The JSON dump of a live core's registry is structurally valid.
+  std::ostringstream out;
+  metrics.WriteJson(out);
+  EXPECT_TRUE(JsonLooksValid(out.str())) << out.str();
+}
+
+TEST(CoreMetricsTest, ResetStatsClearsComponentCounters) {
+  Core core;
+  ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+    _start:
+      halt zero
+  )")));
+  MustHalt(core, 0);
+  EXPECT_GT(core.metrics().Value("core", "cycles"), 0u);
+  EXPECT_GT(core.metrics().Value("icache", "hits") + core.metrics().Value("icache", "misses"),
+            0u);
+  core.ResetStats();
+  EXPECT_EQ(core.metrics().Value("core", "cycles"), 0u);
+  EXPECT_EQ(core.metrics().Value("icache", "hits"), 0u);
+  EXPECT_EQ(core.metrics().Value("icache", "misses"), 0u);
+  EXPECT_EQ(core.metrics().Value("mram", "code_fetches"), 0u);
+  EXPECT_EQ(core.metrics().Value("metal", "operand_latches"), 0u);
+}
+
+}  // namespace
+}  // namespace msim

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "support/bits.h"
+#include "support/log.h"
 #include "support/result.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -152,6 +153,32 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(LogTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("trace", LogLevel::kWarning), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("debug", LogLevel::kWarning), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("info", LogLevel::kWarning), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warning", LogLevel::kError), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error", LogLevel::kWarning), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off", LogLevel::kWarning), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("0", LogLevel::kWarning), LogLevel::kTrace);
+  EXPECT_EQ(ParseLogLevel("5", LogLevel::kWarning), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel(nullptr, LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("bogus", LogLevel::kWarning), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("7", LogLevel::kWarning), LogLevel::kWarning);
+}
+
+TEST(LogTest, CycleSourceRegistration) {
+  const uint64_t* saved = GetLogCycleSource();
+  uint64_t cycle = 42;
+  SetLogCycleSource(&cycle);
+  EXPECT_EQ(GetLogCycleSource(), &cycle);
+  SetLogCycleSource(nullptr);
+  EXPECT_EQ(GetLogCycleSource(), nullptr);
+  SetLogCycleSource(saved);
 }
 
 }  // namespace

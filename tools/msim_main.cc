@@ -9,15 +9,19 @@
 //   --mcode FILE        install an mcode module (repeatable)
 //   --storage MODE      mram | dram-cached | dram-uncached
 //   --no-fast           disable decode-stage menter/mexit replacement
-//   --max-cycles N      simulation budget (default 50M)
-//   --trace-stats       print detailed pipeline statistics
-//   --trace [N]         print the first N retired instructions (default 200)
+//   --max-cycles N        simulation budget (default 50M)
+//   --trace-stats         print detailed pipeline statistics
+//   --trace [N]           print the first N retired instructions (default 200)
+//   --stats-json FILE     write run result + all counters as JSON
+//   --trace-json FILE     record structured events, export Chrome trace JSON
+//   --profile-mroutines   print per-mroutine cycle/instret breakdown
 //
 // The program's exit code (from `halt rs1`) becomes the process exit code.
 #include <cstdio>
 #include <cctype>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,6 +32,10 @@
 #include "metal/system.h"
 #include "support/strings.h"
 #include "synth/designs.h"
+#include "trace/json.h"
+#include "trace/metrics.h"
+#include "trace/profiler.h"
+#include "trace/trace.h"
 
 using namespace msim;
 
@@ -38,7 +46,8 @@ int Usage() {
                "usage:\n"
                "  msim run <program.s> [--mcode file.s]... [--storage mram|dram-cached|"
                "dram-uncached]\n"
-               "           [--no-fast] [--max-cycles N] [--trace-stats]\n"
+               "           [--no-fast] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
+               "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
   return 2;
@@ -54,31 +63,67 @@ Result<std::string> ReadFile(const std::string& path) {
   return text.str();
 }
 
+// Enumerates the core's MetricRegistry instead of hand-copying struct fields;
+// every counter any component registered shows up here automatically.
 void PrintStats(Core& core) {
   const CoreStats& stats = core.stats();
   std::printf("--- pipeline statistics ---\n");
-  std::printf("cycles             %12llu\n", (unsigned long long)stats.cycles);
-  std::printf("instructions       %12llu (IPC %.3f)\n", (unsigned long long)stats.instret,
-              stats.cycles ? (double)stats.instret / stats.cycles : 0.0);
-  std::printf("metal instructions %12llu\n", (unsigned long long)stats.metal_instret);
-  std::printf("metal cycles       %12llu\n", (unsigned long long)stats.metal_cycles);
-  std::printf("menter / mexit     %12llu / %llu (fast replacements %llu)\n",
-              (unsigned long long)stats.menters, (unsigned long long)stats.mexits,
-              (unsigned long long)stats.fast_replacements);
-  std::printf("exceptions         %12llu\n", (unsigned long long)stats.exceptions);
-  std::printf("interrupts         %12llu\n", (unsigned long long)stats.interrupts);
-  std::printf("intercepts         %12llu\n", (unsigned long long)stats.intercepts);
-  std::printf("control flushes    %12llu\n", (unsigned long long)stats.control_flushes);
-  std::printf("load-use stalls    %12llu\n", (unsigned long long)stats.load_use_stalls);
-  std::printf("icache hits/misses %12llu / %llu\n",
-              (unsigned long long)core.icache().stats().hits,
-              (unsigned long long)core.icache().stats().misses);
-  std::printf("dcache hits/misses %12llu / %llu\n",
-              (unsigned long long)core.dcache().stats().hits,
-              (unsigned long long)core.dcache().stats().misses);
-  std::printf("TLB hits/misses    %12llu / %llu\n",
-              (unsigned long long)core.mmu().tlb().stats().hits,
-              (unsigned long long)core.mmu().tlb().stats().misses);
+  std::printf("IPC %.3f (%llu instructions / %llu cycles)\n",
+              stats.cycles ? (double)stats.instret / stats.cycles : 0.0,
+              (unsigned long long)stats.instret, (unsigned long long)stats.cycles);
+  std::ostringstream text;
+  core.metrics().WriteText(text);
+  std::fputs(text.str().c_str(), stdout);
+}
+
+bool WriteStatsJson(MetalSystem& system, const RunResult& result,
+                    const std::string& program_path, const MroutineProfiler* profiler,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  const char* reason = "halted";
+  if (result.reason == RunResult::Reason::kCycleLimit) {
+    reason = "cycle-limit";
+  } else if (result.reason == RunResult::Reason::kFatal) {
+    reason = "fatal";
+  }
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("program", program_path);
+  json.BeginObject("result");
+  json.Field("reason", reason);
+  json.Field("exit_code", result.exit_code);
+  json.Field("cycles", result.cycles);
+  json.Field("instret", result.instret);
+  json.EndObject();
+  json.BeginObject("metrics");
+  system.metrics().AppendJson(json);
+  json.EndObject();
+  if (profiler != nullptr) {
+    json.BeginObject("mroutine_profile");
+    profiler->AppendJson(json, system.core().stats().cycles);
+    json.EndObject();
+  }
+  json.EndObject();
+  out << "\n";
+  return out.good();
+}
+
+bool WriteTraceJson(const RingBufferSink& ring, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  if (ring.dropped() != 0) {
+    std::fprintf(stderr, "[trace] ring buffer dropped %llu of %llu events\n",
+                 (unsigned long long)ring.dropped(), (unsigned long long)ring.total());
+  }
+  ExportChromeTrace(ring.Events(), out);
+  return out.good();
 }
 
 int CmdRun(const std::vector<std::string>& args) {
@@ -88,6 +133,9 @@ int CmdRun(const std::vector<std::string>& args) {
   uint64_t max_cycles = 0;
   bool trace_stats = false;
   uint64_t trace_limit = 0;
+  std::string stats_json_path;
+  std::string trace_json_path;
+  bool profile_mroutines = false;
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -111,6 +159,12 @@ int CmdRun(const std::vector<std::string>& args) {
       max_cycles = std::strtoull(args[++i].c_str(), nullptr, 0);
     } else if (arg == "--trace-stats") {
       trace_stats = true;
+    } else if (arg == "--stats-json" && i + 1 < args.size()) {
+      stats_json_path = args[++i];
+    } else if (arg == "--trace-json" && i + 1 < args.size()) {
+      trace_json_path = args[++i];
+    } else if (arg == "--profile-mroutines") {
+      profile_mroutines = true;
     } else if (arg == "--trace") {
       trace_limit = 200;
       if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-' &&
@@ -147,6 +201,27 @@ int CmdRun(const std::vector<std::string>& args) {
     return 1;
   }
 
+  // Structured-event sinks. The ring buffer feeds the Chrome-trace export and
+  // the profiler aggregates in place; when both are requested they share one
+  // event stream through a tee.
+  RingBufferSink ring;
+  MroutineProfiler profiler;
+  TeeSink tee;
+  TraceSink* sink = nullptr;
+  const bool want_profile = profile_mroutines || !stats_json_path.empty();
+  if (!trace_json_path.empty() && want_profile) {
+    tee.Add(&ring);
+    tee.Add(&profiler);
+    sink = &tee;
+  } else if (!trace_json_path.empty()) {
+    sink = &ring;
+  } else if (want_profile) {
+    sink = &profiler;
+  }
+  if (sink != nullptr) {
+    system.SetTraceSink(sink);
+  }
+
   uint64_t traced = 0;
   if (trace_limit != 0) {
     system.core().SetRetireTrace([&traced, trace_limit](const Core::RetireEvent& event) {
@@ -176,8 +251,27 @@ int CmdRun(const std::vector<std::string>& args) {
       std::fprintf(stderr, "[fatal] %s\n", result.fatal_message.c_str());
       break;
   }
+  if (sink != nullptr) {
+    profiler.Finalize(system.core().cycle());
+  }
   if (trace_stats) {
     PrintStats(system.core());
+  }
+  if (profile_mroutines) {
+    std::ostringstream text;
+    profiler.WriteText(text, system.core().stats().cycles);
+    std::fputs(text.str().c_str(), stdout);
+  }
+  bool io_ok = true;
+  if (!stats_json_path.empty()) {
+    io_ok &= WriteStatsJson(system, result, program_path,
+                            want_profile ? &profiler : nullptr, stats_json_path);
+  }
+  if (!trace_json_path.empty()) {
+    io_ok &= WriteTraceJson(ring, trace_json_path);
+  }
+  if (!io_ok) {
+    return 1;
   }
   return result.reason == RunResult::Reason::kHalted ? static_cast<int>(result.exit_code & 0xFF)
                                                      : 1;
