@@ -1,0 +1,106 @@
+// Fault recovery: surviving MRAM corruption with a machine-check mroutine.
+//
+// The robustness layer (docs/robustness.md) models MRAM with per-word parity:
+// fault injection corrupts words *behind* the write path, the next fetch/mld
+// observes the mismatch, and the pipeline raises a machine check instead of
+// consuming the bad word. Machine checks are the one trap deliverable FROM
+// Metal mode, and they delegate like any other cause — so a developer can
+// install a *recovery mroutine* that repairs the damage and retries.
+//
+// This demo builds a counter "accelerator" (entry 1) whose state lives in the
+// MRAM data segment, then uses the fault engine to flip a bit of that state
+// mid-run. The recovery mroutine (entry 2):
+//   1. reads MCHECKKIND/MCHECKINFO to see what broke,
+//   2. writes MRAMSCRUB, restoring the corrupted word from the shadow copy,
+//   3. points m31 at MEPC and mexits — the hardware resumes Metal mode at the
+//      faulting instruction (restoring m31 from MCHECKM31), so the aborted
+//      accelerator call replays as if the upset never happened.
+// The program computes the same final count as an uninjected run.
+//
+// Build & run:  ./build/examples/fault_recovery
+#include <cstdio>
+
+#include "fault/fault.h"
+#include "metal/system.h"
+
+using namespace msim;
+
+namespace {
+
+constexpr const char* kMcode = R"(
+    .equ D_COUNT, 0           # accumulator in the MRAM data segment
+    .equ CR_MEPC, 1
+    .equ CR_MCHECK_KIND, 49
+    .equ CR_MCHECK_INFO, 50
+    .equ CR_MRAM_SCRUB, 52
+
+    .mentry 1, count_add      # the "accelerator": D_COUNT += a0
+    .mentry 2, mcheck_recover
+
+  count_add:
+    mld t0, D_COUNT(zero)     # parity-checked: corruption machine-checks here
+    add t0, t0, a0
+    mst t0, D_COUNT(zero)
+    mv a0, t0
+    mexit
+
+  mcheck_recover:
+    rcr t0, CR_MCHECK_KIND    # what broke (2 = mram_data_parity)
+    rcr t1, CR_MCHECK_INFO    # where (byte offset of the bad word)
+    wcr CR_MRAM_SCRUB, zero   # repair: restore from the shadow copy
+    rcr t2, CR_MEPC           # retry: resume Metal mode at the faulting pc
+    wmr m31, t2               # (mexit restores m31 from MCHECKM31 on re-entry)
+    mexit
+)";
+
+constexpr const char* kProgram = R"(
+  _start:
+    li s0, 10                 # ten accelerator calls of +7 each
+    li s1, 0
+  loop:
+    li a0, 7
+    menter 1
+    mv s1, a0
+    addi s0, s0, -1
+    bnez s0, loop
+    halt s1                   # expect 70 even with the injected upset
+)";
+
+}  // namespace
+
+int main() {
+  MetalSystem system;
+  system.AddMcode(kMcode);
+  system.DelegateException(ExcCause::kMachineCheck, 2);
+  if (Status status = system.LoadProgramSource(kProgram); !status.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Flip bit 13 of the accelerator's counter word (MRAM data offset 0) at
+  // cycle 120 — mid-run, between two accelerator calls. Same spec string as
+  // `msim run --inject mram-data@120:at=0,bit=13`.
+  FaultEngine engine(/*seed=*/42);
+  if (Status status = engine.AddSpec("mram-data@120:at=0,bit=13"); !status.ok()) {
+    std::fprintf(stderr, "bad spec: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  system.core().SetFaultEngine(&engine);
+
+  const RunResult result = system.Run();
+  if (result.reason != RunResult::Reason::kHalted) {
+    std::fprintf(stderr, "run failed: %s\n", result.fatal_message.c_str());
+    return 1;
+  }
+
+  const CoreStats& stats = system.core().stats();
+  const MramStats& mram = system.core().mram().stats();
+  std::printf("final count: %u (expected 70)\n", result.exit_code);
+  std::printf("faults injected: %llu, parity errors observed: %llu\n",
+              static_cast<unsigned long long>(engine.injections()),
+              static_cast<unsigned long long>(mram.parity_errors));
+  std::printf("machine checks delivered: %llu, words scrubbed: %llu\n",
+              static_cast<unsigned long long>(stats.machine_checks),
+              static_cast<unsigned long long>(mram.words_scrubbed));
+  return result.exit_code == 70 ? 0 : 1;
+}

@@ -44,6 +44,17 @@ struct CoreConfig {
   uint32_t dram_handler_code_base = 0x00E00800;
   uint32_t dram_handler_data_base = 0x00E80800;
 
+  // Robustness machinery (docs/robustness.md).
+  // MRAM parity: loader/mst writes maintain per-word parity; a fetch or mld
+  // of a word whose parity mismatches (i.e. corrupted behind the write path)
+  // raises a machine check instead of silently executing/returning it.
+  bool mram_parity = true;
+  // Metal-mode watchdog: a machine check fires when the core stays in Metal
+  // mode for more than this many consecutive cycles (mroutines are
+  // non-interruptible, so a looping mroutine would otherwise hang the
+  // machine). 0 disables the watchdog.
+  uint64_t metal_watchdog_cycles = 0;
+
   // Safety net for runaway simulations in tests.
   uint64_t default_max_cycles = 50'000'000;
 };

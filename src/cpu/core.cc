@@ -1,5 +1,6 @@
 #include "cpu/core.h"
 
+#include "fault/fault.h"
 #include "support/log.h"
 
 #include "support/strings.h"
@@ -90,6 +91,7 @@ Core::Core(const CoreConfig& config)
   mram_.SetTracer(&tracer_);
   mmu_.SetTracer(&tracer_);
   metal_.SetTracer(&tracer_);
+  mram_.SetParityEnabled(config.mram_parity);
   RegisterMetrics();
   SetLogCycleSource(&cycle_);
 }
@@ -119,6 +121,10 @@ void Core::RegisterMetrics() {
                     "pipeline flushes from taken control transfers");
   metrics_.Register("core", "load_use_stalls", &stats_.load_use_stalls,
                     "1-cycle load-use bubbles");
+  metrics_.Register("core", "machine_checks", &stats_.machine_checks,
+                    "machine checks raised (delegated or fatal)");
+  metrics_.Register("core", "watchdog_fires", &stats_.watchdog_fires,
+                    "Metal-mode watchdog expirations");
   icache_.RegisterMetrics(metrics_, "icache");
   dcache_.RegisterMetrics(metrics_, "dcache");
   mmu_.tlb().RegisterMetrics(metrics_);
@@ -197,8 +203,31 @@ void Core::StepCycle() {
   }
   ++cycle_;
   stats_.cycles = cycle_;
+  if (fault_engine_ != nullptr) {
+    fault_engine_->Tick(*this);
+    if (has_fatal_) {
+      return;
+    }
+  }
   if (arch_metal_) {
     ++stats_.metal_cycles;
+    ++metal_resident_cycles_;
+  } else {
+    metal_resident_cycles_ = 0;
+  }
+  // Metal-mode watchdog (docs/robustness.md): mroutines are non-interruptible,
+  // so a runaway mroutine would otherwise hang the machine. When the committed
+  // mode stays Metal for more than the configured budget, raise a machine
+  // check; the counter restarts so the recovery mroutine gets a fresh budget.
+  if (config_.metal_watchdog_cycles != 0 &&
+      metal_resident_cycles_ > config_.metal_watchdog_cycles) {
+    ++stats_.watchdog_fires;
+    metal_resident_cycles_ = 0;
+    RaiseMachineCheck(McheckKind::kWatchdog, last_metal_entry_,
+                      id_ex_.valid ? id_ex_.pc : fetch_pc_);
+    if (has_fatal_) {
+      return;
+    }
   }
   bus_.TickDevices(cycle_, intc_);
   redirect_this_cycle_ = false;
@@ -246,9 +275,8 @@ void Core::TakeTrapToEntry(uint32_t entry, uint32_t cause, uint32_t epc, uint32_
                            uint32_t instr, uint32_t m31, bool faulting_op_is_metal) {
   if (faulting_op_is_metal) {
     // mroutines are non-interruptible and must not fault (paper §2.1); a
-    // fault inside Metal mode is a machine check.
-    Fatal(StrFormat("trap (cause 0x%08x) raised by a Metal-mode instruction at pc=0x%08x",
-                    cause, epc));
+    // fault inside Metal mode is a machine check (recoverable if delegated).
+    RaiseMachineCheck(McheckKind::kDoubleTrap, cause, epc);
     return;
   }
   if (entry >= kMaxMroutines) {
@@ -280,7 +308,68 @@ void Core::TakeTrapToEntry(uint32_t entry, uint32_t cause, uint32_t epc, uint32_
   metal_.WriteMreg(kMetalLinkRegister, m31);
   arch_metal_ = true;
   frontend_metal_ = true;
+  last_metal_entry_ = static_cast<uint8_t>(entry);
   RedirectFetch(handler);
+}
+
+void Core::RaiseMachineCheck(McheckKind kind, uint32_t info, uint32_t epc) {
+  ++stats_.machine_checks;
+  tracer_.Emit(TraceEventKind::kMachineCheck, epc, static_cast<uint32_t>(kind), info,
+               arch_metal_);
+  std::string detail;
+  switch (kind) {
+    case McheckKind::kMramCodeParity:
+      detail = StrFormat("MRAM code parity error at 0x%08x", info);
+      break;
+    case McheckKind::kMramDataParity:
+      detail = StrFormat("MRAM data parity error at offset 0x%08x", info);
+      break;
+    case McheckKind::kWatchdog:
+      detail = StrFormat("mroutine entry %u exceeded the %llu-cycle Metal-mode watchdog budget",
+                         info,
+                         static_cast<unsigned long long>(config_.metal_watchdog_cycles));
+      break;
+    case McheckKind::kDoubleTrap:
+      detail = StrFormat("trap (cause 0x%08x) raised by a Metal-mode instruction", info);
+      break;
+    default:
+      detail = "unknown machine-check kind";
+      break;
+  }
+  // Record the check in the MCHECK* registers before deciding deliverability,
+  // so a crash dump of an undelegated (fatal) check still names it. m31 is
+  // left untouched: it still holds the aborted mroutine's resume address, so
+  // the recovery mroutine's mexit returns to the interrupted normal-mode
+  // program. A copy lands in MCHECKM31 (together with MEPC) so the handler
+  // can instead retry the faulting Metal-mode instruction by rewriting m31
+  // (mexit resumes into Metal mode for MRAM addresses).
+  metal_.SetMachineCheckState(kind, info, metal_.ReadMreg(kMetalLinkRegister));
+  metal_.SetTrapState(static_cast<uint32_t>(ExcCause::kMachineCheck), epc, info, 0);
+  if (in_machine_check_) {
+    // A machine check while one is being handled cannot recurse into the
+    // (evidently broken) recovery mroutine.
+    Fatal(StrFormat("double machine check (%s) at pc=0x%08x: %s", McheckKindName(kind), epc,
+                    detail.c_str()));
+    return;
+  }
+  const uint32_t entry = metal_.DelegatedEntry(ExcCause::kMachineCheck);
+  if (entry >= kMaxMroutines || metal_.EntryAddress(entry) == 0) {
+    Fatal(StrFormat("undelegated machine check (%s) at pc=0x%08x: %s", McheckKindName(kind),
+                    epc, detail.c_str()));
+    return;
+  }
+  // Squash younger in-flight work, rolling back speculative mode transitions.
+  if (id_ex_.valid) {
+    if (id_ex_.has_transition()) {
+      --inflight_mode_ops_;
+    }
+    id_ex_.valid = false;
+  }
+  in_machine_check_ = true;
+  arch_metal_ = true;
+  frontend_metal_ = true;
+  last_metal_entry_ = static_cast<uint8_t>(entry);
+  RedirectFetch(metal_.EntryAddress(entry));
 }
 
 void Core::TakeException(ExcCause cause, uint32_t epc, uint32_t badvaddr, uint32_t instr,
@@ -318,6 +407,11 @@ void Core::StageMem() {
         const auto value = mram_.ReadData32(op.paddr);
         ok = value.has_value();
         loaded = value.value_or(0);
+        if (ok && mram_.DataParityError(op.paddr)) {
+          // The corrupted word never reaches the register file.
+          RaiseMachineCheck(McheckKind::kMramDataParity, op.paddr, op.pc);
+          return;
+        }
       }
       break;
     }
@@ -382,6 +476,12 @@ void Core::StageMem() {
   if (!ok) {
     TakeException(ExcCause::kBusError, op.pc, op.vaddr, 0, op.pc, op.metal);
     return;
+  }
+  // One-shot bus-response corruption (fault injection): the glitch is silent —
+  // there is no parity on the system bus, so the bad value simply lands in rd.
+  if (bus_fault_armed_ && !op.is_store) {
+    bus_fault_armed_ = false;
+    loaded = (loaded & bus_fault_and_) ^ bus_fault_xor_;
   }
   if (!op.is_store) {
     WriteReg(op.rd, loaded);
@@ -529,6 +629,15 @@ void Core::StageEx() {
     --inflight_mode_ops_;
     stats_.menters += op.enters;
     stats_.mexits += op.exits;
+    if (op.exits != 0) {
+      // A committed mexit ends machine-check handling (recovery succeeded).
+      in_machine_check_ = false;
+    }
+    for (uint8_t i = 0; i < op.chain_len; ++i) {
+      if (op.chain[i].is_enter) {
+        last_metal_entry_ = op.chain[i].entry;
+      }
+    }
     if (tracer_.enabled()) {
       // Replay the folded transition chain in committed order. Enter and exit
       // land on the same cycle, which is exactly the zero-bubble contract.
@@ -560,7 +669,12 @@ void Core::StageEx() {
 
   // Faults detected at fetch time are delivered here, in program order.
   if (op.fetch_fault != ExcCause::kNone) {
-    TakeException(op.fetch_fault, op.pc, op.fetch_fault_addr, 0, op.pc, op.metal);
+    if (op.fetch_fault == ExcCause::kMachineCheck) {
+      // MRAM fetch parity mismatch (AccessFetch): deliverable from Metal mode.
+      RaiseMachineCheck(McheckKind::kMramCodeParity, op.fetch_fault_addr, op.pc);
+    } else {
+      TakeException(op.fetch_fault, op.pc, op.fetch_fault_addr, 0, op.pc, op.metal);
+    }
     return;
   }
 
@@ -774,6 +888,7 @@ void Core::ExecuteAluOp(Op& op) {
       metal_.WriteMreg(kMetalLinkRegister, pc + 4);
       arch_metal_ = true;
       frontend_metal_ = true;
+      last_metal_entry_ = static_cast<uint8_t>(op.d.imm & 63);
       ++stats_.menters;
       ++stats_.control_flushes;
       RedirectFetch(handler);
@@ -781,9 +896,21 @@ void Core::ExecuteAluOp(Op& op) {
     }
     case K::kMexit: {
       const uint32_t resume = metal_.ReadMreg(kMetalLinkRegister);
+      // A machine-check recovery mroutine may point m31 at MEPC to retry the
+      // aborted mroutine: an MRAM-resident resume address keeps Metal
+      // privileges, and the hardware restores m31 from MCHECKM31 so the
+      // retried mroutine's own mexit still returns to the interrupted
+      // program (docs/robustness.md).
+      const bool resume_metal = Mram::InCodeRange(resume);
       tracer_.Emit(TraceEventKind::kMexit, pc, resume, 0, /*metal=*/true);
-      arch_metal_ = false;
-      frontend_metal_ = false;
+      arch_metal_ = resume_metal;
+      frontend_metal_ = resume_metal;
+      if (resume_metal) {
+        metal_.WriteMreg(kMetalLinkRegister,
+                         metal_.ReadCreg(kCrMcheckM31, cycle_, stats_.instret,
+                                         intc_.pending()));
+      }
+      in_machine_check_ = false;
       ++stats_.mexits;
       uint8_t rd = 0;
       uint32_t value = 0;
@@ -804,9 +931,17 @@ void Core::ExecuteAluOp(Op& op) {
       WriteReg(op.d.rd, metal_.ReadCreg(static_cast<uint32_t>(op.d.imm) & 0xFF, cycle_,
                                         stats_.instret, intc_.pending()));
       break;
-    case K::kWcr:
-      metal_.WriteCreg(static_cast<uint32_t>(op.d.imm) & 0xFF, a);
+    case K::kWcr: {
+      const uint32_t creg = static_cast<uint32_t>(op.d.imm) & 0xFF;
+      if (creg == kCrMramScrub) {
+        // Write-only trigger: restore parity-failing MRAM words from the
+        // shadow copy (the recovery mroutine's repair step).
+        mram_.Scrub();
+      } else {
+        metal_.WriteCreg(creg, a);
+      }
       break;
+    }
     case K::kTlbwr:
       mmu_.tlb().Insert(a, b, metal_.asid());
       break;
@@ -901,6 +1036,11 @@ void Core::IdReplacementChain(Op& op) {
       }
       const auto word = mram_.FetchWord(handler);
       if (!word) {
+        return;
+      }
+      if (mram_.CodeParityError(handler)) {
+        // Corrupted first instruction: fall back to the EX slow path, whose
+        // redirected fetch re-detects the mismatch and machine-checks.
         return;
       }
       // Replace menter with the first mroutine instruction (paper §2.2).
@@ -1050,6 +1190,13 @@ Core::FetchResult Core::AccessFetch(uint32_t pc, bool metal_frontend, bool timin
     const auto word = mram_.FetchWord(pc);
     if (!word) {
       r.fault = ExcCause::kBusError;
+      r.fault_addr = pc;
+      return r;
+    }
+    if (mram_.CodeParityError(pc)) {
+      // The word is untrustworthy; deliver a machine check instead of
+      // decoding it (the EX stage maps this cause to kMramCodeParity).
+      r.fault = ExcCause::kMachineCheck;
       r.fault_addr = pc;
       return r;
     }

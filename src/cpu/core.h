@@ -53,6 +53,8 @@
 
 namespace msim {
 
+class FaultEngine;
+
 struct CoreStats {
   uint64_t cycles = 0;
   uint64_t instret = 0;
@@ -66,6 +68,8 @@ struct CoreStats {
   uint64_t intercepts = 0;
   uint64_t control_flushes = 0;
   uint64_t load_use_stalls = 0;
+  uint64_t machine_checks = 0;   // machine checks raised (delegated or fatal)
+  uint64_t watchdog_fires = 0;   // metal-mode watchdog expirations
 };
 
 struct RunResult {
@@ -100,6 +104,7 @@ class Core {
   Mram& mram() { return mram_; }
   Mmu& mmu() { return mmu_; }
   MetalUnit& metal() { return metal_; }
+  const MetalUnit& metal() const { return metal_; }
   InterruptController& intc() { return intc_; }
   TimerDevice& timer() { return timer_; }
   NicDevice& nic() { return nic_; }
@@ -121,6 +126,31 @@ class Core {
   bool has_fatal() const { return has_fatal_; }
   const Status& fatal_status() const { return fatal_; }
   uint64_t cycle() const { return cycle_; }
+  bool in_machine_check() const { return in_machine_check_; }
+
+  // --- fault injection (src/fault) ---
+  // Attaches a fault-injection engine; its Tick() runs at the top of every
+  // StepCycle, before any stage logic. Null detaches.
+  void SetFaultEngine(FaultEngine* engine) { fault_engine_ = engine; }
+  // Arms a one-shot corruption of the next completed load's response: the
+  // loaded value becomes (value & and_mask) ^ xor_mask. Models a bus glitch;
+  // the corruption is silent (no machine check) by design.
+  void ArmBusFault(uint32_t and_mask, uint32_t xor_mask) {
+    bus_fault_armed_ = true;
+    bus_fault_and_ = and_mask;
+    bus_fault_xor_ = xor_mask;
+  }
+
+  // Delivers a machine check (docs/robustness.md). Unlike ordinary traps,
+  // machine checks are deliverable FROM Metal mode: the delegated recovery
+  // mroutine starts a fresh Metal context whose mexit resumes the normal-mode
+  // program at the aborted mroutine's m31. A machine check raised while one is
+  // already being handled, or with no delegated recovery entry, is fatal.
+  void RaiseMachineCheck(McheckKind kind, uint32_t info, uint32_t epc);
+
+  // The shared structured-event tracer (components and the fault engine emit
+  // through it; events are dropped unless a sink is attached).
+  Tracer& tracer() { return tracer_; }
 
   const CoreStats& stats() const { return stats_; }
   void ResetStats();
@@ -280,6 +310,15 @@ class Core {
 
   bool arch_metal_ = false;
   int inflight_mode_ops_ = 0;
+
+  // Machine-check / watchdog state (docs/robustness.md).
+  bool in_machine_check_ = false;       // set at delivery, cleared at committed mexit
+  uint64_t metal_resident_cycles_ = 0;  // consecutive cycles with committed mode == Metal
+  uint8_t last_metal_entry_ = 0;        // entry of the most recent Metal-mode entry
+  FaultEngine* fault_engine_ = nullptr;
+  bool bus_fault_armed_ = false;
+  uint32_t bus_fault_and_ = 0xFFFFFFFFu;
+  uint32_t bus_fault_xor_ = 0;
 
   // Hazard bookkeeping: rd of a load processed by EX this cycle (load-use).
   bool ex_load_this_cycle_ = false;

@@ -34,6 +34,17 @@ enum ControlReg : uint32_t {
   kCrDelegEnd = 47,
   // Interrupt delegation: entry handling all interrupt lines.
   kCrIrqEntry = 48,
+  // Machine-check state, written by hardware when a machine check is
+  // delivered (docs/robustness.md): the sub-cause (McheckKind), a
+  // kind-specific detail word (faulting address / offending entry / original
+  // cause), and the m31 value at delivery time so a recovery mroutine can
+  // restore the pre-fault return address.
+  kCrMcheckKind = 49,
+  kCrMcheckInfo = 50,
+  kCrMcheckM31 = 51,
+  // Write-only trigger: any write restores MRAM code/data words that fail
+  // parity from the shadow copy and recomputes parity (ECC-style scrub).
+  kCrMramScrub = 52,
   kCrCount = 64,
 };
 

@@ -131,6 +131,13 @@ class MetalUnit {
     creg_[kCrMinstr] = instr;
   }
 
+  // --- Machine-check state (set by the core when delivering kMachineCheck) ---
+  void SetMachineCheckState(McheckKind kind, uint32_t info, uint32_t saved_m31) {
+    creg_[kCrMcheckKind] = static_cast<uint32_t>(kind);
+    creg_[kCrMcheckInfo] = info;
+    creg_[kCrMcheckM31] = saved_m31;
+  }
+
   uint16_t asid() const { return static_cast<uint16_t>(creg_[kCrAsid]); }
   bool paging_enabled() const { return (creg_[kCrPgEnable] & 1) != 0; }
   uint32_t keyperm() const { return creg_[kCrKeyPerm]; }

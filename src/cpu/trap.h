@@ -30,8 +30,21 @@ enum class ExcCause : uint32_t {
   kBusError = 15,            // access outside DRAM/MMIO
   kMramOutOfBounds = 16,     // mld/mst outside the MRAM data segment
   kIntercept = 17,           // instruction interception (internal cause)
+  kMachineCheck = 18,        // detected corruption, double trap or watchdog
   kCount,
 };
+
+// Sub-cause of a machine check, written to the MCHECKKIND control register
+// when the check is delivered (and recorded in crash dumps otherwise).
+enum class McheckKind : uint32_t {
+  kNone = 0,
+  kMramCodeParity = 1,   // parity mismatch on an MRAM code fetch
+  kMramDataParity = 2,   // parity mismatch on an mld
+  kWatchdog = 3,         // Metal-mode residency exceeded the watchdog budget
+  kDoubleTrap = 4,       // a Metal-mode instruction raised an exception
+};
+
+const char* McheckKindName(McheckKind kind);
 
 // Number of delegatable causes (delegation table size).
 inline constexpr uint32_t kNumExcCauses = static_cast<uint32_t>(ExcCause::kCount);
@@ -71,7 +84,19 @@ inline const char* ExcCauseName(ExcCause cause) {
     case ExcCause::kBusError: return "bus_error";
     case ExcCause::kMramOutOfBounds: return "mram_out_of_bounds";
     case ExcCause::kIntercept: return "intercept";
+    case ExcCause::kMachineCheck: return "machine_check";
     case ExcCause::kCount: break;
+  }
+  return "unknown";
+}
+
+inline const char* McheckKindName(McheckKind kind) {
+  switch (kind) {
+    case McheckKind::kNone: return "none";
+    case McheckKind::kMramCodeParity: return "mram_code_parity";
+    case McheckKind::kMramDataParity: return "mram_data_parity";
+    case McheckKind::kWatchdog: return "watchdog";
+    case McheckKind::kDoubleTrap: return "double_trap";
   }
   return "unknown";
 }

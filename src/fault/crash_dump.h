@@ -1,0 +1,42 @@
+// Structured crash dumps (docs/robustness.md).
+//
+// When the simulator dies — an undelegated trap, a double machine check, any
+// Fatal() — the CLI can serialize the architectural state to JSON
+// (`msim run --crash-dump FILE`) so the failure is debuggable after the
+// process exits: GPRs, Metal registers, the Metal mode/entry state, the
+// pending trap and machine-check control registers, and the last N structured
+// trace events from an attached ring buffer. The dump contains only simulated
+// state (no timestamps, no host paths), so a deterministic run produces a
+// byte-identical dump.
+#ifndef MSIM_FAULT_CRASH_DUMP_H_
+#define MSIM_FAULT_CRASH_DUMP_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "support/result.h"
+#include "trace/trace.h"
+
+namespace msim {
+
+class Core;
+
+struct CrashDumpOptions {
+  std::string reason;         // "fatal" | "halted" | "cycle_limit" (RunResult)
+  std::string fatal_message;  // empty unless reason == "fatal"
+  size_t max_trace_events = 64;  // last-N cap on the trace ring buffer
+};
+
+// Writes the dump JSON for `core`. `trace` may be null (the "trace" array is
+// then empty).
+void WriteCrashDump(Core& core, const RingBufferSink* trace, const CrashDumpOptions& options,
+                    std::ostream& out);
+
+// WriteCrashDump into `path`; fails if the file cannot be created.
+Status WriteCrashDumpFile(Core& core, const RingBufferSink* trace,
+                          const CrashDumpOptions& options, const std::string& path);
+
+}  // namespace msim
+
+#endif  // MSIM_FAULT_CRASH_DUMP_H_

@@ -1,0 +1,235 @@
+#include "fault/fault.h"
+
+#include "cpu/core.h"
+#include "support/strings.h"
+
+namespace msim {
+namespace {
+
+// Resolves the grammar's TARGET word; nullopt for unknown names.
+std::optional<FaultTarget> TargetFromName(std::string_view name) {
+  if (name == "mram-code") return FaultTarget::kMramCode;
+  if (name == "mram-data") return FaultTarget::kMramData;
+  if (name == "mreg") return FaultTarget::kMreg;
+  if (name == "tlb") return FaultTarget::kTlb;
+  if (name == "icache") return FaultTarget::kICache;
+  if (name == "dcache") return FaultTarget::kDCache;
+  if (name == "bus") return FaultTarget::kBus;
+  return std::nullopt;
+}
+
+// (and_mask, xor_mask) realising `mode` over the bits in `mask`.
+void MasksFor(FaultMode mode, uint32_t mask, uint32_t* and_mask, uint32_t* xor_mask) {
+  switch (mode) {
+    case FaultMode::kFlip:
+      *and_mask = 0xFFFFFFFFu;
+      *xor_mask = mask;
+      break;
+    case FaultMode::kStuck0:
+      *and_mask = ~mask;
+      *xor_mask = 0;
+      break;
+    case FaultMode::kStuck1:
+      *and_mask = ~mask;
+      *xor_mask = mask;
+      break;
+  }
+}
+
+}  // namespace
+
+const char* FaultTargetName(FaultTarget target) {
+  switch (target) {
+    case FaultTarget::kMramCode: return "mram-code";
+    case FaultTarget::kMramData: return "mram-data";
+    case FaultTarget::kMreg: return "mreg";
+    case FaultTarget::kTlb: return "tlb";
+    case FaultTarget::kICache: return "icache";
+    case FaultTarget::kDCache: return "dcache";
+    case FaultTarget::kBus: return "bus";
+  }
+  return "unknown";
+}
+
+Result<FaultSpec> ParseFaultSpec(std::string_view text) {
+  FaultSpec spec;
+  spec.text = std::string(text);
+
+  const size_t at_sign = text.find('@');
+  if (at_sign == std::string_view::npos) {
+    return ParseError(StrFormat("fault spec '%s': expected TARGET@TRIGGER[:PARAM,...]",
+                                spec.text.c_str()));
+  }
+  const std::string_view target_name = TrimWhitespace(text.substr(0, at_sign));
+  const auto target = TargetFromName(target_name);
+  if (!target) {
+    return ParseError(StrFormat(
+        "fault spec '%s': unknown target '%.*s' (want mram-code|mram-data|mreg|tlb|"
+        "icache|dcache|bus)",
+        spec.text.c_str(), static_cast<int>(target_name.size()), target_name.data()));
+  }
+  spec.target = *target;
+
+  std::string_view rest = text.substr(at_sign + 1);
+  std::string_view params;
+  const size_t colon = rest.find(':');
+  if (colon != std::string_view::npos) {
+    params = rest.substr(colon + 1);
+    rest = rest.substr(0, colon);
+  }
+
+  std::string_view trigger = TrimWhitespace(rest);
+  if (!trigger.empty() && trigger.front() == '~') {
+    spec.probabilistic = true;
+    const auto period = ParseInt(TrimWhitespace(trigger.substr(1)));
+    if (!period || *period <= 0) {
+      return ParseError(StrFormat("fault spec '%s': '~N' needs a positive integer N",
+                                  spec.text.c_str()));
+    }
+    spec.period = static_cast<uint64_t>(*period);
+  } else {
+    const auto cycle = ParseInt(trigger);
+    if (!cycle || *cycle < 0) {
+      return ParseError(StrFormat(
+          "fault spec '%s': trigger must be a cycle number or '~N'", spec.text.c_str()));
+    }
+    spec.cycle = static_cast<uint64_t>(*cycle);
+  }
+
+  if (!params.empty()) {
+    for (std::string_view param : Split(params, ',')) {
+      param = TrimWhitespace(param);
+      const size_t eq = param.find('=');
+      if (eq == std::string_view::npos) {
+        return ParseError(StrFormat("fault spec '%s': parameter '%.*s' is not KEY=VALUE",
+                                    spec.text.c_str(), static_cast<int>(param.size()),
+                                    param.data()));
+      }
+      const std::string_view key = TrimWhitespace(param.substr(0, eq));
+      const auto value = ParseInt(TrimWhitespace(param.substr(eq + 1)));
+      if (!value) {
+        return ParseError(StrFormat("fault spec '%s': bad integer in '%.*s'",
+                                    spec.text.c_str(), static_cast<int>(param.size()),
+                                    param.data()));
+      }
+      if (key == "bit") {
+        if (*value < 0 || *value > 31) {
+          return ParseError(
+              StrFormat("fault spec '%s': bit=N needs N in 0..31", spec.text.c_str()));
+        }
+        spec.mask |= 1u << *value;
+      } else if (key == "mask") {
+        if (*value < 0 || static_cast<uint64_t>(*value) > 0xFFFFFFFFull) {
+          return ParseError(
+              StrFormat("fault spec '%s': mask=X needs a 32-bit value", spec.text.c_str()));
+        }
+        spec.mask |= static_cast<uint32_t>(*value);
+      } else if (key == "at") {
+        if (*value < 0 || static_cast<uint64_t>(*value) > 0xFFFFFFFFull) {
+          return ParseError(
+              StrFormat("fault spec '%s': at=N needs a 32-bit value", spec.text.c_str()));
+        }
+        spec.has_at = true;
+        spec.at = static_cast<uint32_t>(*value);
+      } else if (key == "stuck") {
+        if (*value == 0) {
+          spec.mode = FaultMode::kStuck0;
+        } else if (*value == 1) {
+          spec.mode = FaultMode::kStuck1;
+        } else {
+          return ParseError(
+              StrFormat("fault spec '%s': stuck= must be 0 or 1", spec.text.c_str()));
+        }
+      } else {
+        return ParseError(StrFormat(
+            "fault spec '%s': unknown parameter '%.*s' (want bit|mask|at|stuck)",
+            spec.text.c_str(), static_cast<int>(key.size()), key.data()));
+      }
+    }
+  }
+  return spec;
+}
+
+Status FaultEngine::AddSpec(std::string_view text) {
+  MSIM_ASSIGN_OR_RETURN(const FaultSpec spec, ParseFaultSpec(text));
+  AddSpec(spec);
+  return Status::Ok();
+}
+
+void FaultEngine::AddSpec(const FaultSpec& spec) {
+  specs_.push_back(spec);
+  fired_.push_back(false);
+}
+
+void FaultEngine::Tick(Core& core) {
+  const uint64_t cycle = core.cycle();
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    const FaultSpec& spec = specs_[i];
+    if (spec.probabilistic) {
+      // Every probabilistic spec draws exactly once per cycle, so the RNG
+      // stream — and therefore the whole run — is reproducible.
+      if (rng_.Chance(1, spec.period)) {
+        Apply(core, spec);
+      }
+    } else if (!fired_[i] && cycle >= spec.cycle) {
+      fired_[i] = true;
+      Apply(core, spec);
+    }
+  }
+}
+
+void FaultEngine::Apply(Core& core, const FaultSpec& spec) {
+  const uint32_t mask = spec.mask != 0 ? spec.mask : (1u << rng_.Below(32));
+  uint32_t and_mask = 0xFFFFFFFFu;
+  uint32_t xor_mask = 0;
+  MasksFor(spec.mode, mask, &and_mask, &xor_mask);
+
+  uint32_t location = 0;
+  switch (spec.target) {
+    case FaultTarget::kMramCode: {
+      location = spec.has_at ? (spec.at & ~3u)
+                             : static_cast<uint32_t>(rng_.Below(kMramCodeSize / 4)) * 4;
+      core.mram().CorruptCodeWord(location, and_mask, xor_mask);
+      break;
+    }
+    case FaultTarget::kMramData: {
+      location = spec.has_at ? (spec.at & ~3u)
+                             : static_cast<uint32_t>(rng_.Below(kMramDataSize / 4)) * 4;
+      core.mram().CorruptDataWord(location, and_mask, xor_mask);
+      break;
+    }
+    case FaultTarget::kMreg: {
+      location = spec.has_at ? (spec.at & 31) : static_cast<uint32_t>(rng_.Below(32));
+      const uint32_t value = core.metal().ReadMreg(static_cast<uint8_t>(location));
+      core.metal().WriteMreg(static_cast<uint8_t>(location), (value & and_mask) ^ xor_mask);
+      break;
+    }
+    case FaultTarget::kTlb: {
+      const uint32_t capacity = core.mmu().tlb().capacity();
+      location = spec.has_at ? spec.at : static_cast<uint32_t>(rng_.Below(capacity));
+      core.mmu().tlb().CorruptEntry(location, and_mask, xor_mask);
+      break;
+    }
+    case FaultTarget::kICache: {
+      location =
+          spec.has_at ? spec.at : static_cast<uint32_t>(rng_.Below(core.icache().num_lines()));
+      core.icache().CorruptLine(location, and_mask, xor_mask);
+      break;
+    }
+    case FaultTarget::kDCache: {
+      location =
+          spec.has_at ? spec.at : static_cast<uint32_t>(rng_.Below(core.dcache().num_lines()));
+      core.dcache().CorruptLine(location, and_mask, xor_mask);
+      break;
+    }
+    case FaultTarget::kBus: {
+      core.ArmBusFault(and_mask, xor_mask);
+      break;
+    }
+  }
+  ++injections_;
+  core.tracer().Emit(TraceEventKind::kFaultInject, location,
+                     static_cast<uint32_t>(spec.target), xor_mask, core.metal_mode());
+}
+
+}  // namespace msim

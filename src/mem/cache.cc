@@ -41,6 +41,15 @@ bool Cache::Probe(uint32_t paddr) const {
   return line.valid && line.tag == TagOf(paddr);
 }
 
+bool Cache::CorruptLine(uint32_t index, uint32_t and_mask, uint32_t xor_mask) {
+  Line& line = lines_[index % num_lines_];
+  if (!line.valid) {
+    return false;
+  }
+  line.tag = (line.tag & and_mask) ^ xor_mask;
+  return true;
+}
+
 void Cache::InvalidateAll() {
   for (Line& line : lines_) {
     line.valid = false;

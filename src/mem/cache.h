@@ -38,6 +38,15 @@ class Cache {
 
   void InvalidateAll();
 
+  // Fault-injection port: rewrites the indexed line's tag as
+  // (tag & and_mask) ^ xor_mask. A corrupted tag makes the line hit for the
+  // wrong address range — a timing-only upset, since the model is tags-only
+  // and data always comes from the backing store. `index` wraps modulo the
+  // line count. Only valid lines are affected; returns whether one was.
+  bool CorruptLine(uint32_t index, uint32_t and_mask, uint32_t xor_mask);
+
+  uint32_t num_lines() const { return num_lines_; }
+
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }
 

@@ -4,6 +4,16 @@
 // executing in Metal mode) and a data segment (mroutine-private data, accessed
 // with mld/mst). It is not on the system bus: normal loads/stores cannot reach
 // it, and MRAM accesses never touch the caches.
+//
+// Reliability model (docs/robustness.md): every 32-bit word carries a parity
+// bit maintained by the write path (loader writes, mst). Fault injection
+// corrupts words *behind* the write path (CorruptCodeWord/CorruptDataWord), so
+// a subsequent fetch or mld observes a parity mismatch — the pipeline turns
+// that into a machine check instead of executing/returning the corrupted word.
+// A shadow copy tracks the last legitimately written contents; Scrub()
+// restores mismatching words from it (ECC-style scrubbing), which is what the
+// machine-check recovery mroutine triggers through the MRAMSCRUB control
+// register.
 #ifndef MSIM_MEM_MRAM_H_
 #define MSIM_MEM_MRAM_H_
 
@@ -26,6 +36,9 @@ struct MramStats {
   uint64_t code_fetches = 0;  // successful fetch-port reads
   uint64_t data_reads = 0;
   uint64_t data_writes = 0;
+  uint64_t parity_errors = 0;   // mismatches observed by CodeParityError/DataParityError
+  uint64_t words_corrupted = 0; // CorruptCodeWord/CorruptDataWord applications
+  uint64_t words_scrubbed = 0;  // words restored from the shadow copy
 };
 
 class Mram {
@@ -37,6 +50,8 @@ class Mram {
   }
 
   // Fetch port (1-cycle; used combinationally for decode-stage replacement).
+  // Returns the stored (possibly corrupted) word; the caller checks
+  // CodeParityError to decide whether it is trustworthy.
   std::optional<uint32_t> FetchWord(uint32_t addr) const;
 
   // Loader-side write into the code segment (offset from kMramCodeBase).
@@ -46,6 +61,26 @@ class Mram {
   std::optional<uint32_t> ReadData32(uint32_t offset) const;
   bool WriteData32(uint32_t offset, uint32_t value);
 
+  // --- reliability model ---
+  void SetParityEnabled(bool enabled) { parity_enabled_ = enabled; }
+  bool parity_enabled() const { return parity_enabled_; }
+
+  // True when parity is enabled and the stored word's parity bit mismatches
+  // its contents. `addr` is a code address; `offset` a data byte offset.
+  // Counts a parity error when it returns true.
+  bool CodeParityError(uint32_t addr) const;
+  bool DataParityError(uint32_t offset) const;
+
+  // Fault-injection ports: rewrite the stored word as (word & and_mask) ^
+  // xor_mask WITHOUT updating parity or the shadow copy — this is corruption
+  // behind the write path. Returns false for out-of-range/misaligned offsets.
+  bool CorruptCodeWord(uint32_t offset, uint32_t and_mask, uint32_t xor_mask);
+  bool CorruptDataWord(uint32_t offset, uint32_t and_mask, uint32_t xor_mask);
+
+  // Restores every word that differs from the shadow copy and recomputes its
+  // parity. Returns the number of words restored.
+  uint32_t Scrub();
+
   void Clear();
 
   const MramStats& stats() const { return stats_; }
@@ -54,8 +89,19 @@ class Mram {
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  uint32_t LoadWord(const std::vector<uint8_t>& segment, uint32_t offset) const;
+  void StoreWord(std::vector<uint8_t>& segment, uint32_t offset, uint32_t word);
+
   std::vector<uint8_t> code_;
   std::vector<uint8_t> data_;
+  // Last legitimately written contents (loader writes and mst); Scrub()
+  // restores the primary arrays from these.
+  std::vector<uint8_t> code_shadow_;
+  std::vector<uint8_t> data_shadow_;
+  // One parity bit per 32-bit word, maintained by the write path only.
+  std::vector<uint8_t> code_parity_;
+  std::vector<uint8_t> data_parity_;
+  bool parity_enabled_ = true;
   // The fetch/read ports are architecturally read-only, so accounting from
   // the const accessors mutates through `mutable`.
   mutable MramStats stats_;

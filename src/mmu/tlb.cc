@@ -83,6 +83,15 @@ void Tlb::FlushAll() {
   }
 }
 
+bool Tlb::CorruptEntry(uint32_t index, uint32_t and_mask, uint32_t xor_mask) {
+  TlbEntry& entry = entries_[index % entries_.size()];
+  if (!entry.valid) {
+    return false;
+  }
+  entry.pte = (entry.pte & and_mask) ^ xor_mask;
+  return true;
+}
+
 uint32_t Tlb::ValidCount() const {
   uint32_t count = 0;
   for (const TlbEntry& entry : entries_) {

@@ -87,6 +87,12 @@ class Tlb {
   // Invalidates everything.
   void FlushAll();
 
+  // Fault-injection port: rewrites the indexed entry's PTE as
+  // (pte & and_mask) ^ xor_mask — silently corrupting permissions, the page
+  // key or the frame number. `index` wraps modulo the capacity. Only valid
+  // entries are affected; returns whether one was.
+  bool CorruptEntry(uint32_t index, uint32_t and_mask, uint32_t xor_mask);
+
   // Number of valid entries (for tests).
   uint32_t ValidCount() const;
 

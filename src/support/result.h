@@ -6,12 +6,23 @@
 #ifndef MSIM_SUPPORT_RESULT_H_
 #define MSIM_SUPPORT_RESULT_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace msim {
+
+namespace internal {
+// Always-on misuse check: unlike assert() this fires in release builds too,
+// and it prints the carried error so the root cause survives into the abort
+// message instead of being reduced to "assertion failed".
+[[noreturn]] inline void ResultFatal(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "msim: fatal: %s: %s\n", what, detail.c_str());
+  std::abort();
+}
+}  // namespace internal
 
 // Error category for programmatic inspection. Most call sites only care about
 // ok/not-ok; categories exist so tests can assert on the *kind* of failure.
@@ -38,7 +49,9 @@ class Status {
   Status() = default;
 
   Status(ErrorCode code, std::string message) : code_(code), message_(std::move(message)) {
-    assert(code != ErrorCode::kOk && "error Status requires a non-Ok code");
+    if (code_ == ErrorCode::kOk) {
+      internal::ResultFatal("error Status constructed with kOk code", message_);
+    }
   }
 
   static Status Ok() { return Status(); }
@@ -88,21 +101,24 @@ class Result {
   // sites readable: `return 42;` / `return InvalidArgument("...")`.
   Result(T value) : data_(std::move(value)) {}
   Result(Status status) : data_(std::move(status)) {
-    assert(!std::get<Status>(data_).ok() && "Result error requires non-ok Status");
+    if (std::get<Status>(data_).ok()) {
+      internal::ResultFatal("Result error constructed from ok Status",
+                            "use the value constructor for success");
+    }
   }
 
   bool ok() const { return std::holds_alternative<T>(data_); }
 
   const T& value() const& {
-    assert(ok());
+    CheckOk();
     return std::get<T>(data_);
   }
   T& value() & {
-    assert(ok());
+    CheckOk();
     return std::get<T>(data_);
   }
   T&& value() && {
-    assert(ok());
+    CheckOk();
     return std::get<T>(std::move(data_));
   }
 
@@ -121,6 +137,15 @@ class Result {
   T* operator->() { return &value(); }
 
  private:
+  // Accessing value() on an error Result aborts with the carried error rather
+  // than tripping std::get's UB/exception path.
+  void CheckOk() const {
+    if (!ok()) {
+      internal::ResultFatal("Result::value() called on error Result",
+                            std::get<Status>(data_).ToString());
+    }
+  }
+
   std::variant<T, Status> data_;
 };
 

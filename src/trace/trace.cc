@@ -36,6 +36,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "stall";
     case TraceEventKind::kFlush:
       return "flush";
+    case TraceEventKind::kFaultInject:
+      return "fault_inject";
+    case TraceEventKind::kMachineCheck:
+      return "machine_check";
     case TraceEventKind::kCount:
       break;
   }

@@ -34,6 +34,8 @@ enum class TraceEventKind : uint8_t {
   kMramAccess,     // pc = address/offset, arg0: 0 = fetch, 1 = load, 2 = store
   kStall,          // pc, arg0 = stall kind (0 = load-use)
   kFlush,          // pc = redirect target
+  kFaultInject,    // pc = location, arg0 = FaultTarget, arg1 = xor mask
+  kMachineCheck,   // pc = epc, arg0 = McheckKind, arg1 = info word
   kCount,
 };
 

@@ -1,0 +1,123 @@
+// Rejection paths in the mcode verifier and loader (metal/mroutine.cc,
+// metal/loader.cc): malformed modules must be refused at load time with a
+// descriptive error, never installed partially.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metal/loader.h"
+#include "metal/mroutine.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+McodeModule MustAssembleMcode(std::string_view source,
+                              const CoreConfig& config = CoreConfig{}) {
+  auto module = AssembleMcode(source, config);
+  EXPECT_OK(module.status());
+  return module.ok() ? std::move(module).value() : McodeModule{};
+}
+
+constexpr const char* kGoodMcode = R"(
+    .mentry 1, ok
+  ok:
+    mexit
+)";
+
+TEST(LoaderTest, RejectsStorageModeMismatch) {
+  CoreConfig mram_config;
+  McodeModule module = MustAssembleMcode(kGoodMcode, mram_config);
+
+  CoreConfig dram_config;
+  dram_config.mroutine_storage = MroutineStorage::kDramCached;
+  Core core(dram_config);
+  const Status status = LoadMcode(core, module);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsOversizeText) {
+  std::string source = "    .mentry 1, top\n  top:\n";
+  // One instruction more than the 4096-slot MRAM code segment holds.
+  for (uint32_t i = 0; i < kMramCodeSize / 4; ++i) {
+    source += "    addi t0, t0, 1\n";
+  }
+  source += "    mexit\n";
+  McodeModule module = MustAssembleMcode(source);
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kResourceExhausted) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsOversizeData) {
+  std::string source = kGoodMcode;
+  source += "    .data\n    .space " + std::to_string(kMramDataSize + 4) + "\n";
+  McodeModule module = MustAssembleMcode(source);
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kResourceExhausted) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsModuleWithNoEntries) {
+  McodeModule module = MustAssembleMcode(R"(
+    lonely:
+      mexit
+  )");
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsEntryNumberBeyondTable) {
+  McodeModule module = MustAssembleMcode(kGoodMcode);
+  module.program.metal_entries[kMaxMroutines] = module.program.text.base;
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsEntryAddressOutsideText) {
+  McodeModule module = MustAssembleMcode(kGoodMcode);
+  module.program.metal_entries[2] = module.program.text.end() + 16;
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsEcallInsideMcode) {
+  McodeModule module = MustAssembleMcode(R"(
+      .mentry 1, bad
+    bad:
+      ecall
+      mexit
+  )");
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition) << status.ToString();
+}
+
+TEST(LoaderTest, RejectsEntryThatFallsOffTheEnd) {
+  McodeModule module = MustAssembleMcode(R"(
+      .mentry 1, runs_off
+    runs_off:
+      addi t0, t0, 1
+      addi t0, t0, 2
+  )");
+  const Status status = VerifyMcode(module);
+  EXPECT_EQ(status.code(), ErrorCode::kFailedPrecondition) << status.ToString();
+}
+
+TEST(LoaderTest, GoodModuleLoadsAndEntryIsInstalled) {
+  Core core{CoreConfig{}};
+  McodeModule module = MustAssembleMcode(kGoodMcode);
+  ASSERT_OK(LoadMcode(core, module));
+  EXPECT_NE(core.metal().EntryAddress(1), 0u);
+}
+
+TEST(LoaderTest, HandlerDataAccessRejectsOutOfRangeOffsets) {
+  Core core{CoreConfig{}};
+  EXPECT_EQ(WriteHandlerData32(core, kMramDataSize, 1).code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(ReadHandlerData32(core, kMramDataSize).status().code(), ErrorCode::kOutOfRange);
+
+  ASSERT_OK(WriteHandlerData32(core, 8, 0xDEADBEEFu));
+  const auto value = ReadHandlerData32(core, 8);
+  ASSERT_OK(value.status());
+  EXPECT_EQ(*value, 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace msim

@@ -16,7 +16,15 @@
 //   --trace-json FILE     record structured events, export Chrome trace JSON
 //   --profile-mroutines   print per-mroutine cycle/instret breakdown
 //
-// The program's exit code (from `halt rs1`) becomes the process exit code.
+// Robustness options (docs/robustness.md):
+//   --inject SPEC         inject a fault (repeatable; see src/fault/fault.h)
+//   --fault-seed N        seed for the fault-injection RNG (default 0)
+//   --watchdog N          Metal-mode watchdog budget in cycles (0 = off)
+//   --no-parity           disable the MRAM parity model
+//   --crash-dump FILE     write a crash-dump JSON at end of run
+//
+// Malformed numeric arguments exit with status 2. The program's exit code
+// (from `halt rs1`) becomes the process exit code.
 #include <cstdio>
 #include <cctype>
 #include <cstring>
@@ -28,6 +36,8 @@
 
 #include "asm/assembler.h"
 #include "cpu/core.h"
+#include "fault/crash_dump.h"
+#include "fault/fault.h"
 #include "isa/disasm.h"
 #include "metal/system.h"
 #include "support/strings.h"
@@ -48,9 +58,34 @@ int Usage() {
                "dram-uncached]\n"
                "           [--no-fast] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
+               "           [--inject SPEC]... [--fault-seed N] [--watchdog N] [--no-parity]\n"
+               "           [--crash-dump FILE]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
   return 2;
+}
+
+// Strict numeric flag parsing (support/strings.h ParseInt): rejects trailing
+// junk ("100abc"), bare garbage and values that overflow, instead of the
+// strtoull behaviour of silently yielding 0 or saturating.
+bool ParseU64Flag(const char* flag, const std::string& text, uint64_t* out) {
+  const auto value = ParseInt(text);
+  if (!value || *value < 0) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (want a non-negative integer)\n", flag,
+                 text.c_str());
+    return false;
+  }
+  *out = static_cast<uint64_t>(*value);
+  return true;
+}
+
+const char* ReasonName(RunResult::Reason reason) {
+  switch (reason) {
+    case RunResult::Reason::kHalted: return "halted";
+    case RunResult::Reason::kCycleLimit: return "cycle-limit";
+    case RunResult::Reason::kFatal: return "fatal";
+  }
+  return "unknown";
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -84,17 +119,11 @@ bool WriteStatsJson(MetalSystem& system, const RunResult& result,
     std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
     return false;
   }
-  const char* reason = "halted";
-  if (result.reason == RunResult::Reason::kCycleLimit) {
-    reason = "cycle-limit";
-  } else if (result.reason == RunResult::Reason::kFatal) {
-    reason = "fatal";
-  }
   JsonWriter json(out);
   json.BeginObject();
   json.Field("program", program_path);
   json.BeginObject("result");
-  json.Field("reason", reason);
+  json.Field("reason", ReasonName(result.reason));
   json.Field("exit_code", result.exit_code);
   json.Field("cycles", result.cycles);
   json.Field("instret", result.instret);
@@ -136,6 +165,9 @@ int CmdRun(const std::vector<std::string>& args) {
   std::string stats_json_path;
   std::string trace_json_path;
   bool profile_mroutines = false;
+  std::vector<std::string> inject_specs;
+  uint64_t fault_seed = 0;
+  std::string crash_dump_path;
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -156,7 +188,23 @@ int CmdRun(const std::vector<std::string>& args) {
     } else if (arg == "--no-fast") {
       config.fast_transition = false;
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
-      max_cycles = std::strtoull(args[++i].c_str(), nullptr, 0);
+      if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--inject" && i + 1 < args.size()) {
+      inject_specs.push_back(args[++i]);
+    } else if (arg == "--fault-seed" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--fault-seed", args[++i], &fault_seed)) {
+        return 2;
+      }
+    } else if (arg == "--watchdog" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--watchdog", args[++i], &config.metal_watchdog_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--no-parity") {
+      config.mram_parity = false;
+    } else if (arg == "--crash-dump" && i + 1 < args.size()) {
+      crash_dump_path = args[++i];
     } else if (arg == "--trace-stats") {
       trace_stats = true;
     } else if (arg == "--stats-json" && i + 1 < args.size()) {
@@ -169,7 +217,9 @@ int CmdRun(const std::vector<std::string>& args) {
       trace_limit = 200;
       if (i + 1 < args.size() && !args[i + 1].empty() && args[i + 1][0] != '-' &&
           isdigit(static_cast<unsigned char>(args[i + 1][0]))) {
-        trace_limit = std::strtoull(args[++i].c_str(), nullptr, 0);
+        if (!ParseU64Flag("--trace", args[++i], &trace_limit)) {
+          return 2;
+        }
       }
     } else if (!arg.empty() && arg[0] != '-' && program_path.empty()) {
       program_path = arg;
@@ -201,19 +251,34 @@ int CmdRun(const std::vector<std::string>& args) {
     return 1;
   }
 
+  // Fault injection: parse specs up front (malformed specs are a usage error)
+  // and attach the engine so its Tick runs every cycle.
+  FaultEngine fault_engine(fault_seed);
+  for (const std::string& spec : inject_specs) {
+    if (Status status = fault_engine.AddSpec(spec); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  if (fault_engine.num_specs() != 0) {
+    fault_engine.RegisterMetrics(system.core().metrics());
+    system.core().SetFaultEngine(&fault_engine);
+  }
+
   // Structured-event sinks. The ring buffer feeds the Chrome-trace export and
-  // the profiler aggregates in place; when both are requested they share one
-  // event stream through a tee.
+  // the crash dump's last-N event window; the profiler aggregates in place.
+  // When several consumers are requested they share one stream through a tee.
   RingBufferSink ring;
   MroutineProfiler profiler;
   TeeSink tee;
   TraceSink* sink = nullptr;
+  const bool want_ring = !trace_json_path.empty() || !crash_dump_path.empty();
   const bool want_profile = profile_mroutines || !stats_json_path.empty();
-  if (!trace_json_path.empty() && want_profile) {
+  if (want_ring && want_profile) {
     tee.Add(&ring);
     tee.Add(&profiler);
     sink = &tee;
-  } else if (!trace_json_path.empty()) {
+  } else if (want_ring) {
     sink = &ring;
   } else if (want_profile) {
     sink = &profiler;
@@ -269,6 +334,19 @@ int CmdRun(const std::vector<std::string>& args) {
   }
   if (!trace_json_path.empty()) {
     io_ok &= WriteTraceJson(ring, trace_json_path);
+  }
+  if (!crash_dump_path.empty()) {
+    // Written for every outcome (the reason field records which), so fatal
+    // paths are debuggable and deterministic runs diff byte-identically.
+    CrashDumpOptions options;
+    options.reason = ReasonName(result.reason);
+    options.fatal_message = result.fatal_message;
+    if (Status status = WriteCrashDumpFile(system.core(), want_ring ? &ring : nullptr,
+                                           options, crash_dump_path);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      io_ok = false;
+    }
   }
   if (!io_ok) {
     return 1;
