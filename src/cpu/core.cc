@@ -1,6 +1,7 @@
 #include "cpu/core.h"
 
 #include "fault/fault.h"
+#include "snap/snapstream.h"
 #include "support/log.h"
 
 #include "support/strings.h"
@@ -1280,6 +1281,231 @@ void Core::StageIf() {
       }
     }
   }
+}
+
+// --- checkpoint/restore ------------------------------------------------------
+//
+// The pipeline latches are serialized field by field; Decoded is rebuilt from
+// the raw instruction word on restore (DecodeInstr is pure), so the format
+// does not depend on the decoder's in-memory representation.
+
+void Core::SaveState(SnapWriter& w, bool include_dram) const {
+  for (uint32_t reg : regs_) {
+    w.U32(reg);
+  }
+  w.U64(cycle_);
+
+  // Fetch unit + IF/ID latch.
+  w.U32(fetch_pc_);
+  w.Bool(frontend_metal_);
+  w.Bool(fetch_inflight_);
+  w.U32(fetch_wait_);
+  for (const FetchSlot* slot : {&fetch_buffer_, &if_id_}) {
+    w.Bool(slot->valid);
+    w.U32(slot->pc);
+    w.U32(slot->raw);
+    w.Bool(slot->metal);
+    w.U32(static_cast<uint32_t>(slot->fault));
+    w.U32(slot->fault_addr);
+  }
+
+  // ID/EX latch.
+  w.Bool(id_ex_.valid);
+  w.U32(id_ex_.pc);
+  w.U32(id_ex_.d.raw);
+  w.Bool(id_ex_.metal);
+  w.U8(id_ex_.enters);
+  w.U8(id_ex_.exits);
+  w.U32(id_ex_.link);
+  w.U8(id_ex_.chain_len);
+  for (const ChainStep& step : id_ex_.chain) {
+    w.Bool(step.is_enter);
+    w.U8(step.entry);
+    w.U32(step.pc);
+    w.U32(step.target);
+  }
+  w.Bool(id_ex_.intercepted);
+  w.U8(id_ex_.intercept_entry);
+  w.U32(static_cast<uint32_t>(id_ex_.fetch_fault));
+  w.U32(id_ex_.fetch_fault_addr);
+
+  // EX/MEM latch.
+  w.Bool(ex_mem_.valid);
+  w.U32(ex_mem_.pc);
+  w.U32(static_cast<uint32_t>(ex_mem_.kind));
+  w.Bool(ex_mem_.metal);
+  w.Bool(ex_mem_.is_store);
+  w.U32(ex_mem_.vaddr);
+  w.U32(ex_mem_.paddr);
+  w.U32(ex_mem_.store_value);
+  w.U32(ex_mem_.raw);
+  w.U8(ex_mem_.rd);
+  w.U32(ex_mem_.wait);
+  w.U8(static_cast<uint8_t>(ex_mem_.target));
+
+  // Mode / machine-check / hazard bookkeeping.
+  w.Bool(arch_metal_);
+  w.U32(static_cast<uint32_t>(inflight_mode_ops_));
+  w.Bool(in_machine_check_);
+  w.U64(metal_resident_cycles_);
+  w.U8(last_metal_entry_);
+  w.Bool(bus_fault_armed_);
+  w.U32(bus_fault_and_);
+  w.U32(bus_fault_xor_);
+  w.Bool(ex_load_this_cycle_);
+  w.U8(ex_load_rd_);
+  w.Bool(redirect_this_cycle_);
+
+  // Run outcome.
+  w.Bool(halted_);
+  w.U32(exit_code_);
+  w.Bool(has_fatal_);
+  w.U32(static_cast<uint32_t>(fatal_.code()));
+  w.Str(fatal_.message());
+
+  // Statistics.
+  w.U64(stats_.cycles);
+  w.U64(stats_.instret);
+  w.U64(stats_.metal_instret);
+  w.U64(stats_.metal_cycles);
+  w.U64(stats_.menters);
+  w.U64(stats_.mexits);
+  w.U64(stats_.fast_replacements);
+  w.U64(stats_.exceptions);
+  w.U64(stats_.interrupts);
+  w.U64(stats_.intercepts);
+  w.U64(stats_.control_flushes);
+  w.U64(stats_.load_use_stalls);
+  w.U64(stats_.machine_checks);
+  w.U64(stats_.watchdog_fires);
+
+  // Components.
+  metal_.SaveState(w);
+  mram_.SaveState(w);
+  mmu_.tlb().SaveState(w);
+  icache_.SaveState(w);
+  dcache_.SaveState(w);
+  intc_.SaveState(w);
+  timer_.SaveState(w);
+  nic_.SaveState(w);
+  console_.SaveState(w);
+
+  w.Bool(include_dram);
+  if (include_dram) {
+    bus_.dram().SaveState(w);
+  }
+}
+
+Status Core::RestoreState(SnapReader& r) {
+  for (uint32_t& reg : regs_) {
+    reg = r.U32();
+  }
+  cycle_ = r.U64();
+
+  fetch_pc_ = r.U32();
+  frontend_metal_ = r.Bool();
+  fetch_inflight_ = r.Bool();
+  fetch_wait_ = r.U32();
+  for (FetchSlot* slot : {&fetch_buffer_, &if_id_}) {
+    slot->valid = r.Bool();
+    slot->pc = r.U32();
+    slot->raw = r.U32();
+    slot->metal = r.Bool();
+    slot->fault = static_cast<ExcCause>(r.U32());
+    slot->fault_addr = r.U32();
+  }
+
+  id_ex_.valid = r.Bool();
+  id_ex_.pc = r.U32();
+  id_ex_.d = DecodeInstr(r.U32());
+  id_ex_.metal = r.Bool();
+  id_ex_.enters = r.U8();
+  id_ex_.exits = r.U8();
+  id_ex_.link = r.U32();
+  id_ex_.chain_len = r.U8();
+  for (ChainStep& step : id_ex_.chain) {
+    step.is_enter = r.Bool();
+    step.entry = r.U8();
+    step.pc = r.U32();
+    step.target = r.U32();
+  }
+  id_ex_.intercepted = r.Bool();
+  id_ex_.intercept_entry = r.U8();
+  id_ex_.fetch_fault = static_cast<ExcCause>(r.U32());
+  id_ex_.fetch_fault_addr = r.U32();
+
+  ex_mem_.valid = r.Bool();
+  ex_mem_.pc = r.U32();
+  ex_mem_.kind = static_cast<InstrKind>(r.U32());
+  ex_mem_.metal = r.Bool();
+  ex_mem_.is_store = r.Bool();
+  ex_mem_.vaddr = r.U32();
+  ex_mem_.paddr = r.U32();
+  ex_mem_.store_value = r.U32();
+  ex_mem_.raw = r.U32();
+  ex_mem_.rd = r.U8();
+  ex_mem_.wait = r.U32();
+  ex_mem_.target = static_cast<MemOp::Target>(r.U8());
+
+  arch_metal_ = r.Bool();
+  inflight_mode_ops_ = static_cast<int>(r.U32());
+  in_machine_check_ = r.Bool();
+  metal_resident_cycles_ = r.U64();
+  last_metal_entry_ = r.U8();
+  bus_fault_armed_ = r.Bool();
+  bus_fault_and_ = r.U32();
+  bus_fault_xor_ = r.U32();
+  ex_load_this_cycle_ = r.Bool();
+  ex_load_rd_ = r.U8();
+  redirect_this_cycle_ = r.Bool();
+
+  halted_ = r.Bool();
+  exit_code_ = r.U32();
+  has_fatal_ = r.Bool();
+  const uint32_t fatal_code = r.U32();
+  const std::string fatal_message = r.Str();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("core fatal status"));
+  fatal_ = fatal_code == 0 ? Status::Ok()
+                           : Status(static_cast<ErrorCode>(fatal_code), fatal_message);
+
+  stats_.cycles = r.U64();
+  stats_.instret = r.U64();
+  stats_.metal_instret = r.U64();
+  stats_.metal_cycles = r.U64();
+  stats_.menters = r.U64();
+  stats_.mexits = r.U64();
+  stats_.fast_replacements = r.U64();
+  stats_.exceptions = r.U64();
+  stats_.interrupts = r.U64();
+  stats_.intercepts = r.U64();
+  stats_.control_flushes = r.U64();
+  stats_.load_use_stalls = r.U64();
+  stats_.machine_checks = r.U64();
+  stats_.watchdog_fires = r.U64();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("core scalar state"));
+
+  MSIM_RETURN_IF_ERROR(metal_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(mram_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(mmu_.tlb().RestoreState(r));
+  MSIM_RETURN_IF_ERROR(icache_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(dcache_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(intc_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(timer_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(nic_.RestoreState(r));
+  MSIM_RETURN_IF_ERROR(console_.RestoreState(r));
+
+  const bool has_dram = r.Bool();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("core dram flag"));
+  if (has_dram) {
+    MSIM_RETURN_IF_ERROR(bus_.dram().RestoreState(r));
+  }
+  return Status::Ok();
+}
+
+uint64_t Core::StateDigest(bool include_dram) const {
+  SnapWriter w(SnapWriter::Mode::kDigestOnly);
+  SaveState(w, include_dram);
+  return w.digest();
 }
 
 }  // namespace msim

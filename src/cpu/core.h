@@ -54,6 +54,8 @@
 namespace msim {
 
 class FaultEngine;
+class SnapWriter;
+class SnapReader;
 
 struct CoreStats {
   uint64_t cycles = 0;
@@ -121,6 +123,9 @@ class Core {
   }
   void SetPc(uint32_t pc);
   bool metal_mode() const { return arch_metal_; }
+  // Where the fetch unit will fetch next (the frontend pc, not a committed
+  // pc — the pipeline has no single architectural pc between retires).
+  uint32_t fetch_pc() const { return fetch_pc_; }
   bool halted() const { return halted_; }
   uint32_t exit_code() const { return exit_code_; }
   bool has_fatal() const { return has_fatal_; }
@@ -164,6 +169,20 @@ class Core {
   // all instrumented components; null detaches. Like the retirement trace,
   // emission costs one predictable branch when no sink is attached.
   void SetTraceSink(TraceSink* sink);
+
+  // --- checkpoint/restore (src/snap) ---
+  // Serializes the complete machine state: registers, every pipeline latch,
+  // Metal unit, MRAM (with shadow/parity), TLB, caches, devices, statistics
+  // and — when `include_dram` — physical memory (sparse). The byte stream is
+  // deterministic: two machines in identical states serialize identically.
+  void SaveState(SnapWriter& w, bool include_dram = true) const;
+  // Inverse of SaveState. The core must have been constructed with the same
+  // CoreConfig (snapshot.h validates this via CoreConfigHash before calling).
+  Status RestoreState(SnapReader& r);
+  // FNV-1a digest of the SaveState byte stream; cheap enough to evaluate per
+  // cycle (no allocation). Excluding DRAM keeps it O(fixed state) — MRAM,
+  // whose contents Metal code mutates, is always included.
+  uint64_t StateDigest(bool include_dram = false) const;
 
   // Retirement trace: when set, the callback fires once per architecturally
   // retired instruction, in program order. Useful for debugging mroutines

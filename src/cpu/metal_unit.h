@@ -10,10 +10,14 @@
 #include "cpu/creg.h"
 #include "cpu/trap.h"
 #include "isa/isa.h"
+#include "support/result.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 // One instruction-interception matcher slot. `mintset` writes these from
 // Metal mode; the decode stage compares every normal-mode instruction
@@ -116,6 +120,10 @@ class MetalUnit {
     *value = pending_writeback_;
     return true;
   }
+
+  // --- Checkpoint/restore (src/snap) ---
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
   // --- Observability ---
   const MetalUnitStats& stats() const { return stats_; }

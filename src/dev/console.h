@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mem/bus.h"
+#include "snap/snapstream.h"
 
 namespace msim {
 
@@ -32,6 +33,18 @@ class ConsoleDevice : public MmioDevice {
 
   const std::string& output() const { return output_; }
   void ClearOutput() { output_.clear(); }
+
+  // Checkpoint/restore (src/snap). The output buffer is part of the image so
+  // a restored run reproduces the straight run's console output verbatim.
+  void SaveState(SnapWriter& w) const {
+    w.Str(output_);
+    w.U32(exit_code_);
+  }
+  Status RestoreState(SnapReader& r) {
+    output_ = r.Str();
+    exit_code_ = r.U32();
+    return r.ToStatus("console");
+  }
 
  private:
   std::string output_;

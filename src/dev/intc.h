@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "mem/bus.h"
+#include "snap/snapstream.h"
 
 namespace msim {
 
@@ -40,6 +41,13 @@ class InterruptController : public MmioDevice {
   void Raise(uint32_t line) { pending_ |= 1u << (line & 31); }
   void Clear(uint32_t line) { pending_ &= ~(1u << (line & 31)); }
   uint32_t pending() const { return pending_; }
+
+  // Checkpoint/restore (src/snap).
+  void SaveState(SnapWriter& w) const { w.U32(pending_); }
+  Status RestoreState(SnapReader& r) {
+    pending_ = r.U32();
+    return r.ToStatus("intc");
+  }
 
  private:
   uint32_t pending_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/snapstream.h"
+
 namespace msim {
 
 uint32_t NicDevice::Read32(uint32_t offset) {
@@ -55,6 +57,43 @@ void NicDevice::SchedulePacket(uint64_t arrival_cycle, std::vector<uint8_t> payl
 void NicDevice::PopHead() {
   rx_queue_.pop_front();
   head_offset_ = 0;
+}
+
+void NicDevice::SaveState(SnapWriter& w) const {
+  w.U64(static_cast<uint64_t>(scheduled_.size()));
+  for (const Pending& pending : scheduled_) {
+    w.U64(pending.arrival_cycle);
+    w.Bytes(pending.payload);
+  }
+  w.U64(static_cast<uint64_t>(rx_queue_.size()));
+  for (const std::vector<uint8_t>& packet : rx_queue_) {
+    w.Bytes(packet);
+  }
+  w.U32(head_offset_);
+  w.U64(packets_delivered_);
+}
+
+Status NicDevice::RestoreState(SnapReader& r) {
+  scheduled_.clear();
+  rx_queue_.clear();
+  const uint64_t num_scheduled = r.U64();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("nic schedule"));
+  for (uint64_t i = 0; i < num_scheduled; ++i) {
+    Pending pending;
+    pending.arrival_cycle = r.U64();
+    pending.payload = r.Bytes();
+    MSIM_RETURN_IF_ERROR(r.ToStatus("nic scheduled packet"));
+    scheduled_.push_back(std::move(pending));
+  }
+  const uint64_t num_queued = r.U64();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("nic rx queue"));
+  for (uint64_t i = 0; i < num_queued; ++i) {
+    rx_queue_.push_back(r.Bytes());
+    MSIM_RETURN_IF_ERROR(r.ToStatus("nic rx packet"));
+  }
+  head_offset_ = r.U32();
+  packets_delivered_ = r.U64();
+  return r.ToStatus("nic");
 }
 
 }  // namespace msim

@@ -22,8 +22,12 @@
 #include "cpu/trap.h"
 #include "dev/intc.h"
 #include "mem/bus.h"
+#include "support/result.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 class NicDevice : public MmioDevice {
  public:
@@ -41,6 +45,11 @@ class NicDevice : public MmioDevice {
 
   uint32_t rx_queued() const { return static_cast<uint32_t>(rx_queue_.size()); }
   uint64_t packets_delivered() const { return packets_delivered_; }
+
+  // Checkpoint/restore (src/snap): both the not-yet-arrived schedule and the
+  // queued packets, so a restored run sees the same future arrivals.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
  private:
   struct Pending {

@@ -1,5 +1,7 @@
 #include "dev/timer.h"
 
+#include "snap/snapstream.h"
+
 namespace msim {
 
 uint32_t TimerDevice::Read32(uint32_t offset) {
@@ -47,6 +49,23 @@ void TimerDevice::Tick(uint64_t cycle, InterruptController& intc) {
       armed_ = false;
     }
   }
+}
+
+void TimerDevice::SaveState(SnapWriter& w) const {
+  w.U64(count_);
+  w.U32(compare_);
+  w.U32(interval_);
+  w.Bool(enabled_);
+  w.Bool(armed_);
+}
+
+Status TimerDevice::RestoreState(SnapReader& r) {
+  count_ = r.U64();
+  compare_ = r.U32();
+  interval_ = r.U32();
+  enabled_ = r.Bool();
+  armed_ = r.Bool();
+  return r.ToStatus("timer");
 }
 
 }  // namespace msim

@@ -13,8 +13,12 @@
 #include "cpu/trap.h"
 #include "dev/intc.h"
 #include "mem/bus.h"
+#include "support/result.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 class TimerDevice : public MmioDevice {
  public:
@@ -26,6 +30,10 @@ class TimerDevice : public MmioDevice {
   uint32_t Read32(uint32_t offset) override;
   void Write32(uint32_t offset, uint32_t value) override;
   void Tick(uint64_t cycle, InterruptController& intc) override;
+
+  // Checkpoint/restore (src/snap).
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
  private:
   uint64_t count_ = 0;

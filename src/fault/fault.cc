@@ -1,6 +1,7 @@
 #include "fault/fault.h"
 
 #include "cpu/core.h"
+#include "snap/snapstream.h"
 #include "support/strings.h"
 
 namespace msim {
@@ -230,6 +231,34 @@ void FaultEngine::Apply(Core& core, const FaultSpec& spec) {
   ++injections_;
   core.tracer().Emit(TraceEventKind::kFaultInject, location,
                      static_cast<uint32_t>(spec.target), xor_mask, core.metal_mode());
+}
+
+void FaultEngine::SaveState(SnapWriter& w) const {
+  w.U64(static_cast<uint64_t>(specs_.size()));
+  w.U64(rng_.state());
+  w.U64(static_cast<uint64_t>(fired_.size()));
+  for (size_t i = 0; i < fired_.size(); ++i) {
+    w.Bool(fired_[i]);
+  }
+  w.U64(injections_);
+}
+
+Status FaultEngine::RestoreState(SnapReader& r) {
+  const uint64_t num_specs = r.U64();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("fault engine header"));
+  if (num_specs != specs_.size()) {
+    return InvalidArgument(
+        "snapshot fault-engine state was saved with a different --inject spec list");
+  }
+  rng_.set_state(r.U64());
+  const uint64_t num_fired = r.U64();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("fault engine fired flags"));
+  fired_.assign(num_fired, false);
+  for (uint64_t i = 0; i < num_fired; ++i) {
+    fired_[i] = r.Bool();
+  }
+  injections_ = r.U64();
+  return r.ToStatus("fault engine");
 }
 
 }  // namespace msim

@@ -38,6 +38,8 @@
 namespace msim {
 
 class Core;
+class SnapWriter;
+class SnapReader;
 
 enum class FaultTarget : uint32_t {
   kMramCode = 0,  // MRAM code words (detected by fetch parity)
@@ -87,6 +89,13 @@ class FaultEngine {
 
   size_t num_specs() const { return specs_.size(); }
   uint64_t injections() const { return injections_; }
+
+  // Checkpoint/restore (src/snap): the RNG stream position, one-shot fired
+  // flags and the injection counter. Specs themselves are configuration (they
+  // come from the CLI), so restore only validates that the attached engine
+  // has the same number of specs as the one that was saved.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
   void RegisterMetrics(MetricRegistry& registry) const {
     registry.Register("fault", "injections", &injections_,
                       "fault-spec applications (trace kind fault_inject)");

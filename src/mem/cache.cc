@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "snap/snapstream.h"
 #include "support/bits.h"
 
 namespace msim {
@@ -54,6 +55,31 @@ void Cache::InvalidateAll() {
   for (Line& line : lines_) {
     line.valid = false;
   }
+}
+
+void Cache::SaveState(SnapWriter& w) const {
+  w.U32(num_lines_);
+  for (const Line& line : lines_) {
+    w.Bool(line.valid);
+    w.U32(line.tag);
+  }
+  w.U64(stats_.hits);
+  w.U64(stats_.misses);
+}
+
+Status Cache::RestoreState(SnapReader& r) {
+  const uint32_t saved_lines = r.U32();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("cache header"));
+  if (saved_lines != num_lines_) {
+    return InvalidArgument("snapshot cache geometry differs from this configuration");
+  }
+  for (Line& line : lines_) {
+    line.valid = r.Bool();
+    line.tag = r.U32();
+  }
+  stats_.hits = r.U64();
+  stats_.misses = r.U64();
+  return r.ToStatus("cache lines");
 }
 
 }  // namespace msim

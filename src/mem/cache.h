@@ -14,10 +14,14 @@
 #include <string>
 #include <vector>
 
+#include "support/result.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 struct CacheStats {
   uint64_t hits = 0;
@@ -46,6 +50,12 @@ class Cache {
   bool CorruptLine(uint32_t index, uint32_t and_mask, uint32_t xor_mask);
 
   uint32_t num_lines() const { return num_lines_; }
+
+  // Checkpoint/restore (src/snap): tag array and counters. Geometry and
+  // latencies come from CoreConfig, not the snapshot; restore fails if the
+  // saved line count differs.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
   const CacheStats& stats() const { return stats_; }
   void ResetStats() { stats_ = CacheStats{}; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "snap/snapstream.h"
 #include "support/bits.h"
 
 namespace msim {
@@ -159,6 +160,51 @@ void Mram::RegisterMetrics(MetricRegistry& registry) const {
                     "words rewritten behind the write path (fault injection)");
   registry.Register("mram", "words_scrubbed", &stats_.words_scrubbed,
                     "words restored from the shadow copy by Scrub()");
+}
+
+void Mram::SaveState(SnapWriter& w) const {
+  w.Bool(parity_enabled_);
+  w.Bytes(code_);
+  w.Bytes(data_);
+  w.Bytes(code_shadow_);
+  w.Bytes(data_shadow_);
+  w.Bytes(code_parity_);
+  w.Bytes(data_parity_);
+  w.U64(stats_.code_fetches);
+  w.U64(stats_.data_reads);
+  w.U64(stats_.data_writes);
+  w.U64(stats_.parity_errors);
+  w.U64(stats_.words_corrupted);
+  w.U64(stats_.words_scrubbed);
+}
+
+Status Mram::RestoreState(SnapReader& r) {
+  parity_enabled_ = r.Bool();
+  std::vector<uint8_t> code = r.Bytes();
+  std::vector<uint8_t> data = r.Bytes();
+  std::vector<uint8_t> code_shadow = r.Bytes();
+  std::vector<uint8_t> data_shadow = r.Bytes();
+  std::vector<uint8_t> code_parity = r.Bytes();
+  std::vector<uint8_t> data_parity = r.Bytes();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("mram segments"));
+  if (code.size() != code_.size() || data.size() != data_.size() ||
+      code_shadow.size() != code_shadow_.size() || data_shadow.size() != data_shadow_.size() ||
+      code_parity.size() != code_parity_.size() || data_parity.size() != data_parity_.size()) {
+    return InvalidArgument("snapshot MRAM geometry differs from this build");
+  }
+  code_ = std::move(code);
+  data_ = std::move(data);
+  code_shadow_ = std::move(code_shadow);
+  data_shadow_ = std::move(data_shadow);
+  code_parity_ = std::move(code_parity);
+  data_parity_ = std::move(data_parity);
+  stats_.code_fetches = r.U64();
+  stats_.data_reads = r.U64();
+  stats_.data_writes = r.U64();
+  stats_.parity_errors = r.U64();
+  stats_.words_corrupted = r.U64();
+  stats_.words_scrubbed = r.U64();
+  return r.ToStatus("mram stats");
 }
 
 }  // namespace msim

@@ -21,10 +21,14 @@
 #include <optional>
 #include <vector>
 
+#include "support/result.h"
 #include "trace/metrics.h"
 #include "trace/trace.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 // The code segment occupies a dedicated region of the fetch address space so
 // that intra-mroutine branches and jumps work unmodified.
@@ -82,6 +86,12 @@ class Mram {
   uint32_t Scrub();
 
   void Clear();
+
+  // Checkpoint/restore (src/snap): contents, shadow copies, parity bits and
+  // counters — including corruption applied behind the write path, so a
+  // restored machine re-observes the same parity errors.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
   const MramStats& stats() const { return stats_; }
   void ResetStats() { stats_ = MramStats{}; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "snap/snapstream.h"
 #include "support/strings.h"
 
 namespace msim {
@@ -72,5 +73,64 @@ Status PhysicalMemory::LoadSection(const Section& section) {
 }
 
 void PhysicalMemory::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+
+namespace {
+constexpr uint32_t kSnapPageSize = 4096;
+}  // namespace
+
+void PhysicalMemory::SaveState(SnapWriter& w) const {
+  w.U32(size());
+  w.U32(kSnapPageSize);
+  const uint32_t num_pages = (size() + kSnapPageSize - 1) / kSnapPageSize;
+  uint32_t live_pages = 0;
+  for (uint32_t page = 0; page < num_pages; ++page) {
+    const uint32_t begin = page * kSnapPageSize;
+    const uint32_t end = std::min(begin + kSnapPageSize, size());
+    bool live = false;
+    for (uint32_t i = begin; i < end && !live; ++i) {
+      live = bytes_[i] != 0;
+    }
+    live_pages += live ? 1 : 0;
+  }
+  w.U32(live_pages);
+  for (uint32_t page = 0; page < num_pages; ++page) {
+    const uint32_t begin = page * kSnapPageSize;
+    const uint32_t end = std::min(begin + kSnapPageSize, size());
+    bool live = false;
+    for (uint32_t i = begin; i < end && !live; ++i) {
+      live = bytes_[i] != 0;
+    }
+    if (live) {
+      w.U32(page);
+      w.Bytes(bytes_.data() + begin, end - begin);
+    }
+  }
+}
+
+Status PhysicalMemory::RestoreState(SnapReader& r) {
+  const uint32_t saved_size = r.U32();
+  const uint32_t page_size = r.U32();
+  const uint32_t live_pages = r.U32();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("dram header"));
+  if (saved_size != size()) {
+    return InvalidArgument(StrFormat("snapshot DRAM size %u differs from configured size %u",
+                                     saved_size, size()));
+  }
+  if (page_size != kSnapPageSize) {
+    return InvalidArgument(StrFormat("snapshot DRAM page size %u unsupported", page_size));
+  }
+  Clear();
+  for (uint32_t i = 0; i < live_pages; ++i) {
+    const uint32_t page = r.U32();
+    const std::vector<uint8_t> contents = r.Bytes();
+    MSIM_RETURN_IF_ERROR(r.ToStatus("dram page"));
+    const uint64_t begin = static_cast<uint64_t>(page) * kSnapPageSize;
+    if (begin + contents.size() > size()) {
+      return InvalidArgument(StrFormat("snapshot DRAM page %u out of range", page));
+    }
+    std::copy(contents.begin(), contents.end(), bytes_.begin() + begin);
+  }
+  return Status::Ok();
+}
 
 }  // namespace msim

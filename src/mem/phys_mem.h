@@ -11,6 +11,9 @@
 
 namespace msim {
 
+class SnapWriter;
+class SnapReader;
+
 class PhysicalMemory {
  public:
   explicit PhysicalMemory(uint32_t size_bytes);
@@ -32,6 +35,13 @@ class PhysicalMemory {
 
   // Zeroes all of memory.
   void Clear();
+
+  // Checkpoint/restore (src/snap). The image is sparse and page-granular:
+  // only pages containing a non-zero byte are written, so a 16 MiB DRAM with
+  // a small program serializes to a few KiB. Restore zeroes everything first;
+  // it fails if the saved size differs from this memory's size.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
  private:
   std::vector<uint8_t> bytes_;

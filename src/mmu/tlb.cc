@@ -1,5 +1,7 @@
 #include "mmu/tlb.h"
 
+#include "snap/snapstream.h"
+
 namespace msim {
 
 Tlb::Tlb(uint32_t num_entries) : entries_(num_entries) {}
@@ -98,6 +100,39 @@ uint32_t Tlb::ValidCount() const {
     count += entry.valid ? 1 : 0;
   }
   return count;
+}
+
+void Tlb::SaveState(SnapWriter& w) const {
+  w.U32(capacity());
+  for (const TlbEntry& entry : entries_) {
+    w.Bool(entry.valid);
+    w.U32(entry.vpn);
+    w.U16(entry.asid);
+    w.U32(entry.pte);
+  }
+  w.U32(next_victim_);
+  w.U64(stats_.hits);
+  w.U64(stats_.misses);
+  w.U64(stats_.insertions);
+}
+
+Status Tlb::RestoreState(SnapReader& r) {
+  const uint32_t saved_capacity = r.U32();
+  MSIM_RETURN_IF_ERROR(r.ToStatus("tlb header"));
+  if (saved_capacity != capacity()) {
+    return InvalidArgument("snapshot TLB capacity differs from this configuration");
+  }
+  for (TlbEntry& entry : entries_) {
+    entry.valid = r.Bool();
+    entry.vpn = r.U32();
+    entry.asid = r.U16();
+    entry.pte = r.U32();
+  }
+  next_victim_ = r.U32();
+  stats_.hits = r.U64();
+  stats_.misses = r.U64();
+  stats_.insertions = r.U64();
+  return r.ToStatus("tlb entries");
 }
 
 }  // namespace msim

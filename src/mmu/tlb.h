@@ -14,9 +14,13 @@
 #include <optional>
 #include <vector>
 
+#include "support/result.h"
 #include "trace/metrics.h"
 
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 // PTE layout (the rs2 operand of tlbwr and the result of tlbrd):
 //   [31:12] ppn    physical page number (bits [31:12] of the frame address)
@@ -95,6 +99,11 @@ class Tlb {
 
   // Number of valid entries (for tests).
   uint32_t ValidCount() const;
+
+  // Checkpoint/restore (src/snap): entries, replacement pointer and counters.
+  // Restore fails if the saved capacity differs.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
   const TlbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TlbStats{}; }

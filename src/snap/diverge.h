@@ -1,0 +1,93 @@
+// Lockstep divergence detection between two machine configurations.
+//
+// Runs two MetalSystems side by side and reports the first point where their
+// architecturally visible behaviour differs, plus a structured diff of the
+// delta (msim replay --until-divergence, and the mfuzz oracle).
+//
+// Two granularities:
+//   * kCycle — both machines are stepped one cycle at a time and their full
+//     state digests (Core::StateDigest, DRAM excluded) are compared after
+//     every cycle. This pinpoints an injected fault to the exact cycle it
+//     first perturbs state, but requires the two configurations to have
+//     identical timing (same CoreConfig apart from the fault specs).
+//   * kRetire — the retired-instruction streams are compared record by
+//     record. Timing-insensitive, so it can compare configurations whose
+//     interleavings differ (MRAM vs. DRAM mroutine storage, fast vs. slow
+//     transitions); the first mismatching retired instruction is reported.
+//
+// Retire-stream canonicalization (both knobs default on in the CLI when the
+// configs differ in the corresponding dimension):
+//   * ignore_transition_retires drops menter/mexit records — the fast path
+//     replaces them in decode, so they only retire in the slow path;
+//   * metal_pc_insensitive compares Metal-mode records by raw word only —
+//     mroutines live at different addresses under different storage modes.
+#ifndef MSIM_SNAP_DIVERGE_H_
+#define MSIM_SNAP_DIVERGE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/result.h"
+
+namespace msim {
+
+class MetalSystem;
+
+enum class CompareGranularity { kCycle, kRetire };
+
+struct RetireRecord {
+  uint64_t cycle = 0;
+  uint32_t pc = 0;
+  uint32_t raw = 0;
+  bool metal = false;
+};
+
+// One architectural register (or scalar) that differs: name, value in A,
+// value in B.
+struct RegDelta {
+  std::string name;
+  uint32_t a = 0;
+  uint32_t b = 0;
+};
+
+struct DivergenceReport {
+  bool diverged = false;
+  CompareGranularity granularity = CompareGranularity::kCycle;
+  // kCycle: both equal the first divergent cycle. kRetire: the cycle each
+  // machine retired the first mismatching instruction at.
+  uint64_t cycle_a = 0;
+  uint64_t cycle_b = 0;
+  uint64_t retire_index = 0;  // matching retires before the divergence
+  // Component digests that differ at the divergence point (kCycle), e.g.
+  // "mreg-file", "mram"; "pipeline" when only un-named core state differs.
+  std::vector<std::string> components;
+  std::vector<RegDelta> deltas;
+  bool has_retires = false;  // kRetire: the mismatching records below are set
+  RetireRecord retire_a;
+  RetireRecord retire_b;
+  bool a_finished = false;  // machine halted/faulted before the other
+  bool b_finished = false;
+  std::string summary;  // one-line human description
+};
+
+struct LockstepOptions {
+  CompareGranularity granularity = CompareGranularity::kCycle;
+  uint64_t max_cycles = 0;  // per machine; 0 = A's default_max_cycles
+  bool ignore_transition_retires = false;
+  bool metal_pc_insensitive = false;
+};
+
+// Boots both systems if needed and runs them to completion or first
+// divergence. Cycle granularity requires identical timing configurations;
+// this is the caller's contract (the CLI enforces it by construction).
+Result<DivergenceReport> RunLockstep(MetalSystem& a, MetalSystem& b,
+                                     const LockstepOptions& options);
+
+void WriteDivergenceJson(const DivergenceReport& report, std::ostream& out);
+void WriteDivergenceText(const DivergenceReport& report, std::ostream& out);
+
+}  // namespace msim
+
+#endif  // MSIM_SNAP_DIVERGE_H_

@@ -42,6 +42,11 @@ class Rng {
     return static_cast<double>(Next64() >> 11) * (1.0 / 9007199254740992.0);
   }
 
+  // Raw generator state, for checkpoint/restore (src/snap). Restoring the
+  // state resumes the stream exactly where the saved run left off.
+  uint64_t state() const { return state_; }
+  void set_state(uint64_t state) { state_ = state; }
+
  private:
   uint64_t state_;
 };

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "snap/snapstream.h"
 #include "trace/json.h"
 
 namespace msim {
@@ -162,6 +163,53 @@ void MroutineProfiler::AppendJson(JsonWriter& json, uint64_t total_cycles) const
   json.Field("normal_instret", normal_instret_);
   json.Field("chain_folds", chain_folds_);
   json.EndObject();
+}
+
+namespace {
+void SaveEntry(SnapWriter& w, const MroutineProfiler::EntryProfile& entry) {
+  w.U64(entry.enters);
+  w.U64(entry.trap_enters);
+  w.U64(entry.instret);
+  w.U64(entry.cycles);
+}
+
+void RestoreEntry(SnapReader& r, MroutineProfiler::EntryProfile& entry) {
+  entry.enters = r.U64();
+  entry.trap_enters = r.U64();
+  entry.instret = r.U64();
+  entry.cycles = r.U64();
+}
+}  // namespace
+
+void MroutineProfiler::SaveState(SnapWriter& w) const {
+  for (const EntryProfile& entry : entries_) {
+    SaveEntry(w, entry);
+  }
+  SaveEntry(w, unattributed_);
+  w.U64(normal_instret_);
+  w.U64(chain_folds_);
+  w.Bool(in_metal_);
+  w.Bool(current_known_);
+  w.U32(current_entry_);
+  w.U64(span_start_);
+  w.Bool(last_known_);
+  w.U32(last_entry_);
+}
+
+Status MroutineProfiler::RestoreState(SnapReader& r) {
+  for (EntryProfile& entry : entries_) {
+    RestoreEntry(r, entry);
+  }
+  RestoreEntry(r, unattributed_);
+  normal_instret_ = r.U64();
+  chain_folds_ = r.U64();
+  in_metal_ = r.Bool();
+  current_known_ = r.Bool();
+  current_entry_ = r.U32();
+  span_start_ = r.U64();
+  last_known_ = r.Bool();
+  last_entry_ = r.U32();
+  return r.ToStatus("mroutine profiler");
 }
 
 }  // namespace msim

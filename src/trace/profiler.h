@@ -18,11 +18,14 @@
 #include <ostream>
 
 #include "isa/isa.h"
+#include "support/result.h"
 #include "trace/trace.h"
 
 namespace msim {
 
 class JsonWriter;
+class SnapWriter;
+class SnapReader;
 
 class MroutineProfiler : public TraceSink {
  public:
@@ -59,6 +62,11 @@ class MroutineProfiler : public TraceSink {
 
   // Appends {"entries": [...], "totals": {...}} members to an open object.
   void AppendJson(JsonWriter& json, uint64_t total_cycles) const;
+
+  // Checkpoint/restore (src/snap): per-entry counters and the open-span
+  // bookkeeping, so a restored run's profile matches the straight run's.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
  private:
   void OpenSpan(uint32_t entry, uint64_t cycle, bool via_trap);

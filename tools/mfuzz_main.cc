@@ -1,0 +1,471 @@
+// mfuzz — differential fuzzer for the Metal simulator (docs/determinism.md).
+//
+// Generates random (but always well-formed) programs plus mcode modules,
+// biased toward the paper's hot constructs — menter/mexit transitions,
+// mld/mst, rmr/wmr, TLB ops and instruction-interception toggles — and uses
+// the lockstep comparator (src/snap/diverge.h) as the oracle:
+//
+//   determinism  two machines with identical configuration, compared per
+//                cycle by full state digest — any divergence is a real
+//                nondeterminism bug in the simulator;
+//   storage      MRAM vs. DRAM-cached mroutine storage, compared by retire
+//                stream (Metal-mode pc-insensitive): storage mode must be
+//                architecturally invisible;
+//   fast         fast vs. slow menter/mexit transitions, compared by retire
+//                stream with transition retires canonicalized away.
+//
+// On a failure mfuzz writes a self-contained repro directory (program.s,
+// mcode.s, divergence.json, repro.sh), shrinks same-config divergences by
+// checkpoint bisection (the latest snapshot from which the divergence still
+// reproduces bounds the window the bug lives in), and exits 10.
+//
+// Usage:
+//   mfuzz [--seed N] [--runs N] [--time-budget-seconds N] [--max-cycles N]
+//         [--oracle all|determinism|storage|fast] [--out DIR]
+//
+// Exit: 0 = all runs clean, 10 = divergence found, 2 = usage, 1 = error.
+// All reporting goes to stderr; artifacts go to --out (default mfuzz-out).
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metal/system.h"
+#include "snap/diverge.h"
+#include "snap/snapshot.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+using namespace msim;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: mfuzz [--seed N] [--runs N] [--time-budget-seconds N] "
+               "[--max-cycles N]\n"
+               "             [--oracle all|determinism|storage|fast] [--out DIR]\n");
+  return 2;
+}
+
+bool ParseU64Flag(const char* flag, const std::string& text, uint64_t* out) {
+  const auto value = ParseInt(text);
+  if (!value || *value < 0) {
+    std::fprintf(stderr, "invalid value for %s: '%s' (want a non-negative integer)\n", flag,
+                 text.c_str());
+    return false;
+  }
+  *out = static_cast<uint64_t>(*value);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Program generation. Everything emitted is well-formed by construction:
+// branches only target labels the generator itself laid down, loops are
+// bounded by a dedicated counter register, Metal-only instructions appear
+// only inside mroutines, and mcode never embeds an absolute code address —
+// so the same source assembles to the same words under every storage mode.
+// ---------------------------------------------------------------------------
+
+struct GeneratedCase {
+  std::string mcode;
+  std::string program;
+  unsigned num_entries = 0;
+};
+
+// Registers the generator scribbles on. t6 holds the scratch-data base and
+// s11 the loop counter, so neither appears in the pool.
+const char* const kPool[] = {"t0", "t1", "t2", "t3", "t4", "t5", "s2", "s3", "s4", "s5"};
+constexpr size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+
+const char* PickReg(Rng& rng) { return kPool[rng.Below(kPoolSize)]; }
+
+void EmitAlu(Rng& rng, std::string& out) {
+  static const char* const kOps3[] = {"add", "sub", "xor", "or", "and", "sll", "srl"};
+  static const char* const kOpsImm[] = {"addi", "xori", "ori", "andi"};
+  switch (rng.Below(3)) {
+    case 0:
+      out += StrFormat("  %s %s, %s, %s\n", kOps3[rng.Below(7)], PickReg(rng), PickReg(rng),
+                       PickReg(rng));
+      break;
+    case 1:
+      out += StrFormat("  %s %s, %s, %d\n", kOpsImm[rng.Below(4)], PickReg(rng), PickReg(rng),
+                       (int)rng.Range(0, 4094) - 2047);
+      break;
+    default:
+      out += StrFormat("  li %s, 0x%08x\n", PickReg(rng), rng.Next32());
+      break;
+  }
+}
+
+// One instruction of an mroutine body. Biased toward the Metal register file
+// and MRAM data segment; rcr sticks to the always-safe trap-context cregs
+// (reading cycle/instret would make timing architecturally visible and
+// legitimately diverge across storage modes).
+void EmitMetalInstr(Rng& rng, std::string& out) {
+  switch (rng.Below(10)) {
+    case 0:
+    case 1:
+      out += StrFormat("  rmr %s, m%u\n", PickReg(rng), (unsigned)rng.Below(32));
+      break;
+    case 2:
+    case 3:
+      // m31 is the mexit retry-pc control; writing it at random could re-run
+      // an intercepted instruction with interception still armed.
+      out += StrFormat("  wmr m%u, %s\n", (unsigned)rng.Below(31), PickReg(rng));
+      break;
+    case 4:
+      out += StrFormat("  mld %s, %u(zero)\n", PickReg(rng), (unsigned)rng.Below(256) * 4);
+      break;
+    case 5:
+      out += StrFormat("  mst %s, %u(zero)\n", PickReg(rng), (unsigned)rng.Below(256) * 4);
+      break;
+    case 6:
+      out += StrFormat("  rcr %s, %u\n", PickReg(rng), (unsigned)rng.Below(5));
+      break;
+    case 7:
+      switch (rng.Below(3)) {
+        case 0:
+          out += StrFormat("  tlbwr %s, %s\n", PickReg(rng), PickReg(rng));
+          break;
+        case 1:
+          out += StrFormat("  tlbrd %s, %s\n", PickReg(rng), PickReg(rng));
+          break;
+        default:
+          out += StrFormat("  tlbinv %s\n", PickReg(rng));
+          break;
+      }
+      break;
+    default:
+      EmitAlu(rng, out);
+      break;
+  }
+}
+
+GeneratedCase Generate(uint64_t seed) {
+  Rng rng(seed);
+  GeneratedCase result;
+  result.num_entries = (unsigned)rng.Range(2, 4);
+  const bool use_intercept = rng.Chance(1, 2);
+  // Entry num_entries is the interception handler (a plain generated routine).
+  const unsigned handler = result.num_entries;
+  const unsigned opcode = rng.Chance(1, 2) ? 0x03u : 0x23u;  // loads or stores
+
+  for (unsigned entry = 1; entry <= result.num_entries; ++entry) {
+    result.mcode += StrFormat("  .mentry %u, routine%u\nroutine%u:\n", entry, entry, entry);
+    if (use_intercept && entry == 1) {
+      // Arm slot 0; a later toggle may disarm it again (clearing bit 31).
+      result.mcode += StrFormat("  li t0, 0x%08x\n  li t1, %u\n  mintset t0, t1\n",
+                                0x80000000u | opcode, handler);
+    }
+    const unsigned body = (unsigned)rng.Range(4, 12);
+    for (unsigned i = 0; i < body; ++i) {
+      EmitMetalInstr(rng, result.mcode);
+    }
+    if (use_intercept && rng.Chance(1, 4)) {
+      result.mcode += StrFormat("  li t0, 0x%08x\n  li t1, %u\n  mintset t0, t1\n",
+                                rng.Chance(1, 2) ? (0x80000000u | opcode) : opcode, handler);
+    }
+    result.mcode += "  mexit\n";
+  }
+
+  result.program += "_start:\n  la t6, scratch\n";
+  const unsigned blocks = (unsigned)rng.Range(5, 12);
+  unsigned next_label = 0;
+  for (unsigned b = 0; b < blocks; ++b) {
+    switch (rng.Below(5)) {
+      case 0: {  // bounded loop, body may re-enter Metal mode (the hot path)
+        const unsigned label = next_label++;
+        result.program += StrFormat("  li s11, %u\nloop%u:\n", (unsigned)rng.Range(2, 8), label);
+        const unsigned body = (unsigned)rng.Range(1, 3);
+        for (unsigned i = 0; i < body; ++i) {
+          if (rng.Chance(1, 3)) {
+            result.program +=
+                StrFormat("  menter %u\n", (unsigned)rng.Range(1, result.num_entries));
+          } else {
+            EmitAlu(rng, result.program);
+          }
+        }
+        result.program += StrFormat("  addi s11, s11, -1\n  bnez s11, loop%u\n", label);
+        break;
+      }
+      case 1:  // Metal transition
+        result.program += StrFormat("  menter %u\n", (unsigned)rng.Range(1, result.num_entries));
+        break;
+      case 2:  // scratch-memory traffic (interception targets these, too)
+        if (rng.Chance(1, 2)) {
+          result.program +=
+              StrFormat("  sw %s, %u(t6)\n", PickReg(rng), (unsigned)rng.Below(16) * 4);
+        } else {
+          result.program +=
+              StrFormat("  lw %s, %u(t6)\n", PickReg(rng), (unsigned)rng.Below(16) * 4);
+        }
+        break;
+      default: {
+        const unsigned count = (unsigned)rng.Range(1, 3);
+        for (unsigned i = 0; i < count; ++i) {
+          EmitAlu(rng, result.program);
+        }
+        break;
+      }
+    }
+  }
+  result.program += StrFormat("  li a0, %u\n  halt a0\n", (unsigned)rng.Below(256));
+  result.program += ".data\nscratch:\n";
+  for (int i = 0; i < 16; ++i) {
+    result.program += StrFormat("  .word 0x%08x\n", rng.Next32());
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Oracles.
+// ---------------------------------------------------------------------------
+
+struct Oracle {
+  const char* name;
+  CoreConfig config_a;
+  CoreConfig config_b;
+  LockstepOptions options;
+};
+
+std::vector<Oracle> BuildOracles(const std::string& which, uint64_t max_cycles) {
+  std::vector<Oracle> oracles;
+  const CoreConfig base;
+  if (which == "all" || which == "determinism") {
+    Oracle o{"determinism", base, base, {}};
+    o.options.granularity = CompareGranularity::kCycle;
+    o.options.max_cycles = max_cycles;
+    oracles.push_back(o);
+  }
+  if (which == "all" || which == "storage") {
+    Oracle o{"storage", base, base, {}};
+    o.config_b.mroutine_storage = MroutineStorage::kDramCached;
+    o.options.granularity = CompareGranularity::kRetire;
+    o.options.max_cycles = max_cycles;
+    o.options.metal_pc_insensitive = true;
+    // Fast transitions only exist under MRAM storage (core.cc
+    // IdReplacementChain), so the storage change also flips whether
+    // menter/mexit retire.
+    o.options.ignore_transition_retires = true;
+    oracles.push_back(o);
+  }
+  if (which == "all" || which == "fast") {
+    Oracle o{"fast", base, base, {}};
+    o.config_b.fast_transition = false;
+    o.options.granularity = CompareGranularity::kRetire;
+    o.options.max_cycles = max_cycles;
+    o.options.ignore_transition_retires = true;
+    oracles.push_back(o);
+  }
+  return oracles;
+}
+
+Status BuildSystem(MetalSystem& system, const GeneratedCase& c) {
+  system.AddMcode(c.mcode);
+  MSIM_RETURN_IF_ERROR(system.LoadProgramSource(c.program));
+  return system.Boot();
+}
+
+// Shrinks a same-config cycle-granularity divergence by checkpoint bisection:
+// finds the latest cycle S from which a snapshot of the reference machine,
+// restored into both sides, still reproduces the divergence. The returned
+// window [S, diverge_cycle] is the smallest state-context the bug needs.
+Result<uint64_t> ShrinkByCheckpointBisection(const GeneratedCase& c, const Oracle& oracle,
+                                             uint64_t diverge_cycle) {
+  uint64_t lo = 0;  // known-reproducing snapshot cycle
+  uint64_t hi = diverge_cycle;
+  while (lo + 1 < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    MetalSystem reference(oracle.config_a);
+    MSIM_RETURN_IF_ERROR(BuildSystem(reference, c));
+    reference.core().Run(mid);
+    if (reference.core().cycle() != mid || reference.core().halted()) {
+      hi = mid;  // machine never reaches mid cleanly; try earlier
+      continue;
+    }
+    const std::vector<uint8_t> image = SaveSnapshot(reference.core());
+    MetalSystem a(oracle.config_a);
+    MetalSystem b(oracle.config_b);
+    MSIM_RETURN_IF_ERROR(BuildSystem(a, c));
+    MSIM_RETURN_IF_ERROR(BuildSystem(b, c));
+    MSIM_RETURN_IF_ERROR(RestoreSnapshot(a.core(), image));
+    MSIM_RETURN_IF_ERROR(RestoreSnapshot(b.core(), image));
+    LockstepOptions options = oracle.options;
+    options.max_cycles = diverge_cycle - mid + 16;
+    MSIM_ASSIGN_OR_RETURN(const DivergenceReport report, RunLockstep(a, b, options));
+    if (report.diverged) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+  return out.good();
+}
+
+int WriteArtifacts(const std::string& out_dir, uint64_t seed, const char* oracle_name,
+                   const GeneratedCase& c, const DivergenceReport& report,
+                   uint64_t max_cycles) {
+  if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", out_dir.c_str(), std::strerror(errno));
+    return 1;
+  }
+  const std::string dir = StrFormat("%s/case-%llu-%s", out_dir.c_str(),
+                                    (unsigned long long)seed, oracle_name);
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", dir.c_str(), std::strerror(errno));
+    return 1;
+  }
+  bool ok = WriteTextFile(dir + "/program.s", c.program);
+  ok &= WriteTextFile(dir + "/mcode.s", c.mcode);
+  {
+    std::ofstream out(dir + "/divergence.json");
+    WriteDivergenceJson(report, out);
+    out << "\n";
+    ok &= out.good();
+  }
+  // A repro that needs only the msim CLI, not mfuzz or the seed.
+  std::string repro = "#!/bin/sh\n# Reproduces the divergence found by mfuzz.\n";
+  const char* b_flags = "";
+  if (std::strcmp(oracle_name, "storage") == 0) {
+    b_flags = " --b-storage dram-cached";
+  } else if (std::strcmp(oracle_name, "fast") == 0) {
+    b_flags = " --b-no-fast";
+  }
+  repro += StrFormat(
+      "exec msim replay program.s --mcode mcode.s --until-divergence%s --max-cycles %llu\n",
+      b_flags, (unsigned long long)max_cycles);
+  ok &= WriteTextFile(dir + "/repro.sh", repro);
+  ::chmod((dir + "/repro.sh").c_str(), 0755);
+  if (!ok) {
+    std::fprintf(stderr, "failed writing artifacts under '%s'\n", dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[mfuzz] artifacts: %s\n", dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t base_seed = 1;
+  uint64_t runs = 0;
+  uint64_t time_budget_seconds = 0;
+  uint64_t max_cycles = 200000;
+  std::string oracle_name = "all";
+  std::string out_dir = "mfuzz-out";
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--seed" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--seed", args[++i], &base_seed)) {
+        return 2;
+      }
+    } else if (arg == "--runs" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--runs", args[++i], &runs)) {
+        return 2;
+      }
+    } else if (arg == "--time-budget-seconds" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--time-budget-seconds", args[++i], &time_budget_seconds)) {
+        return 2;
+      }
+    } else if (arg == "--max-cycles" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--oracle" && i + 1 < args.size()) {
+      oracle_name = args[++i];
+      if (oracle_name != "all" && oracle_name != "determinism" && oracle_name != "storage" &&
+          oracle_name != "fast") {
+        std::fprintf(stderr, "unknown oracle '%s' (want all, determinism, storage or fast)\n",
+                     oracle_name.c_str());
+        return 2;
+      }
+    } else if (arg == "--out" && i + 1 < args.size()) {
+      out_dir = args[++i];
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (runs == 0 && time_budget_seconds == 0) {
+    runs = 100;
+  }
+
+  const std::vector<Oracle> oracles = BuildOracles(oracle_name, max_cycles);
+  const auto start = std::chrono::steady_clock::now();
+  auto out_of_budget = [&] {
+    if (time_budget_seconds == 0) {
+      return false;
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration_cast<std::chrono::seconds>(elapsed).count() >=
+           (long long)time_budget_seconds;
+  };
+
+  uint64_t executed = 0;
+  for (uint64_t i = 0; (runs == 0 || i < runs) && !out_of_budget(); ++i) {
+    const uint64_t seed = base_seed + i;
+    const GeneratedCase c = Generate(seed);
+    for (const Oracle& oracle : oracles) {
+      MetalSystem a(oracle.config_a);
+      MetalSystem b(oracle.config_b);
+      if (Status status = BuildSystem(a, c); !status.ok()) {
+        std::fprintf(stderr, "[mfuzz] seed %llu: generated case does not assemble: %s\n",
+                     (unsigned long long)seed, status.ToString().c_str());
+        return 1;  // a generator bug, not a simulator bug — fix the generator
+      }
+      if (Status status = BuildSystem(b, c); !status.ok()) {
+        std::fprintf(stderr, "[mfuzz] seed %llu: %s\n", (unsigned long long)seed,
+                     status.ToString().c_str());
+        return 1;
+      }
+      auto report = RunLockstep(a, b, oracle.options);
+      if (!report.ok()) {
+        std::fprintf(stderr, "[mfuzz] seed %llu oracle %s: %s\n", (unsigned long long)seed,
+                     oracle.name, report.status().ToString().c_str());
+        return 1;
+      }
+      if (report->diverged) {
+        std::fprintf(stderr, "[mfuzz] seed %llu oracle %s: DIVERGENCE\n",
+                     (unsigned long long)seed, oracle.name);
+        WriteDivergenceText(*report, std::cerr);
+        if (oracle.options.granularity == CompareGranularity::kCycle) {
+          auto window = ShrinkByCheckpointBisection(c, oracle, report->cycle_a);
+          if (window.ok()) {
+            std::fprintf(stderr,
+                         "[mfuzz] shrunk: divergence reproduces from a snapshot at cycle %llu "
+                         "(window %llu cycles)\n",
+                         (unsigned long long)*window,
+                         (unsigned long long)(report->cycle_a - *window));
+          }
+        }
+        if (int rc = WriteArtifacts(out_dir, seed, oracle.name, c, *report, max_cycles);
+            rc != 0) {
+          return rc;
+        }
+        return 10;
+      }
+    }
+    ++executed;
+    if (executed % 25 == 0) {
+      std::fprintf(stderr, "[mfuzz] %llu cases clean\n", (unsigned long long)executed);
+    }
+  }
+  std::fprintf(stderr, "[mfuzz] done: %llu cases, no divergence\n",
+               (unsigned long long)executed);
+  return 0;
+}

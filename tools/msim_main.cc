@@ -23,8 +23,27 @@
 //   --no-parity           disable the MRAM parity model
 //   --crash-dump FILE     write a crash-dump JSON at end of run
 //
+// Determinism options (docs/determinism.md):
+//   --checkpoint-every N  save a snapshot every N cycles (requires
+//                         --checkpoint-dir; files: checkpoint-<cycle>.msnap)
+//   --checkpoint-dir D    directory for checkpoint files
+//   --restore FILE        resume from a snapshot (version/config validated)
+//
+//   msim replay <program.s> [run options] --until-divergence [replay options]
+//     runs configuration A (the shared run options) in lockstep against a
+//     second configuration B derived from it (--b-storage / --b-fast /
+//     --b-no-fast / --b-inject / --b-fault-seed) and reports the first
+//     divergence. Exit: 0 = identical, 10 = divergence, 2 = usage, 1 = error.
+//
 // Malformed numeric arguments exit with status 2. The program's exit code
-// (from `halt rs1`) becomes the process exit code.
+// (from `halt rs1`) becomes the process exit code. Human-readable output
+// (status lines, statistics, profiles) goes to stderr; stdout carries only
+// the simulated program's console output; JSON artifacts go to their own
+// files — so piping stdout or a JSON file never picks up log interleaving.
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cctype>
 #include <cstring>
@@ -40,6 +59,9 @@
 #include "fault/fault.h"
 #include "isa/disasm.h"
 #include "metal/system.h"
+#include "snap/diverge.h"
+#include "snap/snapshot.h"
+#include "snap/snapstream.h"
 #include "support/strings.h"
 #include "synth/designs.h"
 #include "trace/json.h"
@@ -60,6 +82,11 @@ int Usage() {
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "           [--inject SPEC]... [--fault-seed N] [--watchdog N] [--no-parity]\n"
                "           [--crash-dump FILE]\n"
+               "           [--checkpoint-every N --checkpoint-dir D] [--restore FILE]\n"
+               "  msim replay <program.s> [run options] --until-divergence\n"
+               "           [--compare auto|cycle|retire] [--b-storage MODE] [--b-fast|"
+               "--b-no-fast]\n"
+               "           [--b-inject SPEC]... [--b-fault-seed N] [--divergence-json FILE]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
   return 2;
@@ -76,6 +103,19 @@ bool ParseU64Flag(const char* flag, const std::string& text, uint64_t* out) {
     return false;
   }
   *out = static_cast<uint64_t>(*value);
+  return true;
+}
+
+bool ParseStorageMode(const std::string& mode, MroutineStorage* out) {
+  if (mode == "mram") {
+    *out = MroutineStorage::kMram;
+  } else if (mode == "dram-cached") {
+    *out = MroutineStorage::kDramCached;
+  } else if (mode == "dram-uncached") {
+    *out = MroutineStorage::kDramUncached;
+  } else {
+    return false;
+  }
   return true;
 }
 
@@ -99,16 +139,18 @@ Result<std::string> ReadFile(const std::string& path) {
 }
 
 // Enumerates the core's MetricRegistry instead of hand-copying struct fields;
-// every counter any component registered shows up here automatically.
+// every counter any component registered shows up here automatically. Written
+// to stderr with the rest of the human-readable reporting: stdout is reserved
+// for the simulated program's console output.
 void PrintStats(Core& core) {
   const CoreStats& stats = core.stats();
-  std::printf("--- pipeline statistics ---\n");
-  std::printf("IPC %.3f (%llu instructions / %llu cycles)\n",
-              stats.cycles ? (double)stats.instret / stats.cycles : 0.0,
-              (unsigned long long)stats.instret, (unsigned long long)stats.cycles);
+  std::fprintf(stderr, "--- pipeline statistics ---\n");
+  std::fprintf(stderr, "IPC %.3f (%llu instructions / %llu cycles)\n",
+               stats.cycles ? (double)stats.instret / stats.cycles : 0.0,
+               (unsigned long long)stats.instret, (unsigned long long)stats.cycles);
   std::ostringstream text;
   core.metrics().WriteText(text);
-  std::fputs(text.str().c_str(), stdout);
+  std::fputs(text.str().c_str(), stderr);
 }
 
 bool WriteStatsJson(MetalSystem& system, const RunResult& result,
@@ -125,7 +167,10 @@ bool WriteStatsJson(MetalSystem& system, const RunResult& result,
   json.BeginObject("result");
   json.Field("reason", ReasonName(result.reason));
   json.Field("exit_code", result.exit_code);
-  json.Field("cycles", result.cycles);
+  // Absolute machine cycles (not this invocation's delta), so a straight run
+  // and a run restored from a mid-execution checkpoint report byte-identical
+  // JSON (docs/determinism.md).
+  json.Field("cycles", system.core().cycle());
   json.Field("instret", result.instret);
   json.EndObject();
   json.BeginObject("metrics");
@@ -168,6 +213,9 @@ int CmdRun(const std::vector<std::string>& args) {
   std::vector<std::string> inject_specs;
   uint64_t fault_seed = 0;
   std::string crash_dump_path;
+  uint64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  std::string restore_path;
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -175,13 +223,7 @@ int CmdRun(const std::vector<std::string>& args) {
       mcode_paths.push_back(args[++i]);
     } else if (arg == "--storage" && i + 1 < args.size()) {
       const std::string& mode = args[++i];
-      if (mode == "mram") {
-        config.mroutine_storage = MroutineStorage::kMram;
-      } else if (mode == "dram-cached") {
-        config.mroutine_storage = MroutineStorage::kDramCached;
-      } else if (mode == "dram-uncached") {
-        config.mroutine_storage = MroutineStorage::kDramUncached;
-      } else {
+      if (!ParseStorageMode(mode, &config.mroutine_storage)) {
         std::fprintf(stderr, "unknown storage mode '%s'\n", mode.c_str());
         return 2;
       }
@@ -205,6 +247,18 @@ int CmdRun(const std::vector<std::string>& args) {
       config.mram_parity = false;
     } else if (arg == "--crash-dump" && i + 1 < args.size()) {
       crash_dump_path = args[++i];
+    } else if (arg == "--checkpoint-every" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--checkpoint-every", args[++i], &checkpoint_every)) {
+        return 2;
+      }
+      if (checkpoint_every == 0) {
+        std::fprintf(stderr, "invalid value for --checkpoint-every: 0 (want a cycle interval >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--checkpoint-dir" && i + 1 < args.size()) {
+      checkpoint_dir = args[++i];
+    } else if (arg == "--restore" && i + 1 < args.size()) {
+      restore_path = args[++i];
     } else if (arg == "--trace-stats") {
       trace_stats = true;
     } else if (arg == "--stats-json" && i + 1 < args.size()) {
@@ -230,6 +284,10 @@ int CmdRun(const std::vector<std::string>& args) {
   }
   if (program_path.empty()) {
     return Usage();
+  }
+  if ((checkpoint_every != 0) != !checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--checkpoint-every and --checkpoint-dir must be given together\n");
+    return 2;
   }
 
   MetalSystem system(config);
@@ -298,7 +356,98 @@ int CmdRun(const std::vector<std::string>& args) {
     });
   }
 
-  const RunResult result = system.Run(max_cycles);
+  // Restore replaces the freshly-booted machine state wholesale, so boot
+  // explicitly first — MetalSystem::Run() would otherwise auto-boot on top of
+  // the restored image.
+  if (!restore_path.empty()) {
+    if (Status status = system.Boot(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::vector<SnapshotSection> extras;
+    if (Status status = RestoreSnapshotFile(system.core(), restore_path, &extras);
+        !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      // Incompatible snapshots (wrong version / CoreConfig hash / malformed)
+      // are usage errors; I/O failures are runtime errors.
+      return (status.code() == ErrorCode::kFailedPrecondition ||
+              status.code() == ErrorCode::kInvalidArgument)
+                 ? 2
+                 : 1;
+    }
+    for (const SnapshotSection& section : extras) {
+      if (section.name == "fault") {
+        SnapReader reader(section.payload);
+        if (Status status = fault_engine.RestoreState(reader); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 2;
+        }
+      } else if (section.name == "profiler") {
+        SnapReader reader(section.payload);
+        if (Status status = profiler.RestoreState(reader); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+  }
+
+  RunResult result;
+  if (checkpoint_every == 0) {
+    result = system.Run(max_cycles);
+  } else {
+    if (::mkdir(checkpoint_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      std::fprintf(stderr, "cannot create checkpoint directory '%s': %s\n",
+                   checkpoint_dir.c_str(), std::strerror(errno));
+      return 1;
+    }
+    if (Status status = system.Boot(); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    Core& core = system.core();
+    const uint64_t budget = max_cycles != 0 ? max_cycles : config.default_max_cycles;
+    const uint64_t start_cycle = core.cycle();
+    // Run in chunks that land exactly on multiples of the checkpoint interval
+    // (absolute machine cycles, so a restored run saves at the same marks).
+    while (!core.halted() && !core.has_fatal() && core.cycle() - start_cycle < budget) {
+      const uint64_t next_mark = (core.cycle() / checkpoint_every + 1) * checkpoint_every;
+      const uint64_t remaining = budget - (core.cycle() - start_cycle);
+      result = core.Run(std::min(next_mark - core.cycle(), remaining));
+      if (core.cycle() == next_mark && !core.halted() && !core.has_fatal()) {
+        std::vector<SnapshotSection> extras;
+        if (fault_engine.num_specs() != 0) {
+          SnapWriter writer;
+          fault_engine.SaveState(writer);
+          extras.push_back({"fault", writer.TakeBytes()});
+        }
+        if (want_profile) {
+          SnapWriter writer;
+          profiler.SaveState(writer);
+          extras.push_back({"profiler", writer.TakeBytes()});
+        }
+        const std::string path = StrFormat("%s/checkpoint-%llu.msnap", checkpoint_dir.c_str(),
+                                           (unsigned long long)core.cycle());
+        if (Status status = SaveSnapshotFile(core, path, extras); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    // The loop's last Run() only covers the final chunk; rebuild the summary
+    // for the whole invocation from core state.
+    result.cycles = core.cycle() - start_cycle;
+    result.instret = core.stats().instret;
+    result.exit_code = core.exit_code();
+    if (core.has_fatal()) {
+      result.reason = RunResult::Reason::kFatal;
+      result.fatal_message = core.fatal_status().message();
+    } else if (core.halted()) {
+      result.reason = RunResult::Reason::kHalted;
+    } else {
+      result.reason = RunResult::Reason::kCycleLimit;
+    }
+  }
   const std::string& console = system.core().console().output();
   if (!console.empty()) {
     std::fwrite(console.data(), 1, console.size(), stdout);
@@ -325,7 +474,7 @@ int CmdRun(const std::vector<std::string>& args) {
   if (profile_mroutines) {
     std::ostringstream text;
     profiler.WriteText(text, system.core().stats().cycles);
-    std::fputs(text.str().c_str(), stdout);
+    std::fputs(text.str().c_str(), stderr);
   }
   bool io_ok = true;
   if (!stats_json_path.empty()) {
@@ -353,6 +502,198 @@ int CmdRun(const std::vector<std::string>& args) {
   }
   return result.reason == RunResult::Reason::kHalted ? static_cast<int>(result.exit_code & 0xFF)
                                                      : 1;
+}
+
+// msim replay: run configuration A (the shared run options) in lockstep
+// against configuration B (A plus the --b-* overrides) and report the first
+// divergence. With no --b-* overrides B is an exact copy of A, which checks
+// that the machine itself is deterministic.
+int CmdReplay(const std::vector<std::string>& args) {
+  std::string program_path;
+  std::vector<std::string> mcode_paths;
+  CoreConfig config_a;
+  uint64_t max_cycles = 0;
+  std::vector<std::string> inject_a;
+  uint64_t fault_seed_a = 0;
+  bool b_storage_set = false;
+  MroutineStorage b_storage = MroutineStorage::kMram;
+  int b_fast = -1;  // -1 = inherit A's setting, 0 = slow, 1 = fast
+  std::vector<std::string> inject_b;
+  uint64_t fault_seed_b = 0;
+  bool b_seed_set = false;
+  std::string compare_mode = "auto";
+  std::string divergence_json_path;
+
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--mcode" && i + 1 < args.size()) {
+      mcode_paths.push_back(args[++i]);
+    } else if (arg == "--storage" && i + 1 < args.size()) {
+      const std::string& mode = args[++i];
+      if (!ParseStorageMode(mode, &config_a.mroutine_storage)) {
+        std::fprintf(stderr, "unknown storage mode '%s'\n", mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--no-fast") {
+      config_a.fast_transition = false;
+    } else if (arg == "--max-cycles" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--inject" && i + 1 < args.size()) {
+      inject_a.push_back(args[++i]);
+    } else if (arg == "--fault-seed" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--fault-seed", args[++i], &fault_seed_a)) {
+        return 2;
+      }
+    } else if (arg == "--watchdog" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--watchdog", args[++i], &config_a.metal_watchdog_cycles)) {
+        return 2;
+      }
+    } else if (arg == "--no-parity") {
+      config_a.mram_parity = false;
+    } else if (arg == "--until-divergence") {
+      // The only mode replay has; accepted so invocations read as intended.
+    } else if (arg == "--compare" && i + 1 < args.size()) {
+      compare_mode = args[++i];
+      if (compare_mode != "auto" && compare_mode != "cycle" && compare_mode != "retire") {
+        std::fprintf(stderr, "unknown compare mode '%s' (want auto, cycle or retire)\n",
+                     compare_mode.c_str());
+        return 2;
+      }
+    } else if (arg == "--b-storage" && i + 1 < args.size()) {
+      const std::string& mode = args[++i];
+      if (!ParseStorageMode(mode, &b_storage)) {
+        std::fprintf(stderr, "unknown storage mode '%s'\n", mode.c_str());
+        return 2;
+      }
+      b_storage_set = true;
+    } else if (arg == "--b-fast") {
+      b_fast = 1;
+    } else if (arg == "--b-no-fast") {
+      b_fast = 0;
+    } else if (arg == "--b-inject" && i + 1 < args.size()) {
+      inject_b.push_back(args[++i]);
+    } else if (arg == "--b-fault-seed" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--b-fault-seed", args[++i], &fault_seed_b)) {
+        return 2;
+      }
+      b_seed_set = true;
+    } else if (arg == "--divergence-json" && i + 1 < args.size()) {
+      divergence_json_path = args[++i];
+    } else if (!arg.empty() && arg[0] != '-' && program_path.empty()) {
+      program_path = arg;
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (program_path.empty()) {
+    return Usage();
+  }
+
+  CoreConfig config_b = config_a;
+  if (b_storage_set) {
+    config_b.mroutine_storage = b_storage;
+  }
+  if (b_fast != -1) {
+    config_b.fast_transition = (b_fast == 1);
+  }
+
+  // Cycle-granularity lockstep compares full per-cycle state digests, which
+  // only lines up when both machines have identical timing. Fault injection
+  // perturbs state, not timing parameters, so A-vs-A-plus-fault stays
+  // cycle-comparable — that is how an injection is pinpointed to its cycle.
+  const bool same_timing = config_b.mroutine_storage == config_a.mroutine_storage &&
+                           config_b.fast_transition == config_a.fast_transition;
+  LockstepOptions options;
+  if (compare_mode == "cycle") {
+    if (!same_timing) {
+      std::fprintf(stderr,
+                   "--compare cycle requires identical timing configurations; B differs in "
+                   "--b-storage/--b-fast, use --compare retire\n");
+      return 2;
+    }
+    options.granularity = CompareGranularity::kCycle;
+  } else if (compare_mode == "retire") {
+    options.granularity = CompareGranularity::kRetire;
+  } else {
+    options.granularity =
+        same_timing ? CompareGranularity::kCycle : CompareGranularity::kRetire;
+  }
+  options.max_cycles = max_cycles;
+  // The fast path only exists under MRAM storage (Core::IdReplacementChain),
+  // so whether menter/mexit retire depends on the *effective* fast setting.
+  const bool effective_fast_a =
+      config_a.fast_transition && config_a.mroutine_storage == MroutineStorage::kMram;
+  const bool effective_fast_b =
+      config_b.fast_transition && config_b.mroutine_storage == MroutineStorage::kMram;
+  options.ignore_transition_retires = effective_fast_a != effective_fast_b;
+  options.metal_pc_insensitive = config_b.mroutine_storage != config_a.mroutine_storage;
+
+  MetalSystem system_a(config_a);
+  MetalSystem system_b(config_b);
+  for (const std::string& path : mcode_paths) {
+    auto source = ReadFile(path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+      return 1;
+    }
+    system_a.AddMcode(*source);
+    system_b.AddMcode(*source);
+  }
+  auto program_source = ReadFile(program_path);
+  if (!program_source.ok()) {
+    std::fprintf(stderr, "%s\n", program_source.status().ToString().c_str());
+    return 1;
+  }
+  for (MetalSystem* system : {&system_a, &system_b}) {
+    if (Status status = system->LoadProgramSource(*program_source); !status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", program_path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  FaultEngine fault_a(fault_seed_a);
+  FaultEngine fault_b(b_seed_set ? fault_seed_b : fault_seed_a);
+  for (const std::string& spec : inject_a) {
+    if (Status status = fault_a.AddSpec(spec); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  for (const std::string& spec : inject_b) {
+    if (Status status = fault_b.AddSpec(spec); !status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 2;
+    }
+  }
+  if (fault_a.num_specs() != 0) {
+    system_a.core().SetFaultEngine(&fault_a);
+  }
+  if (fault_b.num_specs() != 0) {
+    system_b.core().SetFaultEngine(&fault_b);
+  }
+
+  auto report = RunLockstep(system_a, system_b, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  WriteDivergenceText(*report, std::cerr);
+  if (!divergence_json_path.empty()) {
+    std::ofstream out(divergence_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", divergence_json_path.c_str());
+      return 1;
+    }
+    WriteDivergenceJson(*report, out);
+    out << "\n";
+    if (!out.good()) {
+      return 1;
+    }
+  }
+  return report->diverged ? 10 : 0;
 }
 
 int CmdAsm(const std::vector<std::string>& args) {
@@ -402,6 +743,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (command == "run") {
     return CmdRun(args);
+  }
+  if (command == "replay") {
+    return CmdReplay(args);
   }
   if (command == "asm") {
     return CmdAsm(args);
