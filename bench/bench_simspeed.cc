@@ -3,9 +3,24 @@
 // Not a paper experiment — this measures how many simulated instructions per
 // wall-clock second the cycle-level model achieves, for the configurations
 // the other benches use heavily.
+//
+// items_per_second is therefore simulated-instructions per wall second,
+// computed from the measured RunResult::instret of every iteration — never
+// from a hardcoded instruction count, which silently rots when a program or
+// the pipeline model changes.
+//
+// The *FastStep / *StepCycle pairs measure the same program under both
+// stepping modes (CoreConfig::fast_step on and off); CI computes the speedup
+// ratio from the JSON output and gates regressions against
+// bench/baseline_simspeed.json.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+
 #include "asm/assembler.h"
+#include "bench/bench_util.h"
 #include "cpu/core.h"
 #include "metal/system.h"
 
@@ -39,28 +54,45 @@ const char* kNoopMroutine = R"(
     mexit
 )";
 
-void BM_AluLoop(benchmark::State& state) {
+// Runs kAluLoop to completion once per iteration under `config`, reporting
+// measured simulated instructions as items.
+void RunAluLoop(benchmark::State& state, const CoreConfig& config) {
   const auto program = Assemble(kAluLoop);
+  uint64_t total_instret = 0;
   for (auto _ : state) {
-    Core core;
+    Core core(config);
     (void)core.LoadProgram(*program);
     const RunResult result = core.Run(5'000'000);
     benchmark::DoNotOptimize(result.exit_code);
+    total_instret += result.instret;
     state.counters["sim_instr"] = static_cast<double>(result.instret);
   }
-  state.SetItemsProcessed(state.iterations() * 400'002);
+  state.SetItemsProcessed(static_cast<int64_t>(total_instret));
+}
+
+void BM_AluLoop(benchmark::State& state) {
+  RunAluLoop(state, CoreConfig{});  // fast_step defaults on
 }
 BENCHMARK(BM_AluLoop)->Unit(benchmark::kMillisecond);
 
+void BM_AluLoopStepCycle(benchmark::State& state) {
+  CoreConfig config;
+  config.fast_step = false;
+  RunAluLoop(state, config);
+}
+BENCHMARK(BM_AluLoopStepCycle)->Unit(benchmark::kMillisecond);
+
 void BM_MetalTransitionLoop(benchmark::State& state) {
+  uint64_t total_instret = 0;
   for (auto _ : state) {
     MetalSystem system;
     system.AddMcode(kNoopMroutine);
     (void)system.LoadProgramSource(kMetalLoop);
     const RunResult result = system.Run(5'000'000);
     benchmark::DoNotOptimize(result.exit_code);
+    total_instret += result.instret + system.core().stats().metal_instret;
   }
-  state.SetItemsProcessed(state.iterations() * 200'002);
+  state.SetItemsProcessed(static_cast<int64_t>(total_instret));
 }
 BENCHMARK(BM_MetalTransitionLoop)->Unit(benchmark::kMillisecond);
 
@@ -79,6 +111,65 @@ void BM_Assembler(benchmark::State& state) {
 BENCHMARK(BM_Assembler)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+// Best-of-N wall-clock measurement of kAluLoop under `config`, in simulated
+// instructions per second. Self-contained (std::chrono, not the
+// google-benchmark timer) so the BenchReport path works identically across
+// library versions and never depends on benchmark CLI flags.
+double MeasureAluLoopInstrPerSec(const CoreConfig& config, int reps) {
+  const auto program = Assemble(kAluLoop);
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    Core core(config);
+    (void)core.LoadProgram(*program);
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunResult result = core.Run(5'000'000);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (seconds > 0.0) {
+      const double rate = static_cast<double>(result.instret) / seconds;
+      if (rate > best) {
+        best = rate;
+      }
+    }
+  }
+  return best;
+}
+
+// CI entry point: `bench_simspeed --json FILE` writes a BenchReport with the
+// measured throughput of both stepping modes and their speedup ratio; the
+// perf job gates it against bench/baseline_simspeed.json (>20% regression on
+// any baseline field fails). Without --json/--stats-json the binary behaves
+// as a plain google-benchmark main.
+int RunBenchReport(int argc, char** argv) {
+  BenchReport report("simspeed", "engineering throughput (not a paper experiment)");
+  CoreConfig fast_config;  // defaults: fast_step on, predecode on
+  CoreConfig slow_config;
+  slow_config.fast_step = false;
+  const int kReps = 10;
+  const double fast = MeasureAluLoopInstrPerSec(fast_config, kReps);
+  const double slow = MeasureAluLoopInstrPerSec(slow_config, kReps);
+  std::printf("BM_AluLoop           %12.0f sim-instr/s (fast_step on)\n", fast);
+  std::printf("BM_AluLoopStepCycle  %12.0f sim-instr/s (fast_step off)\n", slow);
+  std::printf("speedup              %12.2fx\n", slow > 0.0 ? fast / slow : 0.0);
+  report.AddRow("BM_AluLoop").Field("sim_instr_per_sec", fast);
+  report.AddRow("BM_AluLoopStepCycle").Field("sim_instr_per_sec", slow);
+  report.AddRow("speedup").Field("fast_over_stepcycle", slow > 0.0 ? fast / slow : 0.0);
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
+}
+
 }  // namespace msim
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 || std::strcmp(argv[i], "--stats-json") == 0) {
+      return msim::RunBenchReport(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -55,6 +55,20 @@ struct CoreConfig {
   // machine). 0 disables the watchdog.
   uint64_t metal_watchdog_cycles = 0;
 
+  // Simulation-speed machinery (docs/performance.md). Neither knob is
+  // architecturally visible: fast and slow stepping produce byte-identical
+  // machine state, enforced by `msim replay --compare --b-no-fast-step` and
+  // the mfuzz "faststep" oracle.
+  //
+  // Predecode cache entries (0 disables; rounded up to a power of two).
+  // Entries are serialized in snapshots, so the count participates in the
+  // snapshot config hash (snap/snapshot.h).
+  uint32_t predecode_entries = 4096;
+  // Batched hot-path stepping in Core::Run: straight-line non-Metal code is
+  // stepped without per-cycle device polling or latch shuffling. Cycle-exact
+  // by construction; Core::StepCycle is the per-cycle reference either way.
+  bool fast_step = true;
+
   // Safety net for runaway simulations in tests.
   uint64_t default_max_cycles = 50'000'000;
 };

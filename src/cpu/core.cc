@@ -70,6 +70,58 @@ uint32_t LowestSetBit(uint32_t mask) {
   return 0;
 }
 
+// Instruction kinds StepFast lets into the pipeline window: plain ALU ops,
+// multiplies/divides, fence and control transfers. Everything these do in EX
+// is a register write and/or a fetch redirect — no memory op, no trap, no
+// Metal state, no halt — so a window cycle needs no MEM stage and no
+// exception machinery. Loads/stores, menter/mexit, ecall/ebreak/halt and
+// every Metal-only kind fall back to StepCycle.
+bool WindowSafe(InstrKind kind) {
+  switch (kind) {
+    case InstrKind::kLui:
+    case InstrKind::kAuipc:
+    case InstrKind::kJal:
+    case InstrKind::kJalr:
+    case InstrKind::kBeq:
+    case InstrKind::kBne:
+    case InstrKind::kBlt:
+    case InstrKind::kBge:
+    case InstrKind::kBltu:
+    case InstrKind::kBgeu:
+    case InstrKind::kAddi:
+    case InstrKind::kSlti:
+    case InstrKind::kSltiu:
+    case InstrKind::kXori:
+    case InstrKind::kOri:
+    case InstrKind::kAndi:
+    case InstrKind::kSlli:
+    case InstrKind::kSrli:
+    case InstrKind::kSrai:
+    case InstrKind::kAdd:
+    case InstrKind::kSub:
+    case InstrKind::kSll:
+    case InstrKind::kSlt:
+    case InstrKind::kSltu:
+    case InstrKind::kXor:
+    case InstrKind::kSrl:
+    case InstrKind::kSra:
+    case InstrKind::kOr:
+    case InstrKind::kAnd:
+    case InstrKind::kFence:
+    case InstrKind::kMul:
+    case InstrKind::kMulh:
+    case InstrKind::kMulhsu:
+    case InstrKind::kMulhu:
+    case InstrKind::kDiv:
+    case InstrKind::kDivu:
+    case InstrKind::kRem:
+    case InstrKind::kRemu:
+      return true;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 Core::Core(const CoreConfig& config)
@@ -79,7 +131,8 @@ Core::Core(const CoreConfig& config)
       icache_(config.icache_lines, config.icache_line_size, config.cache_hit_latency,
               config.dram_latency),
       dcache_(config.dcache_lines, config.dcache_line_size, config.cache_hit_latency,
-              config.dram_latency) {
+              config.dram_latency),
+      predecode_(config.predecode_entries) {
   // Device map; AttachDevice only fails on overlap, which is impossible here.
   (void)bus_.AttachDevice(InterruptController::kDefaultBase, &intc_);
   (void)bus_.AttachDevice(TimerDevice::kDefaultBase, &timer_);
@@ -130,6 +183,7 @@ void Core::RegisterMetrics() {
   dcache_.RegisterMetrics(metrics_, "dcache");
   mmu_.tlb().RegisterMetrics(metrics_);
   mram_.RegisterMetrics(metrics_);
+  predecode_.RegisterMetrics(metrics_);
   metal_.RegisterMetrics(metrics_);
   metrics_.RegisterFn("nic", "packets_delivered",
                       [this] { return nic_.packets_delivered(); },
@@ -150,15 +204,13 @@ void Core::SetTraceSink(TraceSink* sink) {
 Status Core::LoadProgram(const Program& program) {
   MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.text));
   MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.data));
+  predecode_.InvalidateAll();
   SetPc(program.entry);
   return Status::Ok();
 }
 
 void Core::SetPc(uint32_t pc) {
-  fetch_pc_ = pc;
-  fetch_inflight_ = false;
-  fetch_wait_ = 0;
-  fetch_buffer_.valid = false;
+  ResetFetch(pc);
   if_id_.valid = false;
   id_ex_.valid = false;
   ex_mem_.valid = false;
@@ -172,6 +224,7 @@ void Core::ResetStats() {
   dcache_.ResetStats();
   mmu_.tlb().ResetStats();
   mram_.ResetStats();
+  predecode_.ResetStats();
   metal_.ResetStats();
 }
 
@@ -181,6 +234,10 @@ RunResult Core::Run(uint64_t max_cycles) {
   }
   const uint64_t start_cycle = cycle_;
   while (!halted_ && !has_fatal_ && cycle_ - start_cycle < max_cycles) {
+    if (config_.fast_step &&
+        StepFast(max_cycles - (cycle_ - start_cycle)) != 0) {
+      continue;
+    }
     StepCycle();
   }
   RunResult result;
@@ -246,6 +303,261 @@ void Core::StepCycle() {
 }
 
 // ---------------------------------------------------------------------------
+// Hot-path stepping
+// ---------------------------------------------------------------------------
+//
+// StepFast commits cycles of the exact StepCycle state machine, specialised
+// for the common case: non-Metal straight-line/branchy ALU code with 1-cycle
+// icache-hit fetches, an empty MEM stage, no deliverable interrupt, no fault
+// engine, and no device with a pending event. Under those conditions each
+// cycle is: EX executes the ID/EX op (retiring it), ID shifts IF/ID into
+// ID/EX, IF fetches a new word with same-cycle delivery — or, on a taken
+// branch, EX redirects and the frontend refills over the next two cycles.
+//
+// Every condition that could make a cycle deviate from that shape is checked
+// BEFORE the cycle is committed, so a StepFast exit always lands on a state
+// StepCycle can continue from, and N committed cycles leave the machine
+// byte-identical (SaveState stream, including stale latch fields and every
+// counter) to N StepCycle calls. Guard stability inside the window: stores,
+// Metal ops and loads never enter the window, so interrupt enables, intercept
+// and paging configuration, device state and the predecode generation cannot
+// change between the entry checks and the exit.
+
+bool Core::AluRedirects(const Decoded& d) const {
+  switch (d.kind) {
+    case InstrKind::kJal:
+    case InstrKind::kJalr:
+      return true;
+    case InstrKind::kBeq:
+      return ReadReg(d.rs1) == ReadReg(d.rs2);
+    case InstrKind::kBne:
+      return ReadReg(d.rs1) != ReadReg(d.rs2);
+    case InstrKind::kBlt:
+      return static_cast<int32_t>(ReadReg(d.rs1)) < static_cast<int32_t>(ReadReg(d.rs2));
+    case InstrKind::kBge:
+      return static_cast<int32_t>(ReadReg(d.rs1)) >= static_cast<int32_t>(ReadReg(d.rs2));
+    case InstrKind::kBltu:
+      return ReadReg(d.rs1) < ReadReg(d.rs2);
+    case InstrKind::kBgeu:
+      return ReadReg(d.rs1) >= ReadReg(d.rs2);
+    default:
+      return false;
+  }
+}
+
+uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
+  if (!config_.fast_step || max_cycles == 0 || halted_ || has_fatal_) {
+    return 0;
+  }
+  // Global eligibility. Anything here that could change inside the window is
+  // only changed by instruction kinds the window refuses (see WindowSafe).
+  if (fault_engine_ != nullptr || arch_metal_ || frontend_metal_ ||
+      inflight_mode_ops_ != 0 || in_machine_check_ || metal_.paging_enabled() ||
+      metal_.AnyInterceptEnabled() || (intc_.pending() & metal_.ienable()) != 0 ||
+      config_.cache_hit_latency != 1) {
+    return 0;
+  }
+  // Pipeline shape: MEM empty, fetch unit idle, and anything already latched
+  // must itself be window-safe.
+  if (ex_mem_.valid || fetch_inflight_ || fetch_wait_ != 0 || fetch_buffer_.valid) {
+    return 0;
+  }
+  if (id_ex_.valid &&
+      (id_ex_.metal || id_ex_.has_transition() || id_ex_.intercepted ||
+       id_ex_.fetch_fault != ExcCause::kNone || !WindowSafe(id_ex_.d.kind))) {
+    return 0;
+  }
+  // No entry check on IF/ID: the loop decides per cycle whether the latched
+  // word is consumed (must be window-safe) or squashed by a taken branch.
+
+  const uint64_t start = cycle_;
+  // First cycle at which any device tick has an effect; cycles strictly below
+  // it need no TickDevices call. Stable in-window (no MMIO accesses).
+  const uint64_t horizon = bus_.NextDeviceEventCycle(cycle_);
+  const uint32_t dram_size = bus_.dram().size();
+  // Stable in-window: the window admits no stores and no loader activity.
+  const uint64_t gen = bus_.dram().write_generation();
+  uint64_t retired = 0;
+
+  // The window's pipeline state lives in shadow locals; the member latches
+  // are written back once at exit, byte-identical to what per-cycle stepping
+  // would have left (consuming a latch only clears `valid` — the payload
+  // goes stale in place — so payload locals are KEPT when their valid local
+  // drops). cycle_ itself advances per cycle: ExecuteAluOp's retire hook
+  // stamps RetireEvent::cycle from it.
+  bool ex_valid = id_ex_.valid;
+  uint32_t ex_pc = id_ex_.pc;
+  Decoded ex_d = id_ex_.d;
+  bool id_valid = if_id_.valid;
+  uint32_t id_pc = if_id_.pc;
+  uint32_t id_raw = if_id_.raw;
+  Decoded id_d = if_id_.d;
+  bool id_metal = if_id_.metal;
+  ExcCause id_fault = if_id_.fault;
+  uint32_t id_fault_addr = if_id_.fault_addr;
+  uint32_t pc = fetch_pc_;
+  bool fetched_any = false;  // fetch_buffer_ payload needs writeback
+  bool shifted_any = false;  // id_ex_ went through StageId: extras are zeroed
+  bool last_redirect = false;
+  uint64_t icache_hits = 0;
+  uint64_t predecode_hits = 0;
+
+  // Reusable EX operand. Every in-window ID/EX op is a plain StageId product:
+  // no transition chain, no intercept, no fetch fault — those fields stay at
+  // their defaults across the whole window, so only pc/d vary per cycle.
+  Op ex_op;
+  ex_op.valid = true;
+
+  while (cycle_ - start < max_cycles && cycle_ + 1 < horizon &&
+         (max_retires == 0 || retired < max_retires)) {
+    // Decide, without side effects, what this cycle would do.
+    const bool taken = ex_valid && AluRedirects(ex_d);
+    uint32_t fetch_raw = 0;
+    Decoded fetch_dec;
+    const Decoded* fetch_hit = nullptr;
+    if (!taken) {
+      // The latched word shifts into ID/EX this cycle and executes next; that
+      // is only in-window for a faultless, window-safe instruction. (On a
+      // taken branch the latch is squashed instead, so any speculatively
+      // fetched fall-through word — a halt, a store — never reaches ID.)
+      if (id_valid && (id_metal || id_fault != ExcCause::kNone ||
+                       !WindowSafe(id_d.kind))) {
+        break;
+      }
+      // IF starts (and, at hit latency 1, completes) a fetch this cycle; it
+      // must be a faultless 1-cycle DRAM icache-hit fetch, or we leave the
+      // cycle to StepCycle. The *kind* of the fetched word does not matter
+      // yet — fetching is speculative and side-effect-free beyond counters.
+      if ((pc & 3) != 0 || pc >= kMmioBase || pc + 4 > dram_size ||
+          !icache_.Probe(pc)) {
+        break;
+      }
+      fetch_hit = predecode_.Peek(pc, gen);
+      if (fetch_hit == nullptr) {
+        const auto word = bus_.dram().Read32(pc);
+        if (!word) {
+          break;
+        }
+        fetch_raw = *word;
+        fetch_dec = DecodeInstr(fetch_raw);
+      }
+    }
+
+    // Commit the cycle (the StepCycle sequence minus the skipped work: no
+    // fault engine, not Metal, no watchdog exposure, no device tick before
+    // the horizon, MEM empty).
+    ++cycle_;
+    if (ex_valid) {
+      ex_op.pc = ex_pc;
+      ex_op.d = ex_d;
+      ExecuteAluOp(ex_op);  // retires; may RedirectFetch (matching `taken`)
+      ++retired;
+      ex_valid = false;
+    }
+    last_redirect = taken;
+    if (taken) {
+      // RedirectFetch ran inside ExecuteAluOp: frontend flushed, member
+      // fetch_pc_ holds the branch target. Resync the shadows it touched.
+      id_valid = false;
+      pc = fetch_pc_;
+      continue;
+    }
+    if (id_valid) {
+      // StageId, with the checks that cannot fire in-window elided: no
+      // load-use stall (no loads), no interrupt, no intercept, no
+      // replacement chain (no menter).
+      ex_valid = true;
+      ex_pc = id_pc;
+      ex_d = id_d;
+      shifted_any = true;
+    }
+    // StageIf with the pre-verified 1-cycle fetch: the wait elapses within
+    // the cycle and delivery is same-cycle (IF/ID is always free here), so
+    // fetch_inflight_/fetch_wait_ end the cycle unchanged. A Probe+Peek hit
+    // only counts — tallied locally, credited in bulk at exit; the rare
+    // verify/miss path runs its counting calls in place.
+    ++icache_hits;
+    if (fetch_hit != nullptr) {
+      ++predecode_hits;
+      id_d = *fetch_hit;
+      id_raw = id_d.raw;
+    } else if (const Decoded* v = predecode_.Verify(pc, gen, fetch_raw)) {
+      id_d = *v;
+      id_raw = fetch_raw;
+    } else {
+      predecode_.Insert(pc, gen, fetch_raw, fetch_dec);
+      id_d = fetch_dec;
+      id_raw = fetch_raw;
+    }
+    id_pc = pc;
+    id_metal = false;
+    id_fault = ExcCause::kNone;
+    id_fault_addr = 0;
+    id_valid = true;
+    fetched_any = true;
+    pc += 4;
+  }
+
+  const uint64_t committed = cycle_ - start;
+  if (committed != 0) {
+    // Exact member-state writeback. Fields a per-cycle run would have left
+    // untouched get their (identical) shadow values back; fields it would
+    // have reset get the reset value.
+    stats_.cycles = cycle_;
+    metal_resident_cycles_ = 0;
+    redirect_this_cycle_ = last_redirect;
+    ex_load_this_cycle_ = false;
+    icache_.CreditHits(icache_hits);
+    predecode_.CreditHits(predecode_hits);
+    id_ex_.valid = ex_valid;
+    id_ex_.pc = ex_pc;
+    id_ex_.d = ex_d;
+    if (shifted_any) {
+      // The latch went through (shadow) StageId, which default-constructs the
+      // op: every non-(pc,d) field is reset. Without a shift the entry values
+      // — possibly stale non-defaults — are still in place, correctly.
+      id_ex_.metal = false;
+      id_ex_.enters = 0;
+      id_ex_.exits = 0;
+      id_ex_.link = 0;
+      id_ex_.chain = {};
+      id_ex_.chain_len = 0;
+      id_ex_.intercepted = false;
+      id_ex_.intercept_entry = 0;
+      id_ex_.fetch_fault = ExcCause::kNone;
+      id_ex_.fetch_fault_addr = 0;
+    }
+    if_id_.valid = id_valid;
+    if_id_.pc = id_pc;
+    if_id_.raw = id_raw;
+    if_id_.d = id_d;
+    if_id_.metal = id_metal;
+    if_id_.fault = id_fault;
+    if_id_.fault_addr = id_fault_addr;
+    if (fetched_any) {
+      // In-window, every fetch writes fetch_buffer_ and IF/ID identically and
+      // nothing else touches the IF/ID payload, so the last-fetch payload IS
+      // the IF/ID shadow payload.
+      fetch_buffer_.pc = id_pc;
+      fetch_buffer_.raw = id_raw;
+      fetch_buffer_.d = id_d;
+      fetch_buffer_.metal = false;
+      fetch_buffer_.fault = ExcCause::kNone;
+      fetch_buffer_.fault_addr = 0;
+    }
+    fetch_buffer_.valid = false;  // entry guard + in-window writes keep it so
+    fetch_pc_ = pc;
+    // Catch the devices up to the current cycle in one tick. Sound because no
+    // committed cycle reached the horizon: the tick observes the new cycle
+    // count (e.g. the timer's COUNT register) but cannot fire anything, and
+    // it is the FIRST tick at cycle_, so non-idempotent fire paths (periodic
+    // timer re-arm) are never re-run.
+    bus_.TickDevices(cycle_, intc_);
+  }
+  return committed;
+}
+
+// ---------------------------------------------------------------------------
 // Trap machinery
 // ---------------------------------------------------------------------------
 
@@ -258,11 +570,16 @@ void Core::Fatal(const std::string& message) {
   MSIM_LOG(Error) << "fatal: " << message;
 }
 
-void Core::FlushFrontend() {
-  if_id_.valid = false;
+void Core::ResetFetch(uint32_t pc) {
   fetch_inflight_ = false;
   fetch_wait_ = 0;
   fetch_buffer_.valid = false;
+  fetch_pc_ = pc;
+}
+
+void Core::FlushFrontend() {
+  if_id_.valid = false;
+  ResetFetch(fetch_pc_);
 }
 
 void Core::RedirectFetch(uint32_t target) {
@@ -1035,14 +1352,32 @@ void Core::IdReplacementChain(Op& op) {
       if (!Mram::InCodeRange(handler)) {
         return;  // unconfigured entry: let EX raise the fault
       }
-      const auto word = mram_.FetchWord(handler);
-      if (!word) {
-        return;
-      }
-      if (mram_.CodeParityError(handler)) {
-        // Corrupted first instruction: fall back to the EX slow path, whose
-        // redirected fetch re-detects the mismatch and machine-checks.
-        return;
+      // Predecoded combinational MRAM read (same contract as AccessFetch: a
+      // generation hit trusts the cached word and skips the parity check; a
+      // word that fails decode still reaches EX and traps identically to the
+      // slow path, because the cached decode IS the decode of the fetched
+      // word).
+      const uint64_t gen = mram_.generation();
+      Decoded d;
+      if (const Decoded* hit = predecode_.Find(handler, gen)) {
+        mram_.NoteCachedFetch(handler);
+        d = *hit;
+      } else {
+        const auto word = mram_.FetchWord(handler);
+        if (!word) {
+          return;
+        }
+        if (mram_.CodeParityError(handler)) {
+          // Corrupted first instruction: fall back to the EX slow path, whose
+          // redirected fetch re-detects the mismatch and machine-checks.
+          return;
+        }
+        if (const Decoded* verified = predecode_.Verify(handler, gen, *word)) {
+          d = *verified;
+        } else {
+          d = DecodeInstr(*word);
+          predecode_.Insert(handler, gen, *word, d);
+        }
       }
       // Replace menter with the first mroutine instruction (paper §2.2).
       if (!op.has_transition()) {
@@ -1056,16 +1391,13 @@ void Core::IdReplacementChain(Op& op) {
       op.link = op.pc + 4;
       op.pc = handler;
       op.metal = true;
-      op.d = DecodeInstr(*word);
+      op.d = d;
       op.intercepted = false;
       frontend_metal_ = true;
       ++stats_.fast_replacements;
       // Steer fetch to the second mroutine instruction, without counting a
       // control flush (this is the zero-bubble path).
-      fetch_inflight_ = false;
-      fetch_wait_ = 0;
-      fetch_buffer_.valid = false;
-      fetch_pc_ = handler + 4;
+      ResetFetch(handler + 4);
       continue;
     }
     if (op.d.kind == InstrKind::kMexit && op.metal) {
@@ -1091,9 +1423,21 @@ void Core::IdReplacementChain(Op& op) {
       if (paddr >= kMmioBase || !icache_.Probe(paddr)) {
         return;
       }
-      const auto word = bus_.dram().Read32(paddr);
-      if (!word) {
-        return;
+      const uint64_t gen = bus_.dram().write_generation();
+      Decoded d;
+      if (const Decoded* hit = predecode_.Find(paddr, gen)) {
+        d = *hit;
+      } else {
+        const auto word = bus_.dram().Read32(paddr);
+        if (!word) {
+          return;
+        }
+        if (const Decoded* verified = predecode_.Verify(paddr, gen, *word)) {
+          d = *verified;
+        } else {
+          d = DecodeInstr(*word);
+          predecode_.Insert(paddr, gen, *word, d);
+        }
       }
       icache_.Access(paddr);  // count the hit
       if (!op.has_transition()) {
@@ -1105,13 +1449,10 @@ void Core::IdReplacementChain(Op& op) {
       ++op.exits;
       op.pc = resume;
       op.metal = false;
-      op.d = DecodeInstr(*word);
+      op.d = d;
       frontend_metal_ = false;
       ++stats_.fast_replacements;
-      fetch_inflight_ = false;
-      fetch_wait_ = 0;
-      fetch_buffer_.valid = false;
-      fetch_pc_ = resume + 4;
+      ResetFetch(resume + 4);
       // The resumed instruction executes in normal mode: interception applies.
       if (metal_.AnyInterceptEnabled()) {
         if (const InterceptSlot* slot = metal_.MatchIntercept(op.d.raw)) {
@@ -1137,7 +1478,7 @@ void Core::StageId() {
   op.fetch_fault_addr = if_id_.fault_addr;
 
   if (op.fetch_fault == ExcCause::kNone) {
-    op.d = DecodeInstr(if_id_.raw);
+    op.d = if_id_.d;  // predecoded at fetch (AccessFetch)
 
     // Load-use hazard: the load is in EX this cycle; stall one cycle.
     if (ex_load_this_cycle_ && UsesReg(op.d, ex_load_rd_)) {
@@ -1188,6 +1529,19 @@ Core::FetchResult Core::AccessFetch(uint32_t pc, bool metal_frontend, bool timin
       r.fault_addr = pc;
       return r;
     }
+    // Predecoded MRAM fetch. A generation hit means no MRAM write, scrub or
+    // injected corruption since the fill, so the cached word is the backing
+    // word and the parity re-check (which passed at fill time) is skipped —
+    // parity state cannot change without the generation changing.
+    const uint64_t gen = mram_.generation();
+    if (const Decoded* hit = predecode_.Find(pc, gen)) {
+      mram_.NoteCachedFetch(pc);  // count + trace exactly like FetchWord
+      r.ok = true;
+      r.raw = hit->raw;
+      r.d = *hit;
+      r.latency = config_.mram_latency;
+      return r;
+    }
     const auto word = mram_.FetchWord(pc);
     if (!word) {
       r.fault = ExcCause::kBusError;
@@ -1196,13 +1550,20 @@ Core::FetchResult Core::AccessFetch(uint32_t pc, bool metal_frontend, bool timin
     }
     if (mram_.CodeParityError(pc)) {
       // The word is untrustworthy; deliver a machine check instead of
-      // decoding it (the EX stage maps this cause to kMramCodeParity).
+      // decoding it (the EX stage maps this cause to kMramCodeParity). Not
+      // cached: a parity-failing word must keep failing on every fetch.
       r.fault = ExcCause::kMachineCheck;
       r.fault_addr = pc;
       return r;
     }
     r.ok = true;
     r.raw = *word;
+    if (const Decoded* verified = predecode_.Verify(pc, gen, *word)) {
+      r.d = *verified;
+    } else {
+      r.d = DecodeInstr(*word);
+      predecode_.Insert(pc, gen, *word, r.d);
+    }
     r.latency = config_.mram_latency;
     return r;
   }
@@ -1222,14 +1583,31 @@ Core::FetchResult Core::AccessFetch(uint32_t pc, bool metal_frontend, bool timin
     r.fault_addr = pc;
     return r;
   }
-  const auto word = bus_.dram().Read32(paddr);
-  if (!word) {
-    r.fault = ExcCause::kBusError;
-    r.fault_addr = pc;
-    return r;
+  // Predecoded DRAM fetch, keyed on the physical word address (virtual
+  // aliases of one physical line share the entry) and the DRAM write
+  // generation (every store path — pipeline, loader, host helpers — funnels
+  // through PhysicalMemory and bumps it, so self-modifying code misses).
+  const uint64_t gen = bus_.dram().write_generation();
+  if (const Decoded* hit = predecode_.Find(paddr, gen)) {
+    r.ok = true;
+    r.raw = hit->raw;
+    r.d = *hit;
+  } else {
+    const auto word = bus_.dram().Read32(paddr);
+    if (!word) {
+      r.fault = ExcCause::kBusError;
+      r.fault_addr = pc;
+      return r;
+    }
+    r.ok = true;
+    r.raw = *word;
+    if (const Decoded* verified = predecode_.Verify(paddr, gen, *word)) {
+      r.d = *verified;
+    } else {
+      r.d = DecodeInstr(*word);
+      predecode_.Insert(paddr, gen, *word, r.d);
+    }
   }
-  r.ok = true;
-  r.raw = *word;
   if (metal_frontend && config_.mroutine_storage == MroutineStorage::kDramUncached) {
     // PALcode-style handler: fetched uncached from main memory.
     r.latency = config_.dram_latency;
@@ -1260,6 +1638,7 @@ void Core::StageIf() {
     fetch_wait_ = r.ok ? r.latency : 1;
     fetch_buffer_.pc = fetch_pc_;
     fetch_buffer_.raw = r.raw;
+    fetch_buffer_.d = r.d;
     fetch_buffer_.metal = frontend_metal_;
     fetch_buffer_.fault = r.fault;
     fetch_buffer_.fault_addr = r.fault_addr;
@@ -1379,6 +1758,10 @@ void Core::SaveState(SnapWriter& w, bool include_dram) const {
   w.U64(stats_.machine_checks);
   w.U64(stats_.watchdog_fires);
 
+  // Predecode cache: contents AND counters, so a restored run's stats-json
+  // stays byte-identical to the uninterrupted run (snapshot version 2).
+  predecode_.SaveState(w);
+
   // Components.
   metal_.SaveState(w);
   mram_.SaveState(w);
@@ -1413,6 +1796,9 @@ Status Core::RestoreState(SnapReader& r) {
     slot->metal = r.Bool();
     slot->fault = static_cast<ExcCause>(r.U32());
     slot->fault_addr = r.U32();
+    // Rebuilt, not serialized: DecodeInstr is pure, and `d` is only consulted
+    // for faultless slots, whose raw word is the real fetched word.
+    slot->d = DecodeInstr(slot->raw);
   }
 
   id_ex_.valid = r.Bool();
@@ -1484,6 +1870,7 @@ Status Core::RestoreState(SnapReader& r) {
   stats_.watchdog_fires = r.U64();
   MSIM_RETURN_IF_ERROR(r.ToStatus("core scalar state"));
 
+  MSIM_RETURN_IF_ERROR(predecode_.RestoreState(r));
   MSIM_RETURN_IF_ERROR(metal_.RestoreState(r));
   MSIM_RETURN_IF_ERROR(mram_.RestoreState(r));
   MSIM_RETURN_IF_ERROR(mmu_.tlb().RestoreState(r));

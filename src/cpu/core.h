@@ -37,6 +37,7 @@
 #include "asm/program.h"
 #include "cpu/config.h"
 #include "cpu/metal_unit.h"
+#include "cpu/predecode.h"
 #include "cpu/trap.h"
 #include "dev/console.h"
 #include "dev/intc.h"
@@ -97,7 +98,21 @@ class Core {
   // Advances one clock cycle.
   void StepCycle();
 
-  // Runs until halt, fatal error or the cycle budget is exhausted.
+  // Hot-path stepping (docs/performance.md): commits whole cycles of
+  // straight-line non-Metal code without per-cycle device polling or latch
+  // shuffling, falling back (returning) as soon as anything interesting —
+  // a load/store, a Metal transition, an icache miss, a pending device event,
+  // a deliverable interrupt — would enter the pipeline. Cycle-exact: after N
+  // committed cycles the machine state is byte-identical to N StepCycle
+  // calls (enforced by `msim replay --compare --b-no-fast-step` and the
+  // mfuzz "faststep" oracle). Returns the number of cycles committed; 0 when
+  // the current state is not eligible (caller falls back to StepCycle).
+  // `max_retires` (0 = unlimited) additionally bounds the number of retired
+  // instructions, for retire-granular lockstep drivers.
+  uint64_t StepFast(uint64_t max_cycles, uint64_t max_retires = 0);
+
+  // Runs until halt, fatal error or the cycle budget is exhausted. Uses
+  // StepFast when config().fast_step is set.
   RunResult Run(uint64_t max_cycles = 0);
 
   // --- component access ---
@@ -113,6 +128,8 @@ class Core {
   ConsoleDevice& console() { return console_; }
   Cache& icache() { return icache_; }
   Cache& dcache() { return dcache_; }
+  PredecodeCache& predecode() { return predecode_; }
+  const PredecodeCache& predecode() const { return predecode_; }
 
   // --- architectural state ---
   uint32_t ReadReg(uint8_t index) const { return regs_[index & 31]; }
@@ -235,6 +252,7 @@ class Core {
     bool valid = false;
     uint32_t pc = 0;
     uint32_t raw = 0;
+    Decoded d;  // predecoded at fetch; meaningful only when fault == kNone
     bool metal = false;
     ExcCause fault = ExcCause::kNone;
     uint32_t fault_addr = 0;
@@ -283,10 +301,21 @@ class Core {
   // Redirects fetch to `target` (after a taken branch/jump/trap).
   void RedirectFetch(uint32_t target);
 
+  // Squashes the fetch unit and points it at `pc` (the shared primitive
+  // behind SetPc, FlushFrontend and the decode-stage replacement chain).
+  void ResetFetch(uint32_t pc);
+
+  // True if executing `op` in EX would redirect fetch (taken branch/jump).
+  // Pure: reads the register file only. Must agree with ExecuteAluOp for
+  // every hot-path instruction kind (StepFast relies on this to decide
+  // whether the same cycle also fetches).
+  bool AluRedirects(const Decoded& d) const;
+
   // Fetch helpers.
   struct FetchResult {
     bool ok = false;
     uint32_t raw = 0;
+    Decoded d;  // filled (via the predecode cache) when ok
     uint32_t latency = 1;
     ExcCause fault = ExcCause::kNone;
     uint32_t fault_addr = 0;
@@ -307,6 +336,7 @@ class Core {
   Mmu mmu_;
   Cache icache_;
   Cache dcache_;
+  PredecodeCache predecode_;
   MetalUnit metal_;
   InterruptController intc_;
   TimerDevice timer_;

@@ -59,6 +59,15 @@ void NicDevice::PopHead() {
   head_offset_ = 0;
 }
 
+uint64_t NicDevice::NextEventCycle(uint64_t cycle) const {
+  if (scheduled_.empty()) {
+    return kNoPendingEvent;
+  }
+  // scheduled_ is kept sorted by arrival; anything already due is delivered
+  // by the next Tick.
+  return std::max(cycle + 1, scheduled_.front().arrival_cycle);
+}
+
 void NicDevice::SaveState(SnapWriter& w) const {
   w.U64(static_cast<uint64_t>(scheduled_.size()));
   for (const Pending& pending : scheduled_) {

@@ -39,6 +39,7 @@ class NicDevice : public MmioDevice {
   uint32_t Read32(uint32_t offset) override;
   void Write32(uint32_t offset, uint32_t value) override;
   void Tick(uint64_t cycle, InterruptController& intc) override;
+  uint64_t NextEventCycle(uint64_t cycle) const override;
 
   // Host API: deliver `payload` at absolute cycle `arrival_cycle`.
   void SchedulePacket(uint64_t arrival_cycle, std::vector<uint8_t> payload);

@@ -51,6 +51,20 @@ void TimerDevice::Tick(uint64_t cycle, InterruptController& intc) {
   }
 }
 
+uint64_t TimerDevice::NextEventCycle(uint64_t cycle) const {
+  if (!enabled_ || !armed_) {
+    return kNoPendingEvent;
+  }
+  // Tick(c) fires when (uint32_t)c >= compare_; COUNT is the low 32 bits of
+  // the cycle counter, so the next firing cycle is reached by climbing the
+  // 32-bit distance from the next cycle's COUNT value to COMPARE.
+  const uint32_t next_count = static_cast<uint32_t>(cycle) + 1;
+  if (next_count >= compare_) {
+    return cycle + 1;
+  }
+  return cycle + 1 + (compare_ - next_count);
+}
+
 void TimerDevice::SaveState(SnapWriter& w) const {
   w.U64(count_);
   w.U32(compare_);

@@ -30,6 +30,7 @@ class TimerDevice : public MmioDevice {
   uint32_t Read32(uint32_t offset) override;
   void Write32(uint32_t offset, uint32_t value) override;
   void Tick(uint64_t cycle, InterruptController& intc) override;
+  uint64_t NextEventCycle(uint64_t cycle) const override;
 
   // Checkpoint/restore (src/snap).
   void SaveState(SnapWriter& w) const;

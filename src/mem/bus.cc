@@ -1,5 +1,7 @@
 #include "mem/bus.h"
 
+#include <algorithm>
+
 #include "support/strings.h"
 
 namespace msim {
@@ -87,6 +89,14 @@ void Bus::TickDevices(uint64_t cycle, InterruptController& intc) {
   for (const Mapping& m : mappings_) {
     m.device->Tick(cycle, intc);
   }
+}
+
+uint64_t Bus::NextDeviceEventCycle(uint64_t cycle) const {
+  uint64_t next = MmioDevice::kNoPendingEvent;
+  for (const Mapping& m : mappings_) {
+    next = std::min(next, m.device->NextEventCycle(cycle));
+  }
+  return next;
 }
 
 }  // namespace msim

@@ -34,6 +34,19 @@ class MmioDevice {
     (void)cycle;
     (void)intc;
   }
+  // The earliest cycle > `cycle` at which this device's Tick would do
+  // anything beyond idempotent bookkeeping (raise an interrupt, deliver a
+  // packet). kNoPendingEvent when no event is scheduled. The hot-path stepper
+  // (Core::Run with fast_step) skips per-cycle Tick calls strictly before
+  // this horizon; a device whose Tick is not an idempotent catch-up must
+  // override this to return `cycle + 1` (the conservative default is "event
+  // every cycle" only for such devices — the built-in devices all catch up
+  // from the cycle argument).
+  static constexpr uint64_t kNoPendingEvent = UINT64_MAX;
+  virtual uint64_t NextEventCycle(uint64_t cycle) const {
+    (void)cycle;
+    return kNoPendingEvent;
+  }
 };
 
 class Bus {
@@ -59,6 +72,10 @@ class Bus {
 
   // Advances all devices by one cycle.
   void TickDevices(uint64_t cycle, InterruptController& intc);
+
+  // Minimum of the attached devices' NextEventCycle: the first cycle after
+  // `cycle` whose TickDevices may have an observable effect.
+  uint64_t NextDeviceEventCycle(uint64_t cycle) const;
 
  private:
   struct Mapping {

@@ -37,11 +37,6 @@ void Cache::RegisterMetrics(MetricRegistry& registry, const std::string& compone
   registry.Register(component, "misses", &stats_.misses, "accesses that filled a line");
 }
 
-bool Cache::Probe(uint32_t paddr) const {
-  const Line& line = lines_[IndexOf(paddr)];
-  return line.valid && line.tag == TagOf(paddr);
-}
-
 bool Cache::CorruptLine(uint32_t index, uint32_t and_mask, uint32_t xor_mask) {
   Line& line = lines_[index % num_lines_];
   if (!line.valid) {

@@ -38,7 +38,16 @@ class Cache {
   uint32_t Access(uint32_t paddr);
 
   // True if the line holding paddr is currently resident (no state change).
-  bool Probe(uint32_t paddr) const;
+  // Inline: the hot-path stepper (Core::StepFast) probes once per cycle.
+  bool Probe(uint32_t paddr) const {
+    const Line& line = lines_[IndexOf(paddr)];
+    return line.valid && line.tag == TagOf(paddr);
+  }
+
+  // Hot-path port (Core::StepFast): once Probe confirmed residency, Access
+  // would only count a hit and return hit_latency_ — the stepper counts the
+  // hits locally and credits them in bulk at window exit.
+  void CreditHits(uint64_t n) { stats_.hits += n; }
 
   void InvalidateAll();
 

@@ -50,6 +50,7 @@ bool Mram::WriteCodeWord(uint32_t offset, uint32_t word) {
   StoreWord(code_, offset, word);
   StoreWord(code_shadow_, offset, word);
   code_parity_[offset / 4] = WordParity(word);
+  ++generation_;
   return true;
 }
 
@@ -75,6 +76,7 @@ bool Mram::WriteData32(uint32_t offset, uint32_t value) {
   StoreWord(data_, offset, value);
   StoreWord(data_shadow_, offset, value);
   data_parity_[offset / 4] = WordParity(value);
+  ++generation_;
   return true;
 }
 
@@ -108,6 +110,7 @@ bool Mram::CorruptCodeWord(uint32_t offset, uint32_t and_mask, uint32_t xor_mask
   }
   StoreWord(code_, offset, (LoadWord(code_, offset) & and_mask) ^ xor_mask);
   ++stats_.words_corrupted;
+  ++generation_;
   return true;
 }
 
@@ -117,6 +120,7 @@ bool Mram::CorruptDataWord(uint32_t offset, uint32_t and_mask, uint32_t xor_mask
   }
   StoreWord(data_, offset, (LoadWord(data_, offset) & and_mask) ^ xor_mask);
   ++stats_.words_corrupted;
+  ++generation_;
   return true;
 }
 
@@ -137,6 +141,7 @@ uint32_t Mram::Scrub() {
   scrub_segment(code_, code_shadow_, code_parity_);
   scrub_segment(data_, data_shadow_, data_parity_);
   stats_.words_scrubbed += restored;
+  ++generation_;
   return restored;
 }
 
@@ -147,6 +152,7 @@ void Mram::Clear() {
   std::fill(data_shadow_.begin(), data_shadow_.end(), 0);
   std::fill(code_parity_.begin(), code_parity_.end(), 0);
   std::fill(data_parity_.begin(), data_parity_.end(), 0);
+  ++generation_;
 }
 
 void Mram::RegisterMetrics(MetricRegistry& registry) const {
@@ -164,6 +170,7 @@ void Mram::RegisterMetrics(MetricRegistry& registry) const {
 
 void Mram::SaveState(SnapWriter& w) const {
   w.Bool(parity_enabled_);
+  w.U64(generation_);
   w.Bytes(code_);
   w.Bytes(data_);
   w.Bytes(code_shadow_);
@@ -180,6 +187,7 @@ void Mram::SaveState(SnapWriter& w) const {
 
 Status Mram::RestoreState(SnapReader& r) {
   parity_enabled_ = r.Bool();
+  generation_ = r.U64();
   std::vector<uint8_t> code = r.Bytes();
   std::vector<uint8_t> data = r.Bytes();
   std::vector<uint8_t> code_shadow = r.Bytes();

@@ -58,6 +58,24 @@ class Mram {
   // CodeParityError to decide whether it is trustworthy.
   std::optional<uint32_t> FetchWord(uint32_t addr) const;
 
+  // Accounting for a fetch served from the predecode cache: counts the code
+  // fetch and emits the same trace event FetchWord would, without touching
+  // the array. Keeps mram.code_fetches and the kMramAccess trace stream
+  // identical between cached and cold fetch paths.
+  void NoteCachedFetch(uint32_t addr) const {
+    ++stats_.code_fetches;
+    if (tracer_ != nullptr) {
+      tracer_->Emit(TraceEventKind::kMramAccess, addr, /*arg0=*/0, /*arg1=*/0, /*metal=*/true);
+    }
+  }
+
+  // Monotonic mutation counter covering BOTH segments: bumped by code/data
+  // writes (loader, mst), corruption behind the write path, scrubs, Clear
+  // and RestoreState. The predecode cache keys decoded mroutine words on it,
+  // so any MRAM mutation forces a re-fetch + parity re-check before a cached
+  // decode is trusted again.
+  uint64_t generation() const { return generation_; }
+
   // Loader-side write into the code segment (offset from kMramCodeBase).
   bool WriteCodeWord(uint32_t offset, uint32_t word);
 
@@ -112,6 +130,7 @@ class Mram {
   std::vector<uint8_t> code_parity_;
   std::vector<uint8_t> data_parity_;
   bool parity_enabled_ = true;
+  uint64_t generation_ = 0;
   // The fetch/read ports are architecturally read-only, so accounting from
   // the const accessors mutates through `mutable`.
   mutable MramStats stats_;

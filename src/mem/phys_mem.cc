@@ -40,6 +40,7 @@ bool PhysicalMemory::Write32(uint32_t paddr, uint32_t value) {
     return false;
   }
   std::memcpy(&bytes_[paddr], &value, 4);
+  ++write_generation_;
   return true;
 }
 
@@ -48,6 +49,7 @@ bool PhysicalMemory::Write16(uint32_t paddr, uint16_t value) {
     return false;
   }
   std::memcpy(&bytes_[paddr], &value, 2);
+  ++write_generation_;
   return true;
 }
 
@@ -56,6 +58,7 @@ bool PhysicalMemory::Write8(uint32_t paddr, uint8_t value) {
     return false;
   }
   bytes_[paddr] = value;
+  ++write_generation_;
   return true;
 }
 
@@ -69,10 +72,14 @@ Status PhysicalMemory::LoadSection(const Section& section) {
                                 section.base, section.end(), size()));
   }
   std::copy(section.bytes.begin(), section.bytes.end(), bytes_.begin() + section.base);
+  ++write_generation_;
   return Status::Ok();
 }
 
-void PhysicalMemory::Clear() { std::fill(bytes_.begin(), bytes_.end(), 0); }
+void PhysicalMemory::Clear() {
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+  ++write_generation_;
+}
 
 namespace {
 constexpr uint32_t kSnapPageSize = 4096;
@@ -80,6 +87,7 @@ constexpr uint32_t kSnapPageSize = 4096;
 
 void PhysicalMemory::SaveState(SnapWriter& w) const {
   w.U32(size());
+  w.U64(write_generation_);
   w.U32(kSnapPageSize);
   const uint32_t num_pages = (size() + kSnapPageSize - 1) / kSnapPageSize;
   uint32_t live_pages = 0;
@@ -109,6 +117,7 @@ void PhysicalMemory::SaveState(SnapWriter& w) const {
 
 Status PhysicalMemory::RestoreState(SnapReader& r) {
   const uint32_t saved_size = r.U32();
+  const uint64_t saved_generation = r.U64();
   const uint32_t page_size = r.U32();
   const uint32_t live_pages = r.U32();
   MSIM_RETURN_IF_ERROR(r.ToStatus("dram header"));
@@ -130,6 +139,9 @@ Status PhysicalMemory::RestoreState(SnapReader& r) {
     }
     std::copy(contents.begin(), contents.end(), bytes_.begin() + begin);
   }
+  // Last: Clear() above bumps the generation, and a restored machine must
+  // report exactly the saved value or the re-serialized state diverges.
+  write_generation_ = saved_generation;
   return Status::Ok();
 }
 

@@ -36,6 +36,13 @@ class PhysicalMemory {
   // Zeroes all of memory.
   void Clear();
 
+  // Monotonic mutation counter: bumped by every successful write, section
+  // load, Clear and RestoreState. The predecode cache (src/cpu/predecode.h)
+  // keys decoded DRAM words on this, so any write path — pipeline stores,
+  // the loader, host-side pokes through Bus — implicitly invalidates stale
+  // decodes without a snoop port.
+  uint64_t write_generation() const { return write_generation_; }
+
   // Checkpoint/restore (src/snap). The image is sparse and page-granular:
   // only pages containing a non-zero byte are written, so a 16 MiB DRAM with
   // a small program serializes to a few KiB. Restore zeroes everything first;
@@ -45,6 +52,7 @@ class PhysicalMemory {
 
  private:
   std::vector<uint8_t> bytes_;
+  uint64_t write_generation_ = 0;
 };
 
 }  // namespace msim

@@ -34,6 +34,11 @@ uint64_t CoreConfigHash(const CoreConfig& config) {
   w.U32(config.dram_handler_data_base);
   w.Bool(config.mram_parity);
   w.U64(config.metal_watchdog_cycles);
+  // Predecode geometry is serialized state, so it gates restore. fast_step is
+  // deliberately ABSENT: stepping mode is architecturally invisible, and
+  // snapshots must stay portable across it (the lockstep compare restores one
+  // snapshot into both a fast and a slow core).
+  w.U32(config.predecode_entries);
   return w.digest();
 }
 

@@ -35,7 +35,9 @@ namespace msim {
 class Core;
 struct CoreConfig;
 
-inline constexpr uint32_t kSnapshotVersion = 1;
+// Version 2: the core payload gained the predecode-cache section (contents
+// and counters), and predecode_entries joined the config hash.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 // FNV-1a over every CoreConfig field; two configs hash equal iff a snapshot
 // taken under one can be restored under the other.

@@ -21,7 +21,7 @@
 //
 // Usage:
 //   mfuzz [--seed N] [--runs N] [--time-budget-seconds N] [--max-cycles N]
-//         [--oracle all|determinism|storage|fast] [--out DIR]
+//         [--oracle all|determinism|storage|fast|faststep] [--out DIR]
 //
 // Exit: 0 = all runs clean, 10 = divergence found, 2 = usage, 1 = error.
 // All reporting goes to stderr; artifacts go to --out (default mfuzz-out).
@@ -50,7 +50,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mfuzz [--seed N] [--runs N] [--time-budget-seconds N] "
                "[--max-cycles N]\n"
-               "             [--oracle all|determinism|storage|fast] [--out DIR]\n");
+               "             [--oracle all|determinism|storage|fast|faststep] [--out DIR]\n");
   return 2;
 }
 
@@ -264,6 +264,16 @@ std::vector<Oracle> BuildOracles(const std::string& which, uint64_t max_cycles) 
     o.options.ignore_transition_retires = true;
     oracles.push_back(o);
   }
+  if (which == "all" || which == "faststep") {
+    // Hot-path stepping vs per-cycle reference. No canonicalization: StepFast
+    // is byte-exact, so every retire (cycle included) must match. Retire
+    // granularity because the per-cycle driver would never run the hot path.
+    Oracle o{"faststep", base, base, {}};
+    o.config_b.fast_step = false;
+    o.options.granularity = CompareGranularity::kRetire;
+    o.options.max_cycles = max_cycles;
+    oracles.push_back(o);
+  }
   return oracles;
 }
 
@@ -343,6 +353,8 @@ int WriteArtifacts(const std::string& out_dir, uint64_t seed, const char* oracle
     b_flags = " --b-storage dram-cached";
   } else if (std::strcmp(oracle_name, "fast") == 0) {
     b_flags = " --b-no-fast";
+  } else if (std::strcmp(oracle_name, "faststep") == 0) {
+    b_flags = " --b-no-fast-step";
   }
   repro += StrFormat(
       "exec msim replay program.s --mcode mcode.s --until-divergence%s --max-cycles %llu\n",
@@ -389,8 +401,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--oracle" && i + 1 < args.size()) {
       oracle_name = args[++i];
       if (oracle_name != "all" && oracle_name != "determinism" && oracle_name != "storage" &&
-          oracle_name != "fast") {
-        std::fprintf(stderr, "unknown oracle '%s' (want all, determinism, storage or fast)\n",
+          oracle_name != "fast" && oracle_name != "faststep") {
+        std::fprintf(stderr,
+                     "unknown oracle '%s' (want all, determinism, storage, fast or faststep)\n",
                      oracle_name.c_str());
         return 2;
       }

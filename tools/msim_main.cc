@@ -78,7 +78,7 @@ int Usage() {
                "usage:\n"
                "  msim run <program.s> [--mcode file.s]... [--storage mram|dram-cached|"
                "dram-uncached]\n"
-               "           [--no-fast] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
+               "           [--no-fast] [--no-fast-step] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "           [--inject SPEC]... [--fault-seed N] [--watchdog N] [--no-parity]\n"
                "           [--crash-dump FILE]\n"
@@ -86,6 +86,7 @@ int Usage() {
                "  msim replay <program.s> [run options] --until-divergence\n"
                "           [--compare auto|cycle|retire] [--b-storage MODE] [--b-fast|"
                "--b-no-fast]\n"
+               "           [--b-fast-step|--b-no-fast-step]\n"
                "           [--b-inject SPEC]... [--b-fault-seed N] [--divergence-json FILE]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
@@ -229,6 +230,8 @@ int CmdRun(const std::vector<std::string>& args) {
       }
     } else if (arg == "--no-fast") {
       config.fast_transition = false;
+    } else if (arg == "--no-fast-step") {
+      config.fast_step = false;
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
@@ -518,6 +521,7 @@ int CmdReplay(const std::vector<std::string>& args) {
   bool b_storage_set = false;
   MroutineStorage b_storage = MroutineStorage::kMram;
   int b_fast = -1;  // -1 = inherit A's setting, 0 = slow, 1 = fast
+  int b_fast_step = -1;  // same convention, for CoreConfig::fast_step
   std::vector<std::string> inject_b;
   uint64_t fault_seed_b = 0;
   bool b_seed_set = false;
@@ -536,6 +540,8 @@ int CmdReplay(const std::vector<std::string>& args) {
       }
     } else if (arg == "--no-fast") {
       config_a.fast_transition = false;
+    } else if (arg == "--no-fast-step") {
+      config_a.fast_step = false;
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
@@ -572,6 +578,10 @@ int CmdReplay(const std::vector<std::string>& args) {
       b_fast = 1;
     } else if (arg == "--b-no-fast") {
       b_fast = 0;
+    } else if (arg == "--b-fast-step") {
+      b_fast_step = 1;
+    } else if (arg == "--b-no-fast-step") {
+      b_fast_step = 0;
     } else if (arg == "--b-inject" && i + 1 < args.size()) {
       inject_b.push_back(args[++i]);
     } else if (arg == "--b-fault-seed" && i + 1 < args.size()) {
@@ -599,6 +609,9 @@ int CmdReplay(const std::vector<std::string>& args) {
   if (b_fast != -1) {
     config_b.fast_transition = (b_fast == 1);
   }
+  if (b_fast_step != -1) {
+    config_b.fast_step = (b_fast_step == 1);
+  }
 
   // Cycle-granularity lockstep compares full per-cycle state digests, which
   // only lines up when both machines have identical timing. Fault injection
@@ -606,6 +619,11 @@ int CmdReplay(const std::vector<std::string>& args) {
   // cycle-comparable — that is how an injection is pinpointed to its cycle.
   const bool same_timing = config_b.mroutine_storage == config_a.mroutine_storage &&
                            config_b.fast_transition == config_a.fast_transition;
+  // fast_step does not change timing (StepFast is cycle-exact), but the
+  // cycle-granularity driver steps both cores per cycle and would never run
+  // the hot path at all — a fast-vs-slow compare only means something at
+  // retire granularity, where A is pumped through StepFast.
+  const bool same_stepping = config_b.fast_step == config_a.fast_step;
   LockstepOptions options;
   if (compare_mode == "cycle") {
     if (!same_timing) {
@@ -614,12 +632,18 @@ int CmdReplay(const std::vector<std::string>& args) {
                    "--b-storage/--b-fast, use --compare retire\n");
       return 2;
     }
+    if (!same_stepping) {
+      std::fprintf(stderr,
+                   "--compare cycle steps both machines per cycle and would not exercise "
+                   "fast_step; use --compare retire with --b-no-fast-step\n");
+      return 2;
+    }
     options.granularity = CompareGranularity::kCycle;
   } else if (compare_mode == "retire") {
     options.granularity = CompareGranularity::kRetire;
   } else {
-    options.granularity =
-        same_timing ? CompareGranularity::kCycle : CompareGranularity::kRetire;
+    options.granularity = (same_timing && same_stepping) ? CompareGranularity::kCycle
+                                                         : CompareGranularity::kRetire;
   }
   options.max_cycles = max_cycles;
   // The fast path only exists under MRAM storage (Core::IdReplacementChain),
