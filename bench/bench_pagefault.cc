@@ -36,6 +36,8 @@ struct PagefaultResult {
   uint64_t cycles = 0;
   uint32_t fills = 0;
   uint64_t icache_misses = 0;
+  // Per-miss service latency (TLB-miss trap delivery -> resume), from spans.
+  Histogram miss_latency;
 };
 
 // Strides over kPages pages kRounds times. With a 32-entry TLB every access
@@ -76,15 +78,22 @@ PagefaultResult RunStride(const CoreConfig& config) {
   DieIfError(cpt.Activate(root), "activate");
   core.metal().WriteCreg(kCrPgEnable, 1);
 
+  // Span tracing gives the per-miss service distribution directly (delivery
+  // to resume), complementing the aggregate diff method below.
+  SpanSink spans(/*retain=*/16);
+  system.SetTraceSink(&spans);
+
   PagefaultResult result;
   const RunResult run = system.Run(50'000'000);
   if (run.reason != RunResult::Reason::kHalted) {
     std::fprintf(stderr, "stride run failed: %s\n", run.fatal_message.c_str());
     std::exit(1);
   }
+  spans.Finalize(core.cycle());
   result.cycles = run.cycles;
   result.fills = UnwrapOrDie(cpt.FillCount(), "fills");
   result.icache_misses = core.icache().stats().misses;
+  result.miss_latency = spans.trap_latency(ExcCause::kTlbMissLoad);
   return result;
 }
 
@@ -143,7 +152,12 @@ PagefaultResult RunPollution(const CoreConfig& config) {
   return result;
 }
 
-double MissServiceCycles(const CoreConfig& config) {
+struct MissService {
+  double diff_cycles = 0.0;  // aggregate (run delta / extra fills)
+  Histogram latency;         // per-miss trap service spans, small-TLB run
+};
+
+MissService MissServiceCycles(const CoreConfig& config) {
   CoreConfig small_tlb = config;
   small_tlb.tlb_entries = 32;  // working set (64) exceeds the TLB
   CoreConfig big_tlb = config;
@@ -151,14 +165,18 @@ double MissServiceCycles(const CoreConfig& config) {
   const PagefaultResult missy = RunStride(small_tlb);
   const PagefaultResult hitty = RunStride(big_tlb);
   const uint32_t extra_fills = missy.fills - hitty.fills;
-  return static_cast<double>(missy.cycles - hitty.cycles) / extra_fills;
+  MissService service;
+  service.diff_cycles = static_cast<double>(missy.cycles - hitty.cycles) / extra_fills;
+  service.latency = missy.miss_latency;
+  return service;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Custom page tables: TLB-miss service cost",
               "paper §3.2 (software-managed TLB vs hardware walkers)");
+  BenchReport report("pagefault", "paper §3.2");
 
   CoreConfig metal;
   CoreConfig trap;
@@ -168,11 +186,14 @@ int main() {
 
   std::printf("\nExperiment 1: cycles per TLB miss (radix walk + refill + retry)\n");
   std::printf("%-44s %10s\n", "configuration", "cyc/miss");
-  const double metal_cycles = MissServiceCycles(metal);
+  const MissService metal_service = MissServiceCycles(metal);
+  const MissService trap_service = MissServiceCycles(trap);
+  const MissService palcode_service = MissServiceCycles(palcode);
+  const double metal_cycles = metal_service.diff_cycles;
   std::printf("%-44s %10.1f\n", "Metal walker in MRAM", metal_cycles);
-  std::printf("%-44s %10.1f\n", "OS trap walker, cached DRAM", MissServiceCycles(trap));
+  std::printf("%-44s %10.1f\n", "OS trap walker, cached DRAM", trap_service.diff_cycles);
   std::printf("%-44s %10.1f\n", "PALcode-style walker, uncached DRAM",
-              MissServiceCycles(palcode));
+              palcode_service.diff_cycles);
   // An idealized hardware walker performs the two table reads through the
   // D-cache with no pipeline redirect: ~2 accesses + refill.
   CoreConfig reference;
@@ -180,6 +201,22 @@ int main() {
   std::printf("%-44s %10.1f   (analytical)\n", "idealized hardware walker", hw_walker);
   std::printf("%-44s %10.1fx  vs hardware walker\n", "Metal gap",
               metal_cycles / hw_walker);
+
+  // Per-miss service-latency distribution from causal spans (trap delivery to
+  // retried access), small-TLB run of each configuration.
+  std::printf("\nPer-miss service latency, spans (simulated cycles)\n");
+  PrintLatencyLine("Metal walker in MRAM", metal_service.latency);
+  PrintLatencyLine("OS trap walker, cached DRAM", trap_service.latency);
+  PrintLatencyLine("PALcode-style walker, uncached DRAM", palcode_service.latency);
+  report.AddRow("miss_service_mram")
+      .Field("cyc_per_miss", metal_cycles)
+      .LatencyFields(metal_service.latency);
+  report.AddRow("miss_service_dram_cached")
+      .Field("cyc_per_miss", trap_service.diff_cycles)
+      .LatencyFields(trap_service.latency);
+  report.AddRow("miss_service_dram_uncached")
+      .Field("cyc_per_miss", palcode_service.diff_cycles)
+      .LatencyFields(palcode_service.latency);
 
   std::printf("\nExperiment 2: I-cache pollution (app with a 2.8 KiB hot loop)\n");
   CoreConfig small_metal = metal;
@@ -200,5 +237,13 @@ int main() {
       "\nThe MRAM walker never touches the I-cache; the trap walker keeps its\n"
       "own code resident, evicting application lines (paper §2: MRAM accesses\n"
       "\"do not alter processor caches\").\n");
-  return 0;
+  report.AddRow("pollution_mram")
+      .Field("icache_misses", metal_run.icache_misses)
+      .Field("cycles", metal_run.cycles)
+      .Field("tlb_fills", static_cast<uint64_t>(metal_run.fills));
+  report.AddRow("pollution_dram_cached")
+      .Field("icache_misses", trap_run.icache_misses)
+      .Field("cycles", trap_run.cycles)
+      .Field("tlb_fills", static_cast<uint64_t>(trap_run.fills));
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

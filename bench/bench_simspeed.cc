@@ -115,16 +115,26 @@ BENCHMARK(BM_Assembler)->Unit(benchmark::kMillisecond);
 // Best-of-N wall-clock measurement of kAluLoop under `config`, in simulated
 // instructions per second. Self-contained (std::chrono, not the
 // google-benchmark timer) so the BenchReport path works identically across
-// library versions and never depends on benchmark CLI flags.
-double MeasureAluLoopInstrPerSec(const CoreConfig& config, int reps) {
+// library versions and never depends on benchmark CLI flags. With `observed`
+// a SpanSink is attached (the msim --stats-json / --trace-json configuration),
+// measuring the cost of full observability on the hot path.
+double MeasureAluLoopInstrPerSec(const CoreConfig& config, int reps,
+                                 bool observed = false) {
   const auto program = Assemble(kAluLoop);
   double best = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
     Core core(config);
+    SpanSink spans;
+    if (observed) {
+      core.SetTraceSink(&spans);
+    }
     (void)core.LoadProgram(*program);
     const auto t0 = std::chrono::steady_clock::now();
     const RunResult result = core.Run(5'000'000);
     const auto t1 = std::chrono::steady_clock::now();
+    if (observed) {
+      spans.Finalize(core.cycle());
+    }
     const double seconds = std::chrono::duration<double>(t1 - t0).count();
     if (seconds > 0.0) {
       const double rate = static_cast<double>(result.instret) / seconds;
@@ -149,11 +159,15 @@ int RunBenchReport(int argc, char** argv) {
   const int kReps = 10;
   const double fast = MeasureAluLoopInstrPerSec(fast_config, kReps);
   const double slow = MeasureAluLoopInstrPerSec(slow_config, kReps);
+  const double observed = MeasureAluLoopInstrPerSec(fast_config, kReps, /*observed=*/true);
   std::printf("BM_AluLoop           %12.0f sim-instr/s (fast_step on)\n", fast);
   std::printf("BM_AluLoopStepCycle  %12.0f sim-instr/s (fast_step off)\n", slow);
+  std::printf("BM_AluLoopObserved   %12.0f sim-instr/s (fast_step on + span sink)\n",
+              observed);
   std::printf("speedup              %12.2fx\n", slow > 0.0 ? fast / slow : 0.0);
   report.AddRow("BM_AluLoop").Field("sim_instr_per_sec", fast);
   report.AddRow("BM_AluLoopStepCycle").Field("sim_instr_per_sec", slow);
+  report.AddRow("BM_AluLoopObserved").Field("sim_instr_per_sec", observed);
   report.AddRow("speedup").Field("fast_over_stepcycle", slow > 0.0 ? fast / slow : 0.0);
   return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

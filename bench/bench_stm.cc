@@ -32,7 +32,11 @@ struct StmRunResult {
   uint64_t cycles = 0;
   uint32_t commits = 0;
   uint32_t aborts = 0;
+  // Service time of the tcommit mroutine (entry 27), from causal spans.
+  Histogram commit_latency;
 };
+
+constexpr uint32_t kTcommitEntry = 27;
 
 // STM workload: each transaction increments words [0, k) of the shared array.
 StmRunResult RunStm(int k, double inject_probability, uint64_t seed) {
@@ -65,6 +69,12 @@ StmRunResult RunStm(int k, double inject_probability, uint64_t seed) {
   DieIfError(system.Boot(), "boot");
   Core& core = system.core();
 
+  // Retain enough completed spans for every menter of the largest workload
+  // (~34 per transaction at k=16: tstart + per-access interceptions + tcommit)
+  // so the tcommit latency histogram covers all commits, not a suffix.
+  SpanSink spans(/*retain=*/16384);
+  system.SetTraceSink(&spans);
+
   // Interleave execution with remote commits: every chunk of cycles, a
   // simulated second core commits to word 0 with probability p.
   Rng rng(seed);
@@ -79,10 +89,13 @@ StmRunResult RunStm(int k, double inject_probability, uint64_t seed) {
                  "inject");
     }
   }
+  spans.Finalize(core.cycle());
   StmRunResult result;
   result.cycles = core.stats().cycles;
   result.commits = UnwrapOrDie(StmExtension::Commits(core), "commits");
   result.aborts = UnwrapOrDie(StmExtension::Aborts(core), "aborts");
+  result.commit_latency =
+      SpanLatencyHistogram(spans.Spans(), SpanClass::kMenter, kTcommitEntry);
   return result;
 }
 
@@ -122,9 +135,10 @@ uint64_t RunLockBaseline(int k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("Software transactional memory via instruction interception",
               "paper §3.3 (TL2-style STM; <100-instruction implementation)");
+  BenchReport report("stm", "paper §3.3");
 
   const uint32_t instr_count = UnwrapOrDie(StmExtension::InstructionCount(), "count");
   std::printf("\nInstalled STM mroutines: %u instructions "
@@ -132,26 +146,41 @@ int main() {
               instr_count);
 
   std::printf("\nThroughput, no conflicts (cycles per committed transaction):\n");
-  std::printf("%8s %14s %14s %10s\n", "tx size", "STM cyc/tx", "lock cyc/tx", "overhead");
+  std::printf("%8s %14s %14s %10s %12s %12s\n", "tx size", "STM cyc/tx", "lock cyc/tx",
+              "overhead", "commit p50", "commit p99");
   for (const int k : {1, 2, 4, 8, 16}) {
     const StmRunResult stm = RunStm(k, 0.0, 1);
     const uint64_t lock_cycles = RunLockBaseline(k);
     const double stm_per = static_cast<double>(stm.cycles) / stm.commits;
     const double lock_per = static_cast<double>(lock_cycles) / kTransactions;
-    std::printf("%8d %14.1f %14.1f %9.1fx\n", k, stm_per, lock_per, stm_per / lock_per);
+    std::printf("%8d %14.1f %14.1f %9.1fx %12.1f %12.1f\n", k, stm_per, lock_per,
+                stm_per / lock_per, stm.commit_latency.Percentile(50),
+                stm.commit_latency.Percentile(99));
+    report.AddRow("throughput_k" + std::to_string(k))
+        .Field("stm_cyc_per_tx", stm_per)
+        .Field("lock_cyc_per_tx", lock_per)
+        .Field("overhead", stm_per / lock_per)
+        .LatencyFields(stm.commit_latency);
   }
 
   std::printf("\nConflict sweep (tx size 4, %d commits):\n", kTransactions);
-  std::printf("%18s %10s %10s %14s\n", "inject probability", "commits", "aborts", "cyc/commit");
+  std::printf("%18s %10s %10s %14s %12s\n", "inject probability", "commits", "aborts",
+              "cyc/commit", "commit p99");
   for (const double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
     const StmRunResult stm = RunStm(4, p, 42);
-    std::printf("%18.2f %10u %10u %14.1f\n", p, stm.commits, stm.aborts,
-                static_cast<double>(stm.cycles) / stm.commits);
+    std::printf("%18.2f %10u %10u %14.1f %12.1f\n", p, stm.commits, stm.aborts,
+                static_cast<double>(stm.cycles) / stm.commits,
+                stm.commit_latency.Percentile(99));
+    report.AddRow(StrFormat("conflict_p%02d", static_cast<int>(p * 100)))
+        .Field("commits", static_cast<uint64_t>(stm.commits))
+        .Field("aborts", static_cast<uint64_t>(stm.aborts))
+        .Field("cyc_per_commit", static_cast<double>(stm.cycles) / stm.commits)
+        .LatencyFields(stm.commit_latency);
   }
 
   std::printf(
       "\nThe STM pays a constant per-access interception cost (tread/twrite\n"
       "mroutines) but needs no compiler support; aborts grow with the conflict\n"
       "rate and every abort rolls back buffered writes, as in TL2.\n");
-  return 0;
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

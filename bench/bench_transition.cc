@@ -64,6 +64,34 @@ double MeasureOverhead(const CoreConfig& config, int body_nops) {
   return static_cast<double>(cycles[0] - cycles[1]) / kIterations;
 }
 
+// Span-measured mroutine residency (menter delivery -> mexit resume) for a
+// `body_nops`-long handler: the distribution behind the mean overhead above.
+Histogram MeasureResidency(const CoreConfig& config, int body_nops) {
+  std::string mcode = "  .mentry 1, handler\nhandler:\n";
+  for (int i = 0; i < body_nops; ++i) {
+    mcode += "  nop\n";
+  }
+  mcode += "  mexit\n";
+  const std::string source = StrFormat(R"(
+    _start:
+      li t0, %d
+    loop:
+      menter 1
+      addi t0, t0, -1
+      bnez t0, loop
+      halt zero
+  )",
+                                       kIterations);
+  MetalSystem system(config);
+  system.AddMcode(mcode);
+  DieIfError(system.LoadProgramSource(source), "load");
+  SpanSink spans(/*retain=*/16);
+  system.SetTraceSink(&spans);
+  RunOrDie(system);
+  spans.Finalize(system.core().cycle());
+  return spans.menter_latency();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -105,6 +133,14 @@ int main(int argc, char** argv) {
       report.Field(StrFormat("overhead_body_%d", body), overhead);
     }
     std::printf("\n");
+  }
+
+  std::printf("\nMroutine residency, spans (body=16, delivery -> resume)\n");
+  for (const Config& config : configs) {
+    const Histogram residency = MeasureResidency(*config.config, 16);
+    PrintLatencyLine(config.name, residency);
+    report.AddRow(StrFormat("residency_body_16: %s", config.name))
+        .LatencyFields(residency);
   }
 
   std::printf(

@@ -91,6 +91,9 @@ uint64_t MeasureDelivery(bool user_level) {
 struct OccupancyResult {
   uint64_t work_units = 0;
   uint64_t packets = 0;
+  // Interrupt service latency (delivery -> handler return), interrupt-driven
+  // variant only; empty for polling runs.
+  Histogram irq_latency;
 };
 
 // Runs for a fixed budget with packets arriving every `interval` cycles.
@@ -161,23 +164,28 @@ OccupancyResult MeasureOccupancy(bool polling, uint64_t interval) {
   if (!polling) {
     core.metal().WriteCreg(kCrIenable, 0xFFFFFFFF);
   }
+  SpanSink spans(/*retain=*/16);
+  system.SetTraceSink(&spans);
   constexpr uint64_t kBudget = 200'000;
   for (uint64_t at = 1000; at < kBudget; at += interval) {
     core.nic().SchedulePacket(at, {0xAB});
   }
   (void)system.Run(kBudget);
+  spans.Finalize(core.cycle());
   const uint32_t counters = *system.Symbol("counters");
   OccupancyResult result;
   result.work_units = core.bus().dram().Read32(counters).value_or(0);
   result.packets = core.bus().dram().Read32(counters + 4).value_or(0);
+  result.irq_latency = spans.interrupt_latency();
   return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   PrintHeader("User-level interrupts: delivery latency and CPU occupancy",
               "paper §3.4 (kernel-bypass IO without polling)");
+  BenchReport report("uli", "paper §3.4");
 
   std::printf("\nExperiment 1: NIC interrupt -> user handler latency (cycles)\n");
   const uint64_t uli = MeasureDelivery(/*user_level=*/true);
@@ -187,10 +195,15 @@ int main() {
   std::printf("%-46s %8llu\n", "kernel-mediated delivery (trap + dispatch)",
               static_cast<unsigned long long>(kernel));
   std::printf("%-46s %8.1fx\n", "speedup", static_cast<double>(kernel) / uli);
+  report.AddRow("delivery")
+      .Field("uli_cycles", uli)
+      .Field("kernel_cycles", kernel)
+      .Field("speedup", static_cast<double>(kernel) / uli);
 
   std::printf("\nExperiment 2: useful work while receiving (200k-cycle budget)\n");
   std::printf("%12s %16s %16s %12s %12s\n", "pkt interval", "poll work", "intr work",
               "poll pkts", "intr pkts");
+  Histogram service;  // interrupt service latency pooled across intervals
   for (const uint64_t interval : {500u, 1000u, 2000u, 5000u, 20000u}) {
     const OccupancyResult poll = MeasureOccupancy(/*polling=*/true, interval);
     const OccupancyResult intr = MeasureOccupancy(/*polling=*/false, interval);
@@ -200,11 +213,20 @@ int main() {
                 static_cast<unsigned long long>(intr.work_units),
                 static_cast<unsigned long long>(poll.packets),
                 static_cast<unsigned long long>(intr.packets));
+    report.AddRow("occupancy_" + std::to_string(interval))
+        .Field("poll_work", poll.work_units)
+        .Field("intr_work", intr.work_units)
+        .Field("poll_pkts", poll.packets)
+        .Field("intr_pkts", intr.packets);
+    service.Merge(intr.irq_latency);
   }
+  std::printf("\nInterrupt service latency, spans (delivery -> handler return)\n");
+  PrintLatencyLine("uli_dispatch service", service);
+  report.AddRow("irq_service_latency").LatencyFields(service);
   std::printf(
       "\nPolling burns cycles probing the (mostly empty) NIC on every loop\n"
       "iteration; interrupt-driven receive does useful work until a packet\n"
       "actually arrives — the paper's DPDK/SPDK argument. At very high packet\n"
       "rates the gap narrows, which is why DPDK polls in the first place.\n");
-  return 0;
+  return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "metal/system.h"
+#include "trace/histogram.h"
 #include "trace/json.h"
+#include "trace/span.h"
 
 namespace msim {
 
@@ -138,6 +140,16 @@ class BenchReport {
     return out.good();
   }
 
+  // Appends the standard service-latency fields (count, p50/p90/p99, max in
+  // simulated cycles) of a histogram to the current row.
+  BenchReport& LatencyFields(const Histogram& histogram) {
+    return Field("count", histogram.count())
+        .Field("p50_cycles", histogram.Percentile(50))
+        .Field("p90_cycles", histogram.Percentile(90))
+        .Field("p99_cycles", histogram.Percentile(99))
+        .Field("max_cycles", histogram.max());
+  }
+
  private:
   struct FieldValue {
     std::string name;
@@ -154,6 +166,32 @@ class BenchReport {
   std::string paper_ref_;
   std::vector<Row> rows_;
 };
+
+// Rebuilds a latency histogram from a SpanSink's retained spans, filtered by
+// class and (optionally) mroutine entry — for benches that care about one
+// entry's service time when several mroutines share the aggregate histogram.
+inline Histogram SpanLatencyHistogram(const std::vector<Span>& spans, SpanClass cls,
+                                      uint32_t entry = Span::kNoEntry) {
+  Histogram histogram;
+  for (const Span& span : spans) {
+    if (span.cls != cls || span.aborted) {
+      continue;
+    }
+    if (entry != Span::kNoEntry && span.entry != entry) {
+      continue;
+    }
+    histogram.Record(span.cycles());
+  }
+  return histogram;
+}
+
+// Prints one aligned latency line on stdout beneath a bench table.
+inline void PrintLatencyLine(const char* label, const Histogram& histogram) {
+  std::printf("%-44s n=%-6llu p50=%-8.1f p90=%-8.1f p99=%-8.1f max=%llu\n", label,
+              (unsigned long long)histogram.count(), histogram.Percentile(50),
+              histogram.Percentile(90), histogram.Percentile(99),
+              (unsigned long long)histogram.max());
+}
 
 }  // namespace msim
 

@@ -964,7 +964,8 @@ void Core::StageEx() {
         if (step.is_enter) {
           tracer_.Emit(TraceEventKind::kMenter, step.pc, step.entry, step.target);
         } else {
-          tracer_.Emit(TraceEventKind::kMexit, step.pc, step.target, 0, /*metal=*/true);
+          tracer_.Emit(TraceEventKind::kMexit, step.pc, step.target,
+                       Mram::InCodeRange(step.target) ? 1u : 0u, /*metal=*/true);
         }
       }
       if (op.enters + op.exits >= 2) {
@@ -1220,7 +1221,13 @@ void Core::ExecuteAluOp(Op& op) {
       // retried mroutine's own mexit still returns to the interrupted
       // program (docs/robustness.md).
       const bool resume_metal = Mram::InCodeRange(resume);
-      tracer_.Emit(TraceEventKind::kMexit, pc, resume, 0, /*metal=*/true);
+      // arg1 bit 0: Metal mode retained across the exit; bit 1: this exit
+      // ends a machine-check recovery with a retained-mode resume — the
+      // scrub-and-retry path, which re-enters the aborted mroutine without a
+      // fresh delivery event (span tracing keys the retry span off this).
+      const uint32_t exit_flags = (resume_metal ? 1u : 0u) |
+                                  ((in_machine_check_ && resume_metal) ? 2u : 0u);
+      tracer_.Emit(TraceEventKind::kMexit, pc, resume, exit_flags, /*metal=*/true);
       arch_metal_ = resume_metal;
       frontend_metal_ = resume_metal;
       if (resume_metal) {

@@ -3,12 +3,13 @@
 #include <fstream>
 
 #include "cpu/core.h"
+#include "trace/flight.h"
 #include "trace/json.h"
 
 namespace msim {
 
-void WriteCrashDump(Core& core, const RingBufferSink* trace, const CrashDumpOptions& options,
-                    std::ostream& out) {
+void WriteCrashDump(Core& core, const RingBufferSink* trace, const FlightRecorder* flight,
+                    const CrashDumpOptions& options, std::ostream& out) {
   const CoreStats& stats = core.stats();
   const MetalUnit& metal = core.metal();
   const auto creg = [&](uint32_t number) {
@@ -17,7 +18,7 @@ void WriteCrashDump(Core& core, const RingBufferSink* trace, const CrashDumpOpti
 
   JsonWriter json(out);
   json.BeginObject();
-  json.Field("version", 1);
+  json.Field("version", 2);
   json.Field("reason", options.reason);
   json.Field("fatal_message", options.fatal_message);
   json.Field("cycle", core.cycle());
@@ -80,17 +81,29 @@ void WriteCrashDump(Core& core, const RingBufferSink* trace, const CrashDumpOpti
   }
   json.EndArray();
 
+  json.BeginObject("flight_recorder");
+  if (flight != nullptr) {
+    flight->AppendJson(json);
+  } else {
+    json.Field("capacity", 0);
+    json.Field("total", 0);
+    json.Field("dropped", 0);
+    json.BeginArray("events");
+    json.EndArray();
+  }
+  json.EndObject();
+
   json.EndObject();
   out << "\n";
 }
 
-Status WriteCrashDumpFile(Core& core, const RingBufferSink* trace,
+Status WriteCrashDumpFile(Core& core, const RingBufferSink* trace, const FlightRecorder* flight,
                           const CrashDumpOptions& options, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     return InvalidArgument("cannot open crash-dump file: " + path);
   }
-  WriteCrashDump(core, trace, options, out);
+  WriteCrashDump(core, trace, flight, options, out);
   if (!out.good()) {
     return Internal("failed writing crash dump to " + path);
   }

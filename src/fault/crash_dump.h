@@ -4,10 +4,15 @@
 // Fatal() — the CLI can serialize the architectural state to JSON
 // (`msim run --crash-dump FILE`) so the failure is debuggable after the
 // process exits: GPRs, Metal registers, the Metal mode/entry state, the
-// pending trap and machine-check control registers, and the last N structured
-// trace events from an attached ring buffer. The dump contains only simulated
-// state (no timestamps, no host paths), so a deterministic run produces a
-// byte-identical dump.
+// pending trap and machine-check control registers, the last N structured
+// trace events from an attached ring buffer, and the flight recorder's ring
+// of architectural events (trace/flight.h) when one is attached. The dump
+// contains only simulated state (no timestamps, no host paths), so a
+// deterministic run produces a byte-identical dump.
+//
+// Dump versions:
+//   1 — initial format (through the fault-injection PR)
+//   2 — adds the "flight_recorder" section
 #ifndef MSIM_FAULT_CRASH_DUMP_H_
 #define MSIM_FAULT_CRASH_DUMP_H_
 
@@ -21,6 +26,7 @@
 namespace msim {
 
 class Core;
+class FlightRecorder;
 
 struct CrashDumpOptions {
   std::string reason;         // "fatal" | "halted" | "cycle_limit" (RunResult)
@@ -29,12 +35,13 @@ struct CrashDumpOptions {
 };
 
 // Writes the dump JSON for `core`. `trace` may be null (the "trace" array is
-// then empty).
-void WriteCrashDump(Core& core, const RingBufferSink* trace, const CrashDumpOptions& options,
-                    std::ostream& out);
+// then empty); `flight` may be null (the "flight_recorder" object then
+// records zero events).
+void WriteCrashDump(Core& core, const RingBufferSink* trace, const FlightRecorder* flight,
+                    const CrashDumpOptions& options, std::ostream& out);
 
 // WriteCrashDump into `path`; fails if the file cannot be created.
-Status WriteCrashDumpFile(Core& core, const RingBufferSink* trace,
+Status WriteCrashDumpFile(Core& core, const RingBufferSink* trace, const FlightRecorder* flight,
                           const CrashDumpOptions& options, const std::string& path);
 
 }  // namespace msim

@@ -1,0 +1,123 @@
+#include "trace/flight.h"
+
+#include <algorithm>
+
+#include "snap/snapstream.h"
+#include "trace/json.h"
+
+namespace msim {
+
+FlightRecorder::FlightRecorder(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  buffer_.reserve(std::min<size_t>(capacity_, kDefaultCapacity));
+}
+
+bool FlightRecorder::Records(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kRetire:
+    case TraceEventKind::kMenter:
+    case TraceEventKind::kMexit:
+    case TraceEventKind::kChainFold:
+    case TraceEventKind::kTrap:
+    case TraceEventKind::kInterrupt:
+    case TraceEventKind::kIntercept:
+    case TraceEventKind::kFaultInject:
+    case TraceEventKind::kMachineCheck:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void FlightRecorder::OnEvent(const TraceEvent& event) {
+  if (!Records(event.kind)) {
+    return;
+  }
+  ++total_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  buffer_[next_] = event;
+  next_ = (next_ + 1) % capacity_;
+  ++dropped_;
+}
+
+std::vector<TraceEvent> FlightRecorder::Events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(buffer_.size());
+  for (size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::Clear() {
+  buffer_.clear();
+  next_ = 0;
+  total_ = 0;
+  dropped_ = 0;
+}
+
+void FlightRecorder::AppendJson(JsonWriter& json) const {
+  json.Field("capacity", static_cast<uint64_t>(capacity_));
+  json.Field("total", total_);
+  json.Field("dropped", dropped_);
+  json.BeginArray("events");
+  for (const TraceEvent& event : Events()) {
+    json.BeginObject();
+    json.Field("cycle", event.cycle);
+    json.Field("kind", TraceEventKindName(event.kind));
+    json.Field("pc", event.pc);
+    json.Field("arg0", event.arg0);
+    json.Field("arg1", event.arg1);
+    json.Field("metal", event.metal);
+    json.EndObject();
+  }
+  json.EndArray();
+}
+
+void FlightRecorder::SaveState(SnapWriter& w) const {
+  w.U64(static_cast<uint64_t>(capacity_));
+  w.U64(total_);
+  w.U64(dropped_);
+  const std::vector<TraceEvent> events = Events();
+  w.U64(static_cast<uint64_t>(events.size()));
+  for (const TraceEvent& event : events) {
+    w.U8(static_cast<uint8_t>(event.kind));
+    w.Bool(event.metal);
+    w.U64(event.cycle);
+    w.U32(event.pc);
+    w.U32(event.arg0);
+    w.U32(event.arg1);
+  }
+}
+
+Status FlightRecorder::RestoreState(SnapReader& r) {
+  const uint64_t capacity = r.U64();
+  if (capacity == 0 || capacity > (1u << 20)) {
+    return InvalidArgument("flight recorder snapshot: implausible capacity");
+  }
+  capacity_ = static_cast<size_t>(capacity);
+  total_ = r.U64();
+  dropped_ = r.U64();
+  const uint64_t count = r.U64();
+  if (count > capacity) {
+    return InvalidArgument("flight recorder snapshot: count exceeds capacity");
+  }
+  buffer_.clear();
+  next_ = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    event.kind = static_cast<TraceEventKind>(r.U8() %
+                                             static_cast<uint8_t>(TraceEventKind::kCount));
+    event.metal = r.Bool();
+    event.cycle = r.U64();
+    event.pc = r.U32();
+    event.arg0 = r.U32();
+    event.arg1 = r.U32();
+    buffer_.push_back(event);
+  }
+  return r.ToStatus("flight recorder");
+}
+
+}  // namespace msim

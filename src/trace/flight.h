@@ -1,0 +1,66 @@
+// Flight recorder: a fixed-size, deterministic ring of the last K
+// architecturally significant trace events.
+//
+// Unlike RingBufferSink (which records everything and is sized for offline
+// export), the flight recorder filters to retired instructions, Metal
+// transitions and fault events, and keeps a small bounded window — the
+// "what led up to this" record embedded in crash dumps (src/fault) and
+// snapshots (src/snap). The ring is part of the deterministic machine
+// surface: SaveState/RestoreState serialize it fully, so a restored run's
+// recorder — and every crash dump derived from it — is byte-identical to the
+// straight run's.
+#ifndef MSIM_TRACE_FLIGHT_H_
+#define MSIM_TRACE_FLIGHT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/result.h"
+#include "trace/trace.h"
+
+namespace msim {
+
+class JsonWriter;
+class SnapWriter;
+class SnapReader;
+
+class FlightRecorder : public TraceSink {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  // True for the event kinds the recorder keeps: retires, transitions
+  // (menter/mexit/chain folds), trap/interrupt/intercept deliveries, fault
+  // injections and machine checks. Cache/TLB misses, stalls and flushes are
+  // high-rate microarchitectural noise and are filtered out.
+  static bool Records(TraceEventKind kind);
+
+  void OnEvent(const TraceEvent& event) override;
+
+  // Recorded events, oldest first.
+  std::vector<TraceEvent> Events() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t total() const { return total_; }     // events accepted
+  uint64_t dropped() const { return dropped_; } // accepted minus retained
+  void Clear();
+
+  // Appends capacity/total/dropped and an "events" array to an open object.
+  void AppendJson(JsonWriter& json) const;
+
+  // Checkpoint/restore (src/snap): the full ring, in order.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
+
+ private:
+  std::vector<TraceEvent> buffer_;
+  size_t capacity_;
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_TRACE_FLIGHT_H_

@@ -1,6 +1,7 @@
 #include "trace/json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace msim {
@@ -16,6 +17,12 @@ std::string JsonEscape(std::string_view text) {
       case '\\':
         out += "\\\\";
         break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
       case '\n':
         out += "\\n";
         break;
@@ -26,9 +33,12 @@ std::string JsonEscape(std::string_view text) {
         out += "\\t";
         break;
       default:
+        // Remaining control characters (RFC 8259 requires escaping all of
+        // U+0000..U+001F); bytes >= 0x20 — including UTF-8 continuation
+        // bytes — pass through untouched.
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned char>(c));
           out += buf;
         } else {
           out += c;
@@ -104,6 +114,11 @@ void JsonWriter::Field(std::string_view key, int64_t value) {
 
 void JsonWriter::Field(std::string_view key, double value) {
   Key(key);
+  // JSON has no inf/nan literals; emit null instead of invalid bare tokens.
+  if (!std::isfinite(value)) {
+    out_ << "null";
+    return;
+  }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.6g", value);
   out_ << buf;

@@ -17,7 +17,10 @@
 
 namespace msim {
 
-// Escapes `text` per RFC 8259 (quotes, backslashes, control characters).
+// Escapes `text` per RFC 8259: quotes, backslashes and every control
+// character in U+0000..U+001F (shorthand escapes where they exist, \u00XX
+// otherwise). Bytes >= 0x20 pass through unchanged, so UTF-8 sequences
+// survive round trips byte-for-byte.
 std::string JsonEscape(std::string_view text);
 
 class JsonWriter {
@@ -43,6 +46,8 @@ class JsonWriter {
     Field(key, static_cast<uint64_t>(value));
   }
   void Field(std::string_view key, int value) { Field(key, static_cast<int64_t>(value)); }
+  // Doubles print with %.6g; non-finite values (inf/nan have no JSON literal)
+  // emit null so the document stays parseable.
   void Field(std::string_view key, double value);
   void Field(std::string_view key, bool value);
 

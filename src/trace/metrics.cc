@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <iomanip>
 
+#include "support/strings.h"
+#include "trace/histogram.h"
 #include "trace/json.h"
 
 namespace msim {
@@ -25,6 +27,26 @@ void MetricRegistry::RegisterFn(std::string component, std::string name,
   metric.help = std::move(help);
   metric.getter = std::move(getter);
   metrics_.push_back(std::move(metric));
+}
+
+void MetricRegistry::RegisterHistogram(std::string component, std::string name,
+                                       const Histogram* histogram, std::string help) {
+  HistogramMetric metric;
+  metric.component = std::move(component);
+  metric.name = std::move(name);
+  metric.help = std::move(help);
+  metric.histogram = histogram;
+  histograms_.push_back(std::move(metric));
+}
+
+const Histogram* MetricRegistry::FindHistogram(std::string_view component,
+                                               std::string_view name) const {
+  for (const HistogramMetric& metric : histograms_) {
+    if (metric.component == component && metric.name == name) {
+      return metric.histogram;
+    }
+  }
+  return nullptr;
 }
 
 uint64_t MetricRegistry::Value(std::string_view component, std::string_view name,
@@ -69,6 +91,26 @@ void MetricRegistry::AppendJson(JsonWriter& json) const {
   }
 }
 
+void MetricRegistry::AppendHistogramsJson(JsonWriter& json) const {
+  std::vector<std::string> emitted;
+  for (const HistogramMetric& metric : histograms_) {
+    if (std::find(emitted.begin(), emitted.end(), metric.component) != emitted.end()) {
+      continue;
+    }
+    emitted.push_back(metric.component);
+    json.BeginObject(metric.component);
+    for (const HistogramMetric& member : histograms_) {
+      if (member.component != metric.component || member.histogram->count() == 0) {
+        continue;
+      }
+      json.BeginObject(member.name);
+      member.histogram->AppendJson(json);
+      json.EndObject();
+    }
+    json.EndObject();
+  }
+}
+
 void MetricRegistry::WriteText(std::ostream& out) const {
   size_t width = 0;
   for (const Metric& metric : metrics_) {
@@ -78,6 +120,16 @@ void MetricRegistry::WriteText(std::ostream& out) const {
     const std::string label = metric.component + "." + metric.name;
     out << std::left << std::setw(static_cast<int>(width) + 2) << label << std::right
         << std::setw(12) << metric.value() << "\n";
+  }
+  for (const HistogramMetric& metric : histograms_) {
+    const Histogram& h = *metric.histogram;
+    if (h.count() == 0) {
+      continue;
+    }
+    out << metric.component << "." << metric.name
+        << StrFormat("  count=%llu p50=%.1f p90=%.1f p99=%.1f max=%llu\n",
+                     (unsigned long long)h.count(), h.Percentile(50), h.Percentile(90),
+                     h.Percentile(99), (unsigned long long)h.max());
   }
 }
 

@@ -1,4 +1,5 @@
-// MetricRegistry: a central, enumerable registry of named counters.
+// MetricRegistry: a central, enumerable registry of named counters and
+// histograms.
 //
 // Components (core, caches, TLB, MRAM, Metal unit, devices) register their
 // counters once at construction; exporters then enumerate the registry
@@ -6,7 +7,10 @@
 //   * a raw pointer to a uint64_t the component increments on its hot path
 //     (no per-increment overhead — the registry only reads at dump time), and
 //   * a getter callback for values that are derived or owned elsewhere.
-// Registration order is preserved so text and JSON dumps are stable.
+// Distribution-valued statistics register a pointer to a Histogram
+// (trace/histogram.h) the same way; exporters read counts and percentiles at
+// dump time. Registration order is preserved so text and JSON dumps are
+// stable.
 #ifndef MSIM_TRACE_METRICS_H_
 #define MSIM_TRACE_METRICS_H_
 
@@ -18,6 +22,7 @@
 
 namespace msim {
 
+class Histogram;
 class JsonWriter;
 
 class MetricRegistry {
@@ -41,7 +46,23 @@ class MetricRegistry {
   void RegisterFn(std::string component, std::string name, std::function<uint64_t()> getter,
                   std::string help = {});
 
+  struct HistogramMetric {
+    std::string component;  // e.g. "latency"
+    std::string name;       // e.g. "trap_page_fault_load"
+    std::string help;
+    const Histogram* histogram = nullptr;
+  };
+
+  // Registers a distribution backed by component-owned storage. The pointer
+  // must outlive the registry.
+  void RegisterHistogram(std::string component, std::string name, const Histogram* histogram,
+                         std::string help = {});
+
   const std::vector<Metric>& metrics() const { return metrics_; }
+  const std::vector<HistogramMetric>& histograms() const { return histograms_; }
+
+  // Looks up a registered histogram; returns nullptr if absent.
+  const Histogram* FindHistogram(std::string_view component, std::string_view name) const;
 
   // Looks up a metric's current value; returns 0 if absent (`found` reports
   // whether the metric exists when non-null).
@@ -56,11 +77,19 @@ class MetricRegistry {
   // (lets callers embed the registry in a larger stats document).
   void AppendJson(JsonWriter& json) const;
 
-  // Writes aligned `component.name  value` lines.
+  // Appends the registered histograms, grouped by component like AppendJson,
+  // to an already-open JSON object. Histograms with no samples are skipped
+  // (per-cause latency families register every cause up front; dumping the
+  // empty ones would bury the signal).
+  void AppendHistogramsJson(JsonWriter& json) const;
+
+  // Writes aligned `component.name  value` lines; non-empty histograms follow
+  // as `component.name  count=N p50=... p99=... max=...` lines.
   void WriteText(std::ostream& out) const;
 
  private:
   std::vector<Metric> metrics_;
+  std::vector<HistogramMetric> histograms_;
 };
 
 }  // namespace msim

@@ -1,0 +1,26 @@
+#include "trace/sampler.h"
+
+#include "trace/json.h"
+#include "trace/metrics.h"
+
+namespace msim {
+
+void IntervalSampler::SampleAt(uint64_t cycle) {
+  if (out_ == nullptr || registry_ == nullptr) {
+    return;
+  }
+  JsonWriter json(*out_);
+  json.BeginObject();
+  json.Field("cycle", cycle);
+  json.BeginObject("metrics");
+  registry_->AppendJson(json);
+  json.EndObject();
+  json.BeginObject("histograms");
+  registry_->AppendHistogramsJson(json);
+  json.EndObject();
+  json.EndObject();
+  *out_ << "\n";
+  ++samples_;
+}
+
+}  // namespace msim

@@ -1,0 +1,50 @@
+// IntervalSampler: streaming JSONL time-series snapshots of the metric
+// registry.
+//
+// Fleet consumers (ROADMAP item 3) want per-session statistics they can tail
+// while a simulation runs, not one dump at the end. The sampler writes one
+// JSON object per line at every absolute-cycle multiple of the configured
+// interval:
+//
+//   {"cycle": 1000, "metrics": {...}, "histograms": {...}}
+//
+// Marks are absolute machine cycles (cycle % every == 0), the same contract
+// as checkpoints (docs/determinism.md): a run restored from a mid-execution
+// snapshot samples at the same marks the straight run did from that point on,
+// and two identical runs produce byte-identical JSONL.
+#ifndef MSIM_TRACE_SAMPLER_H_
+#define MSIM_TRACE_SAMPLER_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace msim {
+
+class MetricRegistry;
+
+class IntervalSampler {
+ public:
+  // `every` must be >= 1 (the CLI rejects 0). The registry and stream are
+  // non-owning and must outlive the sampler.
+  IntervalSampler(uint64_t every, const MetricRegistry* registry, std::ostream* out)
+      : every_(every == 0 ? 1 : every), registry_(registry), out_(out) {}
+
+  uint64_t every() const { return every_; }
+  uint64_t samples() const { return samples_; }
+
+  // First sampling mark strictly after `cycle`.
+  uint64_t NextMark(uint64_t cycle) const { return (cycle / every_ + 1) * every_; }
+
+  // Writes one JSONL line for the registry's current state, stamped `cycle`.
+  void SampleAt(uint64_t cycle);
+
+ private:
+  uint64_t every_;
+  const MetricRegistry* registry_;
+  std::ostream* out_;
+  uint64_t samples_ = 0;
+};
+
+}  // namespace msim
+
+#endif  // MSIM_TRACE_SAMPLER_H_

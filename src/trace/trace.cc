@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cpu/trap.h"
+#include "snap/snapstream.h"
 #include "support/strings.h"
 #include "trace/json.h"
 
@@ -75,6 +76,50 @@ void RingBufferSink::Clear() {
   next_ = 0;
   total_ = 0;
   dropped_ = 0;
+}
+
+void RingBufferSink::SaveState(SnapWriter& w) const {
+  w.U64(static_cast<uint64_t>(capacity_));
+  w.U64(total_);
+  w.U64(dropped_);
+  const std::vector<TraceEvent> events = Events();
+  w.U64(static_cast<uint64_t>(events.size()));
+  for (const TraceEvent& event : events) {
+    w.U8(static_cast<uint8_t>(event.kind));
+    w.Bool(event.metal);
+    w.U64(event.cycle);
+    w.U32(event.pc);
+    w.U32(event.arg0);
+    w.U32(event.arg1);
+  }
+}
+
+Status RingBufferSink::RestoreState(SnapReader& r) {
+  const uint64_t capacity = r.U64();
+  if (capacity == 0 || capacity > (1u << 24)) {
+    return InvalidArgument("trace ring snapshot: implausible capacity");
+  }
+  capacity_ = static_cast<size_t>(capacity);
+  total_ = r.U64();
+  dropped_ = r.U64();
+  const uint64_t count = r.U64();
+  if (count > capacity) {
+    return InvalidArgument("trace ring snapshot: count exceeds capacity");
+  }
+  buffer_.clear();
+  next_ = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceEvent event;
+    event.kind = static_cast<TraceEventKind>(r.U8() %
+                                             static_cast<uint8_t>(TraceEventKind::kCount));
+    event.metal = r.Bool();
+    event.cycle = r.U64();
+    event.pc = r.U32();
+    event.arg0 = r.U32();
+    event.arg1 = r.U32();
+    buffer_.push_back(event);
+  }
+  return r.ToStatus("trace ring");
 }
 
 namespace {

@@ -18,12 +18,19 @@
 #include <ostream>
 #include <vector>
 
+#include "support/result.h"
+
 namespace msim {
+
+class SnapWriter;
+class SnapReader;
 
 enum class TraceEventKind : uint8_t {
   kRetire = 0,     // pc, arg0 = raw instruction word
   kMenter,         // pc = menter pc, arg0 = entry, arg1 = handler address
-  kMexit,          // pc = mexit pc, arg0 = resume address
+  kMexit,          // pc = mexit pc, arg0 = resume address, arg1 = exit flags
+                   //   (bit 0: Metal mode retained — MRAM resume; bit 1:
+                   //    machine-check recovery exit, i.e. scrub-and-retry)
   kChainFold,      // pc, arg0 = enters, arg1 = exits folded into one op
   kTrap,           // pc = epc, arg0 = cause, arg1 = entry
   kInterrupt,      // pc = epc, arg0 = mcause (top bit set), arg1 = entry
@@ -69,6 +76,12 @@ class RingBufferSink : public TraceSink {
   uint64_t dropped() const { return dropped_; }
   uint64_t total() const { return total_; }
   void Clear();
+
+  // Checkpoint/restore (src/snap): the retained window rides in snapshots so
+  // a restored run's crash-dump trace matches the straight run's byte for
+  // byte even when part of the window predates the restore point.
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
 
  private:
   std::vector<TraceEvent> buffer_;

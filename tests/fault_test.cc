@@ -11,6 +11,7 @@
 #include "fault/fault.h"
 #include "metal/system.h"
 #include "tests/sim_test_util.h"
+#include "trace/flight.h"
 #include "trace/json.h"
 #include "trace/trace.h"
 
@@ -393,7 +394,11 @@ TEST(CrashDumpTest, DumpIsValidJsonAndRecordsMachineCheck) {
   system.AddMcode(kSpinMcode);
   ASSERT_OK(system.LoadProgramSource(kSpinProgram));
   RingBufferSink ring;
-  system.SetTraceSink(&ring);
+  FlightRecorder flight;
+  TeeSink tee;
+  tee.Add(&ring);
+  tee.Add(&flight);
+  system.SetTraceSink(&tee);
 
   const RunResult result = system.Run(100'000);
   ASSERT_EQ(result.reason, RunResult::Reason::kFatal);
@@ -402,13 +407,15 @@ TEST(CrashDumpTest, DumpIsValidJsonAndRecordsMachineCheck) {
   options.reason = "fatal";
   options.fatal_message = result.fatal_message;
   std::ostringstream out;
-  WriteCrashDump(system.core(), &ring, options, out);
+  WriteCrashDump(system.core(), &ring, &flight, options, out);
   const std::string dump = out.str();
 
   EXPECT_TRUE(JsonLooksValid(dump)) << dump;
   EXPECT_NE(dump.find("\"kind_name\":\"watchdog\""), std::string::npos) << dump;
   EXPECT_NE(dump.find("\"machine_check\""), std::string::npos);
   EXPECT_NE(dump.find("\"trace\""), std::string::npos);
+  EXPECT_NE(dump.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_GT(flight.total(), 0u);
 }
 
 TEST(CrashDumpTest, SameSeedAndSpecGiveByteIdenticalDumps) {
@@ -427,7 +434,7 @@ TEST(CrashDumpTest, SameSeedAndSpecGiveByteIdenticalDumps) {
     CrashDumpOptions options;
     options.reason = "halted";
     std::ostringstream out;
-    WriteCrashDump(system.core(), &ring, options, out);
+    WriteCrashDump(system.core(), &ring, /*flight=*/nullptr, options, out);
     return out.str();
   };
   const std::string first = run_and_dump(7);

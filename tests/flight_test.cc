@@ -1,0 +1,134 @@
+// FlightRecorder: event filtering, drop-oldest ring behaviour, JSON export,
+// checkpoint/restore byte-identity and crash-dump embedding.
+#include "trace/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "snap/snapstream.h"
+#include "tests/sim_test_util.h"
+#include "trace/json.h"
+
+namespace msim {
+namespace {
+
+TraceEvent Event(TraceEventKind kind, uint64_t cycle, uint32_t pc = 0) {
+  TraceEvent event;
+  event.kind = kind;
+  event.cycle = cycle;
+  event.pc = pc;
+  return event;
+}
+
+TEST(FlightRecorderTest, RecordsArchitecturalEventsOnly) {
+  // Retires and transitions matter for post-mortem reconstruction;
+  // micro-architectural noise (cache misses, stalls) does not.
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kRetire));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kMenter));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kMexit));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kTrap));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kInterrupt));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kFaultInject));
+  EXPECT_TRUE(FlightRecorder::Records(TraceEventKind::kMachineCheck));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kICacheMiss));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kDCacheMiss));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kTlbMiss));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kStall));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kFlush));
+  EXPECT_FALSE(FlightRecorder::Records(TraceEventKind::kMramAccess));
+
+  FlightRecorder flight(8);
+  flight.OnEvent(Event(TraceEventKind::kRetire, 1));
+  flight.OnEvent(Event(TraceEventKind::kStall, 2));
+  flight.OnEvent(Event(TraceEventKind::kICacheMiss, 3));
+  EXPECT_EQ(flight.total(), 1u);
+  ASSERT_EQ(flight.Events().size(), 1u);
+  EXPECT_EQ(flight.Events()[0].kind, TraceEventKind::kRetire);
+}
+
+TEST(FlightRecorderTest, RingKeepsMostRecentInOrder) {
+  FlightRecorder flight(4);
+  for (uint64_t c = 1; c <= 10; ++c) {
+    flight.OnEvent(Event(TraceEventKind::kRetire, c, static_cast<uint32_t>(c * 4)));
+  }
+  EXPECT_EQ(flight.total(), 10u);
+  EXPECT_EQ(flight.dropped(), 6u);
+  const std::vector<TraceEvent> events = flight.Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[i].cycle, 7 + i);  // oldest-first: cycles 7..10
+  }
+}
+
+TEST(FlightRecorderTest, AppendJsonIsValid) {
+  FlightRecorder flight(4);
+  flight.OnEvent(Event(TraceEventKind::kTrap, 12, 0x2000));
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  flight.AppendJson(json);
+  json.EndObject();
+  EXPECT_TRUE(JsonLooksValid(out.str())) << out.str();
+  EXPECT_NE(out.str().find("\"kind\":\"trap\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"capacity\":4"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, SaveRestoreIsByteIdentical) {
+  FlightRecorder flight(4);
+  for (uint64_t c = 1; c <= 7; ++c) {
+    flight.OnEvent(Event(TraceEventKind::kRetire, c));
+  }
+  SnapWriter w;
+  flight.SaveState(w);
+  const std::vector<uint8_t> bytes = w.TakeBytes();
+  FlightRecorder restored(1);  // capacity comes from the snapshot
+  SnapReader r(bytes);
+  ASSERT_OK(restored.RestoreState(r));
+
+  EXPECT_EQ(restored.total(), flight.total());
+  EXPECT_EQ(restored.dropped(), flight.dropped());
+  const auto dump = [](const FlightRecorder& f) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.BeginObject();
+    f.AppendJson(json);
+    json.EndObject();
+    return out.str();
+  };
+  EXPECT_EQ(dump(restored), dump(flight));
+
+  // The restored ring keeps rolling correctly.
+  restored.OnEvent(Event(TraceEventKind::kRetire, 8));
+  const std::vector<TraceEvent> events = restored.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().cycle, 5u);
+  EXPECT_EQ(events.back().cycle, 8u);
+}
+
+TEST(FlightRecorderTest, RestoreRejectsImplausibleState) {
+  {
+    SnapWriter w;
+    w.U64(0);  // capacity 0
+    const std::vector<uint8_t> bytes = w.TakeBytes();
+    FlightRecorder flight;
+    SnapReader r(bytes);
+    EXPECT_FALSE(flight.RestoreState(r).ok());
+  }
+  {
+    SnapWriter w;
+    w.U64(2);   // capacity
+    w.U64(9);   // total
+    w.U64(0);   // dropped
+    w.U64(5);   // count > capacity
+    const std::vector<uint8_t> bytes = w.TakeBytes();
+    FlightRecorder flight;
+    SnapReader r(bytes);
+    EXPECT_FALSE(flight.RestoreState(r).ok());
+  }
+}
+
+}  // namespace
+}  // namespace msim

@@ -1,0 +1,220 @@
+// Histogram: log-bucketing edges, deterministic percentiles, JSON export and
+// checkpoint/restore round trips.
+#include "trace/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+
+#include "snap/snapstream.h"
+#include "tests/sim_test_util.h"
+#include "trace/json.h"
+
+namespace msim {
+namespace {
+
+TEST(HistogramTest, BucketIndexEdges) {
+  // Bucket 0 holds only the value 0; bucket b holds [2^(b-1), 2^b - 1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(7), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 4u);
+  EXPECT_EQ(Histogram::BucketIndex((1ull << 32) - 1), 32u);
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 32), 33u);
+  EXPECT_EQ(Histogram::BucketIndex(1ull << 63), 64u);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<uint64_t>::max()), 64u);
+}
+
+TEST(HistogramTest, BucketBoundsRoundTrip) {
+  // Every bucket's bounds are consistent with BucketIndex at both edges.
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketLow(b)), b) << b;
+    EXPECT_EQ(Histogram::BucketIndex(Histogram::BucketHigh(b)), b) << b;
+  }
+  EXPECT_EQ(Histogram::BucketLow(0), 0u);
+  EXPECT_EQ(Histogram::BucketHigh(0), 0u);
+  EXPECT_EQ(Histogram::BucketLow(1), 1u);
+  EXPECT_EQ(Histogram::BucketHigh(1), 1u);
+  EXPECT_EQ(Histogram::BucketLow(64), 1ull << 63);
+  EXPECT_EQ(Histogram::BucketHigh(64), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);  // empty histogram reports 0, not the sentinel
+  EXPECT_EQ(h.max(), 0u);
+
+  h.Record(5);
+  h.Record(0);
+  h.Record(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 1005u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::BucketIndex(5)], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::BucketIndex(1000)], 1u);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramTest, RecordExtremeValues) {
+  Histogram h;
+  h.Record(std::numeric_limits<uint64_t>::max());
+  h.Record(0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(h.buckets()[64], 1u);
+  // Percentiles stay within [min, max] even in the saturated top bucket.
+  EXPECT_GE(h.Percentile(100), 0.0);
+  EXPECT_LE(h.Percentile(100), static_cast<double>(std::numeric_limits<uint64_t>::max()));
+}
+
+TEST(HistogramTest, MergeFoldsBucketsAndExtremes) {
+  Histogram a;
+  a.Record(3);
+  a.Record(100);
+  Histogram b;
+  b.Record(0);
+  b.Record(5000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.sum(), 5103u);
+  EXPECT_EQ(a.min(), 0u);
+  EXPECT_EQ(a.max(), 5000u);
+  EXPECT_EQ(a.buckets()[0], 1u);
+  EXPECT_EQ(a.buckets()[Histogram::BucketIndex(5000)], 1u);
+  // Merging an empty histogram is a no-op (and does not disturb min).
+  const Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 0u);
+}
+
+TEST(HistogramTest, PercentileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, PercentileSingleValue) {
+  Histogram h;
+  h.Record(42);
+  // Every percentile of a single sample is that sample (clamped to min=max).
+  EXPECT_EQ(h.Percentile(0), 42.0);
+  EXPECT_EQ(h.Percentile(50), 42.0);
+  EXPECT_EQ(h.Percentile(99), 42.0);
+  EXPECT_EQ(h.Percentile(100), 42.0);
+}
+
+TEST(HistogramTest, PercentileRankWalk) {
+  // 100 samples in well-separated buckets: ranks land where expected.
+  Histogram h;
+  for (int i = 0; i < 50; ++i) {
+    h.Record(10);  // bucket [8, 15]
+  }
+  for (int i = 0; i < 40; ++i) {
+    h.Record(100);  // bucket [64, 127]
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(1000);  // bucket [512, 1023]
+  }
+  // p50 -> rank 50, the last sample of the low bucket.
+  EXPECT_GE(h.Percentile(50), 8.0);
+  EXPECT_LE(h.Percentile(50), 15.0);
+  // p90 -> rank 90, the last sample of the middle bucket.
+  EXPECT_GE(h.Percentile(90), 64.0);
+  EXPECT_LE(h.Percentile(90), 127.0);
+  // p99 -> rank 99, in the top bucket but clamped to max = 1000.
+  EXPECT_GE(h.Percentile(99), 512.0);
+  EXPECT_LE(h.Percentile(99), 1000.0);
+  // Percentiles are monotone in p.
+  EXPECT_LE(h.Percentile(50), h.Percentile(90));
+  EXPECT_LE(h.Percentile(90), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Percentile(100));
+}
+
+TEST(HistogramTest, PercentileIsDeterministic) {
+  const auto build = [] {
+    Histogram h;
+    for (uint64_t v = 0; v < 1000; ++v) {
+      h.Record(v * v % 977);
+    }
+    return h;
+  };
+  const Histogram a = build();
+  const Histogram b = build();
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+    // Bit-identical, not just approximately equal: the export must be
+    // byte-stable across runs.
+    EXPECT_EQ(a.Percentile(p), b.Percentile(p)) << p;
+  }
+}
+
+TEST(HistogramTest, AppendJsonIsValidAndListsNonEmptyBuckets) {
+  Histogram h;
+  h.Record(3);
+  h.Record(3);
+  h.Record(300);
+
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  h.AppendJson(json);
+  json.EndObject();
+  const std::string text = out.str();
+  EXPECT_TRUE(JsonLooksValid(text)) << text;
+  EXPECT_NE(text.find("\"count\":3"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p90\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+  EXPECT_NE(text.find("\"buckets\""), std::string::npos);
+  // Only the two touched buckets appear.
+  EXPECT_NE(text.find("\"lo\":2,\"hi\":3,\"n\":2"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"lo\":256,\"hi\":511,\"n\":1"), std::string::npos) << text;
+}
+
+TEST(HistogramTest, SaveRestoreRoundTripIsExact) {
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 17ull, 1ull << 20, ~0ull}) {
+    h.Record(v);
+  }
+  SnapWriter w;
+  h.SaveState(w);
+  const std::vector<uint8_t> bytes = w.TakeBytes();
+
+  Histogram restored;
+  SnapReader r(bytes);
+  ASSERT_OK(restored.RestoreState(r));
+  EXPECT_EQ(restored.count(), h.count());
+  EXPECT_EQ(restored.sum(), h.sum());
+  EXPECT_EQ(restored.min(), h.min());
+  EXPECT_EQ(restored.max(), h.max());
+  EXPECT_EQ(restored.buckets(), h.buckets());
+  EXPECT_EQ(restored.Percentile(99), h.Percentile(99));
+
+  // The JSON of the restored histogram is byte-identical.
+  const auto dump = [](const Histogram& hist) {
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.BeginObject();
+    hist.AppendJson(json);
+    json.EndObject();
+    return out.str();
+  };
+  EXPECT_EQ(dump(restored), dump(h));
+}
+
+}  // namespace
+}  // namespace msim

@@ -2,9 +2,12 @@
 // core's registry agreeing with its CoreStats after a run.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "tests/sim_test_util.h"
+#include "trace/histogram.h"
 #include "trace/json.h"
 #include "trace/metrics.h"
 
@@ -98,6 +101,66 @@ TEST(JsonTest, EscapeAndValidate) {
   EXPECT_FALSE(JsonLooksValid(R"({"k":1,})"));
   EXPECT_FALSE(JsonLooksValid(R"({"k":1} extra)"));
   EXPECT_FALSE(JsonLooksValid("{"));
+}
+
+TEST(JsonTest, EscapesEveryControlCharacter) {
+  // RFC 8259: everything below 0x20 must be escaped — shorthand where one
+  // exists, \u00XX otherwise. A fatal_message or program path containing
+  // control bytes must never produce invalid JSON.
+  EXPECT_EQ(JsonEscape("\b\f\t\r\n"), "\\b\\f\\t\\r\\n");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(JsonEscape(std::string("\x1f", 1)), "\\u001f");
+  EXPECT_EQ(JsonEscape(std::string("a\0b", 3)), "a\\u0000b");
+  for (int c = 0; c < 0x20; ++c) {
+    std::ostringstream doc;
+    doc << "{\"k\":\"" << JsonEscape(std::string(1, static_cast<char>(c))) << "\"}";
+    EXPECT_TRUE(JsonLooksValid(doc.str())) << "control char " << c << ": " << doc.str();
+  }
+}
+
+TEST(JsonTest, PassesUtf8Through) {
+  // Multi-byte sequences (bytes >= 0x80) are not control characters and must
+  // survive unmodified, not be mangled into \u00XX per byte.
+  const std::string utf8 = "h\xc3\xa9llo \xe2\x86\x92 w\xc3\xb6rld";
+  EXPECT_EQ(JsonEscape(utf8), utf8);
+  EXPECT_TRUE(JsonLooksValid("{\"k\":\"" + utf8 + "\"}"));
+}
+
+TEST(JsonTest, NonFiniteDoublesEmitNull) {
+  // JSON has no literal for inf/nan; "null" keeps the document parseable.
+  std::ostringstream out;
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("nan", std::nan(""));
+  json.Field("inf", std::numeric_limits<double>::infinity());
+  json.Field("ninf", -std::numeric_limits<double>::infinity());
+  json.Field("ok", 2.5);
+  json.EndObject();
+  EXPECT_EQ(out.str(), R"({"nan":null,"inf":null,"ninf":null,"ok":2.5})");
+  EXPECT_TRUE(JsonLooksValid(out.str()));
+}
+
+TEST(MetricRegistryTest, HistogramRegistrationAndLookup) {
+  MetricRegistry registry;
+  Histogram latency;
+  registry.RegisterHistogram("latency", "menter", &latency, "service cycles");
+
+  ASSERT_EQ(registry.histograms().size(), 1u);
+  EXPECT_EQ(registry.histograms()[0].component, "latency");
+  EXPECT_EQ(registry.histograms()[0].name, "menter");
+  EXPECT_EQ(registry.FindHistogram("latency", "menter"), &latency);
+  EXPECT_EQ(registry.FindHistogram("latency", "nope"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("nope", "menter"), nullptr);
+
+  // Registered histograms are read live.
+  latency.Record(12);
+  EXPECT_EQ(registry.FindHistogram("latency", "menter")->count(), 1u);
+
+  // WriteText lists non-empty histograms with their percentiles.
+  std::ostringstream out;
+  registry.WriteText(out);
+  EXPECT_NE(out.str().find("latency.menter"), std::string::npos) << out.str();
+  EXPECT_NE(out.str().find("p99"), std::string::npos);
 }
 
 TEST(CoreMetricsTest, RegistryMatchesStatsAfterRun) {

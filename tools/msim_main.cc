@@ -12,9 +12,18 @@
 //   --max-cycles N        simulation budget (default 50M)
 //   --trace-stats         print detailed pipeline statistics
 //   --trace [N]           print the first N retired instructions (default 200)
-//   --stats-json FILE     write run result + all counters as JSON
-//   --trace-json FILE     record structured events, export Chrome trace JSON
+//   --stats-json FILE     write run result + counters + latency histograms as JSON
+//   --trace-json FILE     record structured events, export a span-aware Chrome
+//                         trace JSON (causal flow arrows between spans)
 //   --profile-mroutines   print per-mroutine cycle/instret breakdown
+//
+// Observability options (docs/observability.md):
+//   --metrics-every N     sample the metric registry every N machine cycles
+//                         (requires --metrics-jsonl; marks are absolute-cycle
+//                         multiples, the same contract as checkpoints)
+//   --metrics-jsonl FILE  streaming time-series output, one JSON object/line
+//   --flight-events K     flight-recorder capacity (default 256; the recorder
+//                         is armed whenever --crash-dump is given)
 //
 // Robustness options (docs/robustness.md):
 //   --inject SPEC         inject a fault (repeatable; see src/fault/fault.h)
@@ -64,9 +73,12 @@
 #include "snap/snapstream.h"
 #include "support/strings.h"
 #include "synth/designs.h"
+#include "trace/flight.h"
 #include "trace/json.h"
 #include "trace/metrics.h"
 #include "trace/profiler.h"
+#include "trace/sampler.h"
+#include "trace/span.h"
 #include "trace/trace.h"
 
 using namespace msim;
@@ -81,7 +93,8 @@ int Usage() {
                "           [--no-fast] [--no-fast-step] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "           [--inject SPEC]... [--fault-seed N] [--watchdog N] [--no-parity]\n"
-               "           [--crash-dump FILE]\n"
+               "           [--crash-dump FILE] [--flight-events K]\n"
+               "           [--metrics-every N --metrics-jsonl FILE]\n"
                "           [--checkpoint-every N --checkpoint-dir D] [--restore FILE]\n"
                "  msim replay <program.s> [run options] --until-divergence\n"
                "           [--compare auto|cycle|retire] [--b-storage MODE] [--b-fast|"
@@ -177,6 +190,11 @@ bool WriteStatsJson(MetalSystem& system, const RunResult& result,
   json.BeginObject("metrics");
   system.metrics().AppendJson(json);
   json.EndObject();
+  // Latency distributions (trace/histogram.h): per-event-class service
+  // latencies with p50/p90/p99/max, registered by the span sink.
+  json.BeginObject("histograms");
+  system.metrics().AppendHistogramsJson(json);
+  json.EndObject();
   if (profiler != nullptr) {
     json.BeginObject("mroutine_profile");
     profiler->AppendJson(json, system.core().stats().cycles);
@@ -187,7 +205,7 @@ bool WriteStatsJson(MetalSystem& system, const RunResult& result,
   return out.good();
 }
 
-bool WriteTraceJson(const RingBufferSink& ring, const std::string& path) {
+bool WriteTraceJson(const RingBufferSink& ring, const SpanSink* spans, const std::string& path) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
@@ -197,7 +215,11 @@ bool WriteTraceJson(const RingBufferSink& ring, const std::string& path) {
     std::fprintf(stderr, "[trace] ring buffer dropped %llu of %llu events\n",
                  (unsigned long long)ring.dropped(), (unsigned long long)ring.total());
   }
-  ExportChromeTrace(ring.Events(), out);
+  if (spans != nullptr) {
+    ExportChromeTraceWithSpans(ring.Events(), spans->Spans(), out);
+  } else {
+    ExportChromeTrace(ring.Events(), out);
+  }
   return out.good();
 }
 
@@ -214,6 +236,9 @@ int CmdRun(const std::vector<std::string>& args) {
   std::vector<std::string> inject_specs;
   uint64_t fault_seed = 0;
   std::string crash_dump_path;
+  uint64_t flight_events = FlightRecorder::kDefaultCapacity;
+  uint64_t metrics_every = 0;
+  std::string metrics_jsonl_path;
   uint64_t checkpoint_every = 0;
   std::string checkpoint_dir;
   std::string restore_path;
@@ -250,6 +275,26 @@ int CmdRun(const std::vector<std::string>& args) {
       config.mram_parity = false;
     } else if (arg == "--crash-dump" && i + 1 < args.size()) {
       crash_dump_path = args[++i];
+    } else if (arg == "--flight-events" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--flight-events", args[++i], &flight_events)) {
+        return 2;
+      }
+      if (flight_events == 0 || flight_events > (1u << 20)) {
+        std::fprintf(stderr,
+                     "invalid value for --flight-events: %llu (want 1..%u)\n",
+                     (unsigned long long)flight_events, 1u << 20);
+        return 2;
+      }
+    } else if (arg == "--metrics-every" && i + 1 < args.size()) {
+      if (!ParseU64Flag("--metrics-every", args[++i], &metrics_every)) {
+        return 2;
+      }
+      if (metrics_every == 0) {
+        std::fprintf(stderr, "invalid value for --metrics-every: 0 (want a cycle interval >= 1)\n");
+        return 2;
+      }
+    } else if (arg == "--metrics-jsonl" && i + 1 < args.size()) {
+      metrics_jsonl_path = args[++i];
     } else if (arg == "--checkpoint-every" && i + 1 < args.size()) {
       if (!ParseU64Flag("--checkpoint-every", args[++i], &checkpoint_every)) {
         return 2;
@@ -292,6 +337,10 @@ int CmdRun(const std::vector<std::string>& args) {
     std::fprintf(stderr, "--checkpoint-every and --checkpoint-dir must be given together\n");
     return 2;
   }
+  if ((metrics_every != 0) != !metrics_jsonl_path.empty()) {
+    std::fprintf(stderr, "--metrics-every and --metrics-jsonl must be given together\n");
+    return 2;
+  }
 
   MetalSystem system(config);
   for (const std::string& path : mcode_paths) {
@@ -327,25 +376,47 @@ int CmdRun(const std::vector<std::string>& args) {
   }
 
   // Structured-event sinks. The ring buffer feeds the Chrome-trace export and
-  // the crash dump's last-N event window; the profiler aggregates in place.
-  // When several consumers are requested they share one stream through a tee.
+  // the crash dump's last-N event window; the profiler, span sink and flight
+  // recorder aggregate in place. When several consumers are requested they
+  // share one stream through a tee.
   RingBufferSink ring;
   MroutineProfiler profiler;
+  SpanSink spans;
+  FlightRecorder flight(static_cast<size_t>(flight_events));
   TeeSink tee;
   TraceSink* sink = nullptr;
   const bool want_ring = !trace_json_path.empty() || !crash_dump_path.empty();
   const bool want_profile = profile_mroutines || !stats_json_path.empty();
-  if (want_ring && want_profile) {
-    tee.Add(&ring);
-    tee.Add(&profiler);
+  const bool want_spans =
+      !stats_json_path.empty() || !trace_json_path.empty() || metrics_every != 0;
+  const bool want_flight = !crash_dump_path.empty();
+  std::vector<TraceSink*> sinks;
+  if (want_ring) {
+    sinks.push_back(&ring);
+  }
+  if (want_profile) {
+    sinks.push_back(&profiler);
+  }
+  if (want_spans) {
+    sinks.push_back(&spans);
+  }
+  if (want_flight) {
+    sinks.push_back(&flight);
+  }
+  if (sinks.size() == 1) {
+    sink = sinks.front();
+  } else if (!sinks.empty()) {
+    for (TraceSink* consumer : sinks) {
+      tee.Add(consumer);
+    }
     sink = &tee;
-  } else if (want_ring) {
-    sink = &ring;
-  } else if (want_profile) {
-    sink = &profiler;
   }
   if (sink != nullptr) {
     system.SetTraceSink(sink);
+  }
+  if (want_spans) {
+    spans.SetWatchdogBudget(config.metal_watchdog_cycles);
+    spans.RegisterMetrics(system.metrics());
   }
 
   uint64_t traced = 0;
@@ -391,15 +462,47 @@ int CmdRun(const std::vector<std::string>& args) {
           std::fprintf(stderr, "%s\n", status.ToString().c_str());
           return 1;
         }
+      } else if (section.name == "spans") {
+        SnapReader reader(section.payload);
+        if (Status status = spans.RestoreState(reader); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+      } else if (section.name == "flight") {
+        SnapReader reader(section.payload);
+        if (Status status = flight.RestoreState(reader); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
+      } else if (section.name == "ring") {
+        SnapReader reader(section.payload);
+        if (Status status = ring.RestoreState(reader); !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
       }
     }
   }
 
+  // Streaming metrics: opened before the run so an early fatal still leaves a
+  // well-formed (possibly empty) JSONL file behind.
+  std::ofstream metrics_out;
+  if (metrics_every != 0) {
+    metrics_out.open(metrics_jsonl_path);
+    if (!metrics_out) {
+      std::fprintf(stderr, "cannot write '%s'\n", metrics_jsonl_path.c_str());
+      return 1;
+    }
+  }
+  IntervalSampler sampler(metrics_every == 0 ? 1 : metrics_every, &system.metrics(),
+                          metrics_every != 0 ? &metrics_out : nullptr);
+
   RunResult result;
-  if (checkpoint_every == 0) {
+  if (checkpoint_every == 0 && metrics_every == 0) {
     result = system.Run(max_cycles);
   } else {
-    if (::mkdir(checkpoint_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    if (checkpoint_every != 0 && ::mkdir(checkpoint_dir.c_str(), 0777) != 0 &&
+        errno != EEXIST) {
       std::fprintf(stderr, "cannot create checkpoint directory '%s': %s\n",
                    checkpoint_dir.c_str(), std::strerror(errno));
       return 1;
@@ -411,13 +514,26 @@ int CmdRun(const std::vector<std::string>& args) {
     Core& core = system.core();
     const uint64_t budget = max_cycles != 0 ? max_cycles : config.default_max_cycles;
     const uint64_t start_cycle = core.cycle();
-    // Run in chunks that land exactly on multiples of the checkpoint interval
-    // (absolute machine cycles, so a restored run saves at the same marks).
+    // Run in chunks that land exactly on the next checkpoint and/or metrics
+    // mark (absolute machine cycles, so a restored run saves and samples at
+    // the same marks the straight run did).
     while (!core.halted() && !core.has_fatal() && core.cycle() - start_cycle < budget) {
-      const uint64_t next_mark = (core.cycle() / checkpoint_every + 1) * checkpoint_every;
+      uint64_t next_mark = UINT64_MAX;
+      if (checkpoint_every != 0) {
+        next_mark = (core.cycle() / checkpoint_every + 1) * checkpoint_every;
+      }
+      if (metrics_every != 0) {
+        next_mark = std::min(next_mark, sampler.NextMark(core.cycle()));
+      }
       const uint64_t remaining = budget - (core.cycle() - start_cycle);
       result = core.Run(std::min(next_mark - core.cycle(), remaining));
-      if (core.cycle() == next_mark && !core.halted() && !core.has_fatal()) {
+      if (core.halted() || core.has_fatal()) {
+        break;
+      }
+      if (metrics_every != 0 && core.cycle() % metrics_every == 0) {
+        sampler.SampleAt(core.cycle());
+      }
+      if (checkpoint_every != 0 && core.cycle() % checkpoint_every == 0) {
         std::vector<SnapshotSection> extras;
         if (fault_engine.num_specs() != 0) {
           SnapWriter writer;
@@ -428,6 +544,21 @@ int CmdRun(const std::vector<std::string>& args) {
           SnapWriter writer;
           profiler.SaveState(writer);
           extras.push_back({"profiler", writer.TakeBytes()});
+        }
+        if (want_spans) {
+          SnapWriter writer;
+          spans.SaveState(writer);
+          extras.push_back({"spans", writer.TakeBytes()});
+        }
+        if (want_flight) {
+          SnapWriter writer;
+          flight.SaveState(writer);
+          extras.push_back({"flight", writer.TakeBytes()});
+        }
+        if (want_ring) {
+          SnapWriter writer;
+          ring.SaveState(writer);
+          extras.push_back({"ring", writer.TakeBytes()});
         }
         const std::string path = StrFormat("%s/checkpoint-%llu.msnap", checkpoint_dir.c_str(),
                                            (unsigned long long)core.cycle());
@@ -470,6 +601,7 @@ int CmdRun(const std::vector<std::string>& args) {
   }
   if (sink != nullptr) {
     profiler.Finalize(system.core().cycle());
+    spans.Finalize(system.core().cycle());
   }
   if (trace_stats) {
     PrintStats(system.core());
@@ -480,12 +612,16 @@ int CmdRun(const std::vector<std::string>& args) {
     std::fputs(text.str().c_str(), stderr);
   }
   bool io_ok = true;
+  if (metrics_every != 0) {
+    metrics_out.flush();
+    io_ok &= metrics_out.good();
+  }
   if (!stats_json_path.empty()) {
     io_ok &= WriteStatsJson(system, result, program_path,
                             want_profile ? &profiler : nullptr, stats_json_path);
   }
   if (!trace_json_path.empty()) {
-    io_ok &= WriteTraceJson(ring, trace_json_path);
+    io_ok &= WriteTraceJson(ring, want_spans ? &spans : nullptr, trace_json_path);
   }
   if (!crash_dump_path.empty()) {
     // Written for every outcome (the reason field records which), so fatal
@@ -494,7 +630,8 @@ int CmdRun(const std::vector<std::string>& args) {
     options.reason = ReasonName(result.reason);
     options.fatal_message = result.fatal_message;
     if (Status status = WriteCrashDumpFile(system.core(), want_ring ? &ring : nullptr,
-                                           options, crash_dump_path);
+                                           want_flight ? &flight : nullptr, options,
+                                           crash_dump_path);
         !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       io_ok = false;
