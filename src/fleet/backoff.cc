@@ -1,0 +1,21 @@
+#include "fleet/backoff.h"
+
+namespace msim {
+
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint64_t failures) {
+  if (failures == 0 || policy.base_ms == 0) {
+    return 0;
+  }
+  // 2^63 already dwarfs any cap; avoid the UB shift long before it.
+  if (failures - 1 >= 63) {
+    return policy.max_ms;
+  }
+  const uint64_t factor = 1ull << (failures - 1);
+  if (factor > policy.max_ms / policy.base_ms) {
+    return policy.max_ms;
+  }
+  const uint64_t delay = policy.base_ms * factor;
+  return delay < policy.max_ms ? delay : policy.max_ms;
+}
+
+}  // namespace msim

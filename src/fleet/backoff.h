@@ -1,0 +1,26 @@
+// Bounded exponential retry backoff for the fleet supervisor.
+//
+// After the k-th failed attempt of a job, the job becomes eligible to run
+// again base_ms * 2^(k-1) milliseconds later, capped at max_ms. The policy is
+// deliberately jitter-free: fleet outcomes (attempt counts, resume points,
+// the --fleet-json report) must be reproducible across identical runs
+// (docs/determinism.md), and jobs in one fleet are independent simulations,
+// not clients thundering against a shared service.
+#ifndef MSIM_FLEET_BACKOFF_H_
+#define MSIM_FLEET_BACKOFF_H_
+
+#include <cstdint>
+
+namespace msim {
+
+struct BackoffPolicy {
+  uint64_t base_ms = 200;
+  uint64_t max_ms = 5000;
+};
+
+// Delay before retry number `failures` (>= 1). failures == 0 returns 0.
+uint64_t BackoffDelayMs(const BackoffPolicy& policy, uint64_t failures);
+
+}  // namespace msim
+
+#endif  // MSIM_FLEET_BACKOFF_H_

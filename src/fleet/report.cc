@@ -1,0 +1,91 @@
+#include "fleet/report.h"
+
+#include "fleet/scheduler.h"
+#include "support/strings.h"
+#include "trace/json.h"
+
+namespace msim {
+
+void WriteFleetJson(const FleetSupervisor& fleet, std::ostream& out) {
+  JsonWriter json(out);
+  json.BeginObject();
+  json.Field("fleet", (uint64_t)1);
+
+  json.BeginArray("jobs");
+  for (const JobRecord& record : fleet.records()) {
+    json.BeginObject();
+    json.Field("name", record.name);
+    json.Field("outcome", JobOutcomeName(record.outcome));
+    json.Field("exit_code", record.exit_code);
+    json.Field("signal", record.signal);
+    json.Field("attempts", record.attempts);
+    json.Field("failures", record.failures);
+    json.Field("evictions", record.evictions);
+    json.Field("deadline_kills", record.deadline_kills);
+    json.Field("hang_kills", record.hang_kills);
+    json.Field("guest_cycles", record.guest_cycles);
+    if (!record.stats_json.empty()) {
+      json.Field("stats_json", record.stats_json);
+    }
+    if (!record.repro_dir.empty()) {
+      json.Field("repro_dir", record.repro_dir);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  uint64_t ok = 0, retried = 0, evicted = 0, crashed = 0, timed_out = 0;
+  for (const JobRecord& record : fleet.records()) {
+    switch (record.outcome) {
+      case JobOutcome::kOk: ok += 1; break;
+      case JobOutcome::kRetriedOk: retried += 1; break;
+      case JobOutcome::kEvictedOk: evicted += 1; break;
+      case JobOutcome::kCrashed: crashed += 1; break;
+      case JobOutcome::kTimedOut: timed_out += 1; break;
+      case JobOutcome::kPending: break;
+    }
+  }
+  json.BeginObject("summary");
+  json.Field("total", (uint64_t)fleet.records().size());
+  json.Field("ok", ok);
+  json.Field("retried", retried);
+  json.Field("evicted", evicted);
+  json.Field("crashed", crashed);
+  json.Field("timed_out", timed_out);
+  json.EndObject();
+
+  json.BeginObject("metrics");
+  fleet.metrics().AppendJson(json);
+  json.EndObject();
+  json.BeginObject("histograms");
+  fleet.metrics().AppendHistogramsJson(json);
+  json.EndObject();
+
+  json.EndObject();
+  out << "\n";
+}
+
+Result<uint64_t> ExtractJsonUint(std::string_view text, std::string_view key) {
+  const std::string needle = StrFormat("\"%.*s\":", (int)key.size(), key.data());
+  const size_t at = text.find(needle);
+  if (at == std::string_view::npos) {
+    return NotFound(StrFormat("no \"%.*s\" member", (int)key.size(), key.data()));
+  }
+  size_t p = at + needle.size();
+  while (p < text.size() && (text[p] == ' ' || text[p] == '\t')) {
+    ++p;
+  }
+  const size_t begin = p;
+  uint64_t value = 0;
+  while (p < text.size() && text[p] >= '0' && text[p] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(text[p] - '0');
+    ++p;
+  }
+  if (p == begin) {
+    return ParseError(StrFormat("\"%.*s\" is not an unsigned integer", (int)key.size(),
+                                key.data()));
+  }
+  return value;
+}
+
+}  // namespace msim

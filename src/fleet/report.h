@@ -1,0 +1,32 @@
+// The fleet report: a deterministic JSON summary of a whole fleet run.
+//
+// The report is a function of the manifest, the chaos specs and the guest
+// programs only — it contains job outcomes, attempt/retry/eviction counts and
+// guest-cycle histograms, but never wall-clock values or host timing, so two
+// identical campaigns produce byte-identical reports (CI asserts this).
+#ifndef MSIM_FLEET_REPORT_H_
+#define MSIM_FLEET_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "support/result.h"
+
+namespace msim {
+
+class FleetSupervisor;
+
+// Writes {"fleet": 1, "jobs": [...], "summary": {...}, "metrics": {...},
+// "histograms": {...}} for a finished supervisor.
+void WriteFleetJson(const FleetSupervisor& fleet, std::ostream& out);
+
+// First `"key": <uint>` member in a JSON text, by string scan. Good enough to
+// pull top-level counters like "cycles" out of a worker's stats.json without
+// a parser; the result object's members come first in every msim document.
+Result<uint64_t> ExtractJsonUint(std::string_view text, std::string_view key);
+
+}  // namespace msim
+
+#endif  // MSIM_FLEET_REPORT_H_

@@ -1,0 +1,164 @@
+// The fleet scheduler: runs a manifest of simulation jobs across a pool of
+// msim worker processes with robustness as the contract
+// (docs/robustness.md "Fleet supervision").
+//
+// Failure taxonomy and response:
+//   crash          child died on a signal, aborted, or exited nonzero
+//                  -> retry with bounded exponential backoff (fleet/backoff),
+//                     resuming from the newest valid checkpoint;
+//   hang           host-side watchdog saw no guest-cycle progress on the
+//                  worker's heartbeat stream for --hang-timeout-ms
+//                  -> SIGTERM (graceful), SIGKILL after a grace period, retry;
+//   deadline       the attempt outlived its wall-clock budget
+//                  -> same kill sequence, retry;
+//   guest timeout  the worker itself reported kExitTimeout (absolute guest
+//                  cycle budget exhausted) — deterministic, so retrying
+//                  cannot help -> terminal timed-out;
+//   eviction       a graceful SIGTERM stop (memory pressure or chaos): the
+//                  worker checkpointed and exited kExitEvicted -> requeued,
+//                  resumes later; evictions never consume the retry budget.
+//
+// Graceful degradation: when aggregate worker RSS exceeds --mem-limit-mb the
+// oldest running job is checkpoint-evicted; a streak of consecutive failures
+// halves admission (down to one worker) until something succeeds again.
+//
+// Every terminal failure is harvested into a self-contained repro directory
+// (command line, stderr tail, crash dump, newest checkpoint), mfuzz-style.
+#ifndef MSIM_FLEET_SCHEDULER_H_
+#define MSIM_FLEET_SCHEDULER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/backoff.h"
+#include "fleet/manifest.h"
+#include "fleet/worker.h"
+#include "trace/histogram.h"
+#include "trace/metrics.h"
+
+namespace msim {
+
+struct FleetOptions {
+  std::string msim_path;            // required: the worker binary
+  std::string out_dir = "fleet-out";
+  uint64_t workers = 4;             // max concurrent worker processes
+  uint64_t retries = 2;             // default failed-attempt budget per job
+  uint64_t deadline_ms = 60000;     // default per-attempt wall budget (0 = none)
+  uint64_t hang_timeout_ms = 0;     // 0 = hang detector off
+  uint64_t heartbeat_every_cycles = 65536;  // guest-cycle heartbeat granularity
+  BackoffPolicy backoff;
+  uint64_t mem_limit_mb = 0;        // 0 = no memory-pressure eviction
+  uint64_t grace_ms = 2000;         // SIGTERM -> SIGKILL escalation delay
+  uint64_t poll_ms = 15;            // supervisor poll interval
+  uint64_t fail_streak_throttle = 5;  // consecutive failures per admission halving
+  std::vector<std::string> chaos;   // test-only fault injection, see ParseChaosSpec
+  bool verbose = true;              // progress lines on stderr
+};
+
+// Chaos specs inject supervisor-visible faults for testing the supervisor
+// itself: ACTION@JOB with ACTION one of
+//   kill  SIGKILL the job's first attempt (a hard crash),
+//   term  SIGTERM it (a graceful checkpoint-eviction),
+//   stop  SIGSTOP it (a wedge the hang detector must catch).
+// The signal fires once, as soon as the attempt has a checkpoint to resume
+// from (immediately for jobs that do not checkpoint).
+struct ChaosSpec {
+  enum class Action { kKill, kTerm, kStop };
+  Action action = Action::kKill;
+  std::string job;
+  bool fired = false;
+};
+Result<ChaosSpec> ParseChaosSpec(std::string_view text);
+
+// Terminal outcome of one job. kOk/kRetriedOk/kEvictedOk all mean the job's
+// final stats are good; the distinction records what it survived.
+enum class JobOutcome {
+  kPending,
+  kOk,         // clean first attempt
+  kRetriedOk,  // succeeded after >= 1 failed attempt
+  kEvictedOk,  // succeeded after >= 1 checkpoint-eviction
+  kCrashed,    // retry budget exhausted on crashes (or unusable command line)
+  kTimedOut,   // guest cycle budget, wall deadline or hang — budget exhausted
+};
+const char* JobOutcomeName(JobOutcome outcome);
+
+// Deterministic per-job record for the fleet report: everything here is a
+// function of the manifest + chaos specs, never of host timing.
+struct JobRecord {
+  std::string name;
+  JobOutcome outcome = JobOutcome::kPending;
+  int exit_code = 0;           // final attempt's exit code (128+N for signals)
+  int signal = 0;              // final attempt's terminating signal, 0 if none
+  uint64_t attempts = 0;       // processes launched
+  uint64_t failures = 0;       // failed attempts (retry budget consumed)
+  uint64_t evictions = 0;      // graceful checkpoint-evictions
+  uint64_t deadline_kills = 0;
+  uint64_t hang_kills = 0;
+  uint64_t guest_cycles = 0;   // absolute cycles from the final stats.json
+  std::string stats_json;      // path relative to out_dir, empty if never written
+  std::string repro_dir;       // relative path, set when a failure was harvested
+};
+
+class FleetSupervisor {
+ public:
+  FleetSupervisor(std::vector<JobSpec> jobs, FleetOptions options);
+  ~FleetSupervisor();  // defined where RunningJob is complete
+
+  // Runs the whole fleet to terminal states. Returns an error only for
+  // infrastructure failures (unusable out dir, bad chaos spec, fork failure);
+  // job failures are recorded, not errors.
+  Status Run();
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const FleetOptions& options() const { return options_; }
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+  // kExitOk when every job succeeded, kExitJobsFailed otherwise.
+  int SuggestedExitCode() const;
+
+ private:
+  struct RunningJob;
+
+  std::string JobDir(const JobSpec& spec) const;
+  Status LaunchAttempt(size_t index);
+  void HandleExit(RunningJob& running, int raw_status, uint64_t now_ms);
+  void FinishJob(size_t index, JobOutcome outcome, const AttemptOutcome& last);
+  void HarvestRepro(size_t index, const RunningJob& running, const AttemptOutcome& last);
+  void RequeueFront(size_t index, uint64_t eligible_at_ms);
+  uint64_t EffectiveWorkers() const;
+  void CheckMemoryPressure(uint64_t now_ms);
+
+  std::vector<JobSpec> jobs_;
+  FleetOptions options_;
+  std::vector<JobRecord> records_;
+  std::vector<ChaosSpec> chaos_;
+
+  // Scheduler state during Run().
+  std::deque<size_t> queue_;                         // pending job indices
+  std::vector<std::unique_ptr<RunningJob>> running_;
+  std::vector<uint64_t> eligible_at_ms_;             // per-job backoff gate
+  uint64_t fail_streak_ = 0;
+  uint64_t last_mem_evict_ms_ = 0;                   // eviction-storm cooldown
+
+  // Fleet-level metrics; deterministic counters/histograms only, so the
+  // report stays byte-identical across identical runs.
+  MetricRegistry metrics_;
+  uint64_t attempts_total_ = 0;
+  uint64_t retries_total_ = 0;
+  uint64_t evictions_total_ = 0;
+  uint64_t deadline_kills_ = 0;
+  uint64_t hang_kills_ = 0;
+  uint64_t mem_evictions_ = 0;
+  uint64_t chaos_fired_ = 0;
+  uint64_t admission_throttled_ = 0;
+  Histogram job_cycles_;    // guest cycles per successfully finished job
+  Histogram job_attempts_;  // attempts per terminal job
+};
+
+}  // namespace msim
+
+#endif  // MSIM_FLEET_SCHEDULER_H_

@@ -1,0 +1,98 @@
+// Per-job worker processes for the fleet supervisor.
+//
+// Each job attempt runs as its own msim child process (fork/exec), so a
+// crash, sanitizer abort, wedge or OOM kill in one simulation cannot take
+// down the supervisor or any other job — process isolation IS the fault
+// boundary. This header covers the mechanics of one attempt:
+//
+//   PlanAttempt     builds the msim command line for attempt k of a job,
+//                   including checkpoint/resume, stats, crash-dump and
+//                   heartbeat plumbing;
+//   WorkerProcess   spawns it with stdout/stderr captured into the job
+//                   directory and exposes non-blocking poll, signalling and
+//                   RSS sampling;
+//   ClassifyWaitStatus  maps a raw wait(2) status onto the shared exit-code
+//                   table (support/exit_codes.h).
+#ifndef MSIM_FLEET_WORKER_H_
+#define MSIM_FLEET_WORKER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/manifest.h"
+#include "support/result.h"
+
+namespace msim {
+
+// The fully resolved launch plan for one attempt of one job.
+struct AttemptPlan {
+  std::vector<std::string> argv;  // argv[0] is the msim binary path
+  std::string stdout_path;        // guest console output
+  std::string stderr_path;        // msim's human-readable reporting
+};
+
+// Builds the command line for attempt `attempt` of `spec`.
+//   * stats always go to <job_dir>/stats.json and the crash dump to
+//     <job_dir>/crash.json (both deterministic, both overwritten per attempt);
+//   * when the job checkpoints, checkpoints live in <job_dir>/ckpts and a
+//     non-empty `restore_path` resumes from it — `restore_cycle` shrinks the
+//     guest cycle budget so `max-cycles` stays an absolute-cycle deadline
+//     across resumes;
+//   * `heartbeat_every_cycles` != 0 adds a --metrics-jsonl stream the
+//     supervisor's hang detector watches for guest-cycle progress.
+AttemptPlan PlanAttempt(const JobSpec& spec, const std::string& msim_path,
+                        const std::string& job_dir, uint64_t attempt,
+                        const std::string& restore_path, uint64_t restore_cycle,
+                        uint64_t heartbeat_every_cycles);
+
+// One running child process. Movable handle; does not kill on destruction
+// (the scheduler owns shutdown policy).
+class WorkerProcess {
+ public:
+  // fork/execs the plan. stdin is /dev/null; stdout/stderr go to the plan's
+  // capture files (truncated per attempt).
+  Status Start(const AttemptPlan& plan);
+
+  bool running() const { return pid_ > 0; }
+  pid_t pid() const { return pid_; }
+
+  // Non-blocking reap. Returns true and fills `raw_status` when the child has
+  // exited (the handle then stops running); false while it is still alive.
+  Result<bool> Poll(int* raw_status);
+
+  // Sends `sig`; safe to call after exit (becomes a no-op).
+  void Signal(int sig);
+
+  // Resident set size in KiB from /proc/<pid>/status, 0 if unreadable.
+  uint64_t RssKb() const;
+
+ private:
+  pid_t pid_ = -1;
+};
+
+// What a finished attempt means to the scheduler.
+enum class AttemptClass {
+  kSuccess,       // exit 0
+  kEvicted,       // exit kExitEvicted: graceful stop, resumable, not a failure
+  kGuestTimeout,  // exit kExitTimeout: guest cycle budget exhausted
+  kUsageError,    // exit kExitUsage: bad command line/manifest — retry is futile
+  kCrash,         // signal death or any other nonzero exit
+};
+
+struct AttemptOutcome {
+  AttemptClass cls = AttemptClass::kCrash;
+  int exit_code = 0;  // valid when exited normally
+  int signal = 0;     // valid when signalled
+};
+
+AttemptOutcome ClassifyWaitStatus(int raw_status);
+
+// Last `max_bytes` of a file, for stderr tails in repro directories.
+std::string ReadFileTail(const std::string& path, size_t max_bytes);
+
+}  // namespace msim
+
+#endif  // MSIM_FLEET_WORKER_H_

@@ -1,6 +1,10 @@
 #include "snap/snapshot.h"
 
+#include <dirent.h>
+
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 
 #include "cpu/config.h"
 #include "cpu/core.h"
@@ -171,7 +175,15 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
 
 Status SaveSnapshotFile(const Core& core, const std::string& path,
                         const std::vector<SnapshotSection>& extras) {
-  return WriteFileBytes(path, SaveSnapshot(core, extras));
+  // Write-then-rename so a reader (or a resume after the writer was SIGKILLed
+  // mid-save) never observes a truncated snapshot at the final path.
+  const std::string tmp = path + ".tmp";
+  MSIM_RETURN_IF_ERROR(WriteFileBytes(tmp, SaveSnapshot(core, extras)));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Internal(StrFormat("cannot rename %s into place", tmp.c_str()));
+  }
+  return Status::Ok();
 }
 
 Status RestoreSnapshotFile(Core& core, const std::string& path,
@@ -183,6 +195,55 @@ Status RestoreSnapshotFile(Core& core, const std::string& path,
 Result<SnapshotMeta> ReadSnapshotMetaFile(const std::string& path) {
   MSIM_ASSIGN_OR_RETURN(const std::vector<uint8_t> image, ReadFileBytes(path));
   return ReadSnapshotMeta(image);
+}
+
+Result<std::vector<SnapshotFileInfo>> ListSnapshots(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return NotFound(StrFormat("cannot open checkpoint directory %s", dir.c_str()));
+  }
+  std::vector<SnapshotFileInfo> found;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    // checkpoint-<cycle>.msnap, as written by `msim run --checkpoint-every`.
+    constexpr const char* kPrefix = "checkpoint-";
+    constexpr const char* kSuffix = ".msnap";
+    if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix) ||
+        name.compare(0, std::strlen(kPrefix), kPrefix) != 0 ||
+        name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix), kSuffix) != 0) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        std::strlen(kPrefix), name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+    const auto cycle = ParseInt(digits);
+    if (!cycle || *cycle < 0) {
+      continue;
+    }
+    found.push_back(SnapshotFileInfo{dir + "/" + name, static_cast<uint64_t>(*cycle)});
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end(),
+            [](const SnapshotFileInfo& a, const SnapshotFileInfo& b) { return a.cycle < b.cycle; });
+  return found;
+}
+
+Result<SnapshotFileInfo> FindLatestValidSnapshot(const std::string& dir,
+                                                 uint64_t expect_config_hash) {
+  MSIM_ASSIGN_OR_RETURN(std::vector<SnapshotFileInfo> all, ListSnapshots(dir));
+  // Newest first; skip anything that fails header validation (a stray or
+  // corrupt file must not stop a resume when an older good checkpoint exists).
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    const auto meta = ReadSnapshotMetaFile(it->path);
+    if (!meta.ok()) {
+      continue;
+    }
+    if (expect_config_hash != 0 && meta->config_hash != expect_config_hash) {
+      continue;
+    }
+    it->cycle = meta->cycle;
+    return *it;
+  }
+  return NotFound(StrFormat("no valid checkpoint in %s", dir.c_str()));
 }
 
 }  // namespace msim

@@ -79,6 +79,22 @@ Result<SnapshotMeta> ReadSnapshotMetaFile(const std::string& path);
 Status WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes);
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
 
+// Checkpoint discovery (used by the fleet supervisor to resume interrupted
+// jobs, src/fleet). Lists the `checkpoint-<cycle>.msnap` files in `dir`,
+// sorted by ascending cycle.
+struct SnapshotFileInfo {
+  std::string path;
+  uint64_t cycle = 0;
+};
+Result<std::vector<SnapshotFileInfo>> ListSnapshots(const std::string& dir);
+
+// Newest checkpoint in `dir` whose header parses (magic + version) and, when
+// `expect_config_hash` is nonzero, whose CoreConfig hash matches. Corrupt or
+// mismatched files are skipped, not errors — after a crash the newest file
+// may be garbage while an older one is perfectly resumable.
+Result<SnapshotFileInfo> FindLatestValidSnapshot(const std::string& dir,
+                                                 uint64_t expect_config_hash = 0);
+
 }  // namespace msim
 
 #endif  // MSIM_SNAP_SNAPSHOT_H_

@@ -1,0 +1,53 @@
+// Canonical process exit codes for the msim tool family (msim, mfuzz, msimd).
+//
+// The tools share one exit-code table so that a supervisor (src/fleet) can
+// classify a child's fate from its wait status alone, without parsing stderr.
+// `msim run` maps a *halted* guest's `halt rs1` code straight through as the
+// process exit code, so guest codes 0..255 share the space with the table
+// below; guests that want to cooperate with the fleet supervisor should avoid
+// the reserved values (docs/robustness.md documents the table). Everything
+// that is not a clean guest halt uses a reserved code:
+//
+//   0   success (guest halted with code 0 / all fleet jobs ok)
+//   1   runtime error (I/O failure, internal error)
+//   2   usage error (bad flags, malformed numeric arguments, bad manifest)
+//   10  lockstep divergence found (msim replay, mfuzz)
+//   11  simulation died fatally (undelegated trap, double machine check)
+//   12  guest cycle budget exhausted before halt (--max-cycles timeout)
+//   13  evicted: a graceful SIGTERM/SIGINT stop wrote a final checkpoint and
+//       flushed artifacts; the run is resumable, not failed
+//   20  fleet run finished but one or more jobs ended in a failed terminal
+//       state (msimd)
+#ifndef MSIM_SUPPORT_EXIT_CODES_H_
+#define MSIM_SUPPORT_EXIT_CODES_H_
+
+namespace msim {
+
+inline constexpr int kExitOk = 0;
+inline constexpr int kExitRuntimeError = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitDivergence = 10;
+inline constexpr int kExitFatalFault = 11;
+inline constexpr int kExitTimeout = 12;
+inline constexpr int kExitEvicted = 13;
+inline constexpr int kExitJobsFailed = 20;
+
+// Stable name for an exit code, for logs and the fleet report. Codes in
+// 0..255 that are not in the table are guest halt codes.
+inline const char* ExitCodeName(int code) {
+  switch (code) {
+    case kExitOk: return "ok";
+    case kExitRuntimeError: return "runtime-error";
+    case kExitUsage: return "usage";
+    case kExitDivergence: return "divergence";
+    case kExitFatalFault: return "fatal-fault";
+    case kExitTimeout: return "timeout";
+    case kExitEvicted: return "evicted";
+    case kExitJobsFailed: return "jobs-failed";
+    default: return "guest-exit";
+  }
+}
+
+}  // namespace msim
+
+#endif  // MSIM_SUPPORT_EXIT_CODES_H_

@@ -1,0 +1,159 @@
+// A scriptable stand-in for `msim run`, used by fleet_test.cc to exercise the
+// fleet supervisor's failure handling without paying for real simulations.
+//
+// It accepts the same command-line shape PlanAttempt() generates and takes its
+// behaviour from the first line of the "program" file:
+//
+//   ok [CYCLES]        write a stats.json reporting CYCLES (default 100), exit 0
+//   exit CODE          exit with CODE (no stats)
+//   crash-until N      abort() while fewer than N attempts have run for this
+//                      job (attempt count persists in the job directory),
+//                      then behave like `ok 4242`
+//   hang-until N       sleep forever (no heartbeat progress; the supervisor
+//                      must kill us) while fewer than N attempts have run,
+//                      then behave like `ok 4242`
+//   dump               write a crash.json crash dump, exit 11 (fatal fault)
+//   evict-wait         write heartbeat lines and wait for SIGTERM; on SIGTERM
+//                      write an "evicted" stats.json and exit 13. If no
+//                      SIGTERM arrives within ~1.5s, succeed like `ok 500`
+//                      (so a worker running solo, below the supervisor's
+//                      memory-pressure pair threshold, still terminates)
+#include <signal.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/exit_codes.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_term = 0;
+void OnTerm(int) { g_term = 1; }
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+void WriteStats(const std::string& path, const char* reason, uint64_t cycles) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\"result\": {\"reason\": \"" << reason << "\", \"exit_code\": 0, \"cycles\": " << cycles
+      << ", \"instret\": " << cycles << "}}\n";
+}
+
+// Attempts already made for this job, persisted next to stats.json so retried
+// attempts (fresh processes) can count themselves.
+uint64_t BumpAttemptCount(const std::string& job_dir) {
+  const std::string path = job_dir + "/fake-attempts";
+  uint64_t prior = 0;
+  if (std::ifstream in(path); in) {
+    in >> prior;
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << (prior + 1) << "\n";
+  return prior;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3 || std::strcmp(argv[1], "run") != 0) {
+    std::fprintf(stderr, "fake worker: want `run <directive-file> ...`\n");
+    return msim::kExitUsage;
+  }
+  std::string stats_json;
+  std::string crash_dump;
+  std::string metrics_jsonl;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    // Every PlanAttempt flag takes a value; skip the ones we don't model.
+    if (arg == "--stats-json" && i + 1 < argc) {
+      stats_json = argv[++i];
+    } else if (arg == "--crash-dump" && i + 1 < argc) {
+      crash_dump = argv[++i];
+    } else if (arg == "--metrics-jsonl" && i + 1 < argc) {
+      metrics_jsonl = argv[++i];
+    } else if (arg.rfind("--", 0) == 0 && i + 1 < argc && argv[i + 1][0] != '-') {
+      ++i;
+    }
+  }
+  if (stats_json.empty()) {
+    std::fprintf(stderr, "fake worker: no --stats-json\n");
+    return msim::kExitUsage;
+  }
+  const std::string job_dir = DirName(stats_json);
+
+  std::ifstream directive_file(argv[2]);
+  std::string line;
+  std::getline(directive_file, line);
+  std::istringstream directive(line);
+  std::string mode;
+  directive >> mode;
+
+  if (mode == "ok") {
+    uint64_t cycles = 100;
+    directive >> cycles;
+    WriteStats(stats_json, "halted", cycles);
+    return msim::kExitOk;
+  }
+  if (mode == "exit") {
+    int code = 1;
+    directive >> code;
+    return code;
+  }
+  if (mode == "crash-until" || mode == "hang-until") {
+    uint64_t until = 1;
+    directive >> until;
+    if (BumpAttemptCount(job_dir) < until) {
+      if (mode == "crash-until") {
+        std::fprintf(stderr, "fake worker: injected crash\n");
+        std::abort();
+      }
+      for (;;) {
+        ::pause();  // no heartbeat progress; wait to be killed
+      }
+    }
+    WriteStats(stats_json, "halted", 4242);
+    return msim::kExitOk;
+  }
+  if (mode == "dump") {
+    if (!crash_dump.empty()) {
+      std::ofstream out(crash_dump, std::ios::trunc);
+      out << "{\"crash\": {\"kind\": \"fake\", \"cycle\": 77}}\n";
+    }
+    std::fprintf(stderr, "fake worker: fatal fault\n");
+    return msim::kExitFatalFault;
+  }
+  if (mode == "evict-wait") {
+    if (BumpAttemptCount(job_dir) > 0) {
+      // A resumed attempt: pretend the checkpoint covered the work and finish.
+      WriteStats(stats_json, "halted", 500);
+      return msim::kExitOk;
+    }
+    struct sigaction sa = {};
+    sa.sa_handler = OnTerm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    for (int beat = 0; g_term == 0; ++beat) {
+      if (beat >= 75) {  // ~1.5s with no eviction: finish normally
+        WriteStats(stats_json, "halted", 500);
+        return msim::kExitOk;
+      }
+      if (!metrics_jsonl.empty()) {
+        std::ofstream out(metrics_jsonl, std::ios::app);
+        out << "{\"cycle\": " << beat * 1000 << "}\n";
+      }
+      ::usleep(20 * 1000);
+    }
+    WriteStats(stats_json, "evicted", 500);
+    return msim::kExitEvicted;
+  }
+  std::fprintf(stderr, "fake worker: unknown directive '%s'\n", mode.c_str());
+  return msim::kExitUsage;
+}

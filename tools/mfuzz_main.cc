@@ -39,6 +39,7 @@
 #include "metal/system.h"
 #include "snap/diverge.h"
 #include "snap/snapshot.h"
+#include "support/exit_codes.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -51,7 +52,7 @@ int Usage() {
                "usage: mfuzz [--seed N] [--runs N] [--time-budget-seconds N] "
                "[--max-cycles N]\n"
                "             [--oracle all|determinism|storage|fast|faststep] [--out DIR]\n");
-  return 2;
+  return kExitUsage;
 }
 
 bool ParseU64Flag(const char* flag, const std::string& text, uint64_t* out) {
@@ -470,7 +471,7 @@ int main(int argc, char** argv) {
             rc != 0) {
           return rc;
         }
-        return 10;
+        return kExitDivergence;
       }
     }
     ++executed;

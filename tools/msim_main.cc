@@ -45,7 +45,11 @@
 //     divergence. Exit: 0 = identical, 10 = divergence, 2 = usage, 1 = error.
 //
 // Malformed numeric arguments exit with status 2. The program's exit code
-// (from `halt rs1`) becomes the process exit code. Human-readable output
+// (from `halt rs1`) becomes the process exit code; every other outcome uses
+// the shared table in src/support/exit_codes.h — 11 fatal simulation fault,
+// 12 guest cycle budget exhausted, 13 evicted (SIGTERM/SIGINT wrote a final
+// checkpoint when --checkpoint-dir is configured and flushed all artifacts,
+// docs/robustness.md "Fleet supervision"). Human-readable output
 // (status lines, statistics, profiles) goes to stderr; stdout carries only
 // the simulated program's console output; JSON artifacts go to their own
 // files — so piping stdout or a JSON file never picks up log interleaving.
@@ -53,6 +57,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cctype>
 #include <cstring>
@@ -71,6 +76,7 @@
 #include "snap/diverge.h"
 #include "snap/snapshot.h"
 #include "snap/snapstream.h"
+#include "support/exit_codes.h"
 #include "support/strings.h"
 #include "synth/designs.h"
 #include "trace/flight.h"
@@ -103,7 +109,7 @@ int Usage() {
                "           [--b-inject SPEC]... [--b-fault-seed N] [--divergence-json FILE]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
-  return 2;
+  return kExitUsage;
 }
 
 // Strict numeric flag parsing (support/strings.h ParseInt): rejects trailing
@@ -142,6 +148,30 @@ const char* ReasonName(RunResult::Reason reason) {
   return "unknown";
 }
 
+// Graceful stop (docs/robustness.md "Fleet supervision"): SIGTERM/SIGINT set
+// a flag the run loop polls at chunk boundaries. The run then writes a final
+// checkpoint (when checkpointing is configured), flushes every requested
+// artifact, and exits kExitEvicted — so a supervisor's evict is lossless.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void HandleStopSignal(int sig) { g_stop_signal = sig; }
+
+void InstallStopHandlers() {
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+}
+
+// How often the run loop surfaces from Core::Run to poll g_stop_signal when
+// no checkpoint/metrics mark is nearer. Chunking does not change simulation
+// results (the CI determinism job proves chunked == straight byte-for-byte),
+// so this only bounds stop latency, ~1 ms of host time per chunk.
+constexpr uint64_t kSignalPollCycles = 1u << 16;
+
 Result<std::string> ReadFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -167,7 +197,7 @@ void PrintStats(Core& core) {
   std::fputs(text.str().c_str(), stderr);
 }
 
-bool WriteStatsJson(MetalSystem& system, const RunResult& result,
+bool WriteStatsJson(MetalSystem& system, const RunResult& result, const char* reason_name,
                     const std::string& program_path, const MroutineProfiler* profiler,
                     const std::string& path) {
   std::ofstream out(path);
@@ -179,7 +209,7 @@ bool WriteStatsJson(MetalSystem& system, const RunResult& result,
   json.BeginObject();
   json.Field("program", program_path);
   json.BeginObject("result");
-  json.Field("reason", ReasonName(result.reason));
+  json.Field("reason", reason_name);
   json.Field("exit_code", result.exit_code);
   // Absolute machine cycles (not this invocation's delta), so a straight run
   // and a run restored from a mid-execution checkpoint report byte-identical
@@ -497,107 +527,131 @@ int CmdRun(const std::vector<std::string>& args) {
   IntervalSampler sampler(metrics_every == 0 ? 1 : metrics_every, &system.metrics(),
                           metrics_every != 0 ? &metrics_out : nullptr);
 
-  RunResult result;
-  if (checkpoint_every == 0 && metrics_every == 0) {
-    result = system.Run(max_cycles);
-  } else {
-    if (checkpoint_every != 0 && ::mkdir(checkpoint_dir.c_str(), 0777) != 0 &&
-        errno != EEXIST) {
-      std::fprintf(stderr, "cannot create checkpoint directory '%s': %s\n",
-                   checkpoint_dir.c_str(), std::strerror(errno));
-      return 1;
+  // The run is always chunked (even with no checkpoint/metrics marks) so the
+  // loop can poll g_stop_signal; chunking is byte-invariant, see above.
+  InstallStopHandlers();
+  if (checkpoint_every != 0 && ::mkdir(checkpoint_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create checkpoint directory '%s': %s\n", checkpoint_dir.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  if (Status status = system.Boot(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  Core& core = system.core();
+  const auto save_checkpoint = [&]() -> Status {
+    std::vector<SnapshotSection> extras;
+    if (fault_engine.num_specs() != 0) {
+      SnapWriter writer;
+      fault_engine.SaveState(writer);
+      extras.push_back({"fault", writer.TakeBytes()});
     }
-    if (Status status = system.Boot(); !status.ok()) {
+    if (want_profile) {
+      SnapWriter writer;
+      profiler.SaveState(writer);
+      extras.push_back({"profiler", writer.TakeBytes()});
+    }
+    if (want_spans) {
+      SnapWriter writer;
+      spans.SaveState(writer);
+      extras.push_back({"spans", writer.TakeBytes()});
+    }
+    if (want_flight) {
+      SnapWriter writer;
+      flight.SaveState(writer);
+      extras.push_back({"flight", writer.TakeBytes()});
+    }
+    if (want_ring) {
+      SnapWriter writer;
+      ring.SaveState(writer);
+      extras.push_back({"ring", writer.TakeBytes()});
+    }
+    const std::string path = StrFormat("%s/checkpoint-%llu.msnap", checkpoint_dir.c_str(),
+                                       (unsigned long long)core.cycle());
+    return SaveSnapshotFile(core, path, extras);
+  };
+  RunResult result;
+  int stop_signal = 0;
+  const uint64_t budget = max_cycles != 0 ? max_cycles : config.default_max_cycles;
+  const uint64_t start_cycle = core.cycle();
+  // Run in chunks that land exactly on the next checkpoint and/or metrics
+  // mark (absolute machine cycles, so a restored run saves and samples at
+  // the same marks the straight run did).
+  while (!core.halted() && !core.has_fatal() && core.cycle() - start_cycle < budget) {
+    if (g_stop_signal != 0) {
+      stop_signal = g_stop_signal;
+      break;
+    }
+    uint64_t next_mark = core.cycle() + kSignalPollCycles;
+    if (checkpoint_every != 0) {
+      next_mark = std::min(next_mark, (core.cycle() / checkpoint_every + 1) * checkpoint_every);
+    }
+    if (metrics_every != 0) {
+      next_mark = std::min(next_mark, sampler.NextMark(core.cycle()));
+    }
+    const uint64_t remaining = budget - (core.cycle() - start_cycle);
+    result = core.Run(std::min(next_mark - core.cycle(), remaining));
+    if (core.halted() || core.has_fatal()) {
+      break;
+    }
+    if (metrics_every != 0 && core.cycle() % metrics_every == 0) {
+      sampler.SampleAt(core.cycle());
+    }
+    if (checkpoint_every != 0 && core.cycle() % checkpoint_every == 0) {
+      if (Status status = save_checkpoint(); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  const bool evicted = stop_signal != 0;
+  if (evicted && checkpoint_every != 0) {
+    // Final checkpoint at the eviction cycle (not necessarily a
+    // --checkpoint-every mark); a resumed run still saves/samples at the
+    // original absolute marks, so its artifacts stay byte-identical to an
+    // uninterrupted run's.
+    if (Status status = save_checkpoint(); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
-    Core& core = system.core();
-    const uint64_t budget = max_cycles != 0 ? max_cycles : config.default_max_cycles;
-    const uint64_t start_cycle = core.cycle();
-    // Run in chunks that land exactly on the next checkpoint and/or metrics
-    // mark (absolute machine cycles, so a restored run saves and samples at
-    // the same marks the straight run did).
-    while (!core.halted() && !core.has_fatal() && core.cycle() - start_cycle < budget) {
-      uint64_t next_mark = UINT64_MAX;
-      if (checkpoint_every != 0) {
-        next_mark = (core.cycle() / checkpoint_every + 1) * checkpoint_every;
-      }
-      if (metrics_every != 0) {
-        next_mark = std::min(next_mark, sampler.NextMark(core.cycle()));
-      }
-      const uint64_t remaining = budget - (core.cycle() - start_cycle);
-      result = core.Run(std::min(next_mark - core.cycle(), remaining));
-      if (core.halted() || core.has_fatal()) {
-        break;
-      }
-      if (metrics_every != 0 && core.cycle() % metrics_every == 0) {
-        sampler.SampleAt(core.cycle());
-      }
-      if (checkpoint_every != 0 && core.cycle() % checkpoint_every == 0) {
-        std::vector<SnapshotSection> extras;
-        if (fault_engine.num_specs() != 0) {
-          SnapWriter writer;
-          fault_engine.SaveState(writer);
-          extras.push_back({"fault", writer.TakeBytes()});
-        }
-        if (want_profile) {
-          SnapWriter writer;
-          profiler.SaveState(writer);
-          extras.push_back({"profiler", writer.TakeBytes()});
-        }
-        if (want_spans) {
-          SnapWriter writer;
-          spans.SaveState(writer);
-          extras.push_back({"spans", writer.TakeBytes()});
-        }
-        if (want_flight) {
-          SnapWriter writer;
-          flight.SaveState(writer);
-          extras.push_back({"flight", writer.TakeBytes()});
-        }
-        if (want_ring) {
-          SnapWriter writer;
-          ring.SaveState(writer);
-          extras.push_back({"ring", writer.TakeBytes()});
-        }
-        const std::string path = StrFormat("%s/checkpoint-%llu.msnap", checkpoint_dir.c_str(),
-                                           (unsigned long long)core.cycle());
-        if (Status status = SaveSnapshotFile(core, path, extras); !status.ok()) {
-          std::fprintf(stderr, "%s\n", status.ToString().c_str());
-          return 1;
-        }
-      }
-    }
-    // The loop's last Run() only covers the final chunk; rebuild the summary
-    // for the whole invocation from core state.
-    result.cycles = core.cycle() - start_cycle;
-    result.instret = core.stats().instret;
-    result.exit_code = core.exit_code();
-    if (core.has_fatal()) {
-      result.reason = RunResult::Reason::kFatal;
-      result.fatal_message = core.fatal_status().message();
-    } else if (core.halted()) {
-      result.reason = RunResult::Reason::kHalted;
-    } else {
-      result.reason = RunResult::Reason::kCycleLimit;
-    }
   }
+  // The loop's last Run() only covers the final chunk; rebuild the summary
+  // for the whole invocation from core state.
+  result.cycles = core.cycle() - start_cycle;
+  result.instret = core.stats().instret;
+  result.exit_code = core.exit_code();
+  if (core.has_fatal()) {
+    result.reason = RunResult::Reason::kFatal;
+    result.fatal_message = core.fatal_status().message();
+  } else if (core.halted()) {
+    result.reason = RunResult::Reason::kHalted;
+  } else {
+    result.reason = RunResult::Reason::kCycleLimit;
+  }
+  const char* reason_name = evicted ? "evicted" : ReasonName(result.reason);
   const std::string& console = system.core().console().output();
   if (!console.empty()) {
     std::fwrite(console.data(), 1, console.size(), stdout);
   }
-  switch (result.reason) {
-    case RunResult::Reason::kHalted:
-      std::fprintf(stderr, "[halted] exit=%u cycles=%llu instret=%llu\n", result.exit_code,
-                   (unsigned long long)result.cycles, (unsigned long long)result.instret);
-      break;
-    case RunResult::Reason::kCycleLimit:
-      std::fprintf(stderr, "[cycle limit reached] cycles=%llu\n",
-                   (unsigned long long)result.cycles);
-      break;
-    case RunResult::Reason::kFatal:
-      std::fprintf(stderr, "[fatal] %s\n", result.fatal_message.c_str());
-      break;
+  if (evicted) {
+    std::fprintf(stderr, "[evicted] signal=%d cycle=%llu%s\n", stop_signal,
+                 (unsigned long long)core.cycle(),
+                 checkpoint_every != 0 ? " (final checkpoint written)" : "");
+  } else {
+    switch (result.reason) {
+      case RunResult::Reason::kHalted:
+        std::fprintf(stderr, "[halted] exit=%u cycles=%llu instret=%llu\n", result.exit_code,
+                     (unsigned long long)result.cycles, (unsigned long long)result.instret);
+        break;
+      case RunResult::Reason::kCycleLimit:
+        std::fprintf(stderr, "[cycle limit reached] cycles=%llu\n",
+                     (unsigned long long)result.cycles);
+        break;
+      case RunResult::Reason::kFatal:
+        std::fprintf(stderr, "[fatal] %s\n", result.fatal_message.c_str());
+        break;
+    }
   }
   if (sink != nullptr) {
     profiler.Finalize(system.core().cycle());
@@ -617,7 +671,7 @@ int CmdRun(const std::vector<std::string>& args) {
     io_ok &= metrics_out.good();
   }
   if (!stats_json_path.empty()) {
-    io_ok &= WriteStatsJson(system, result, program_path,
+    io_ok &= WriteStatsJson(system, result, reason_name, program_path,
                             want_profile ? &profiler : nullptr, stats_json_path);
   }
   if (!trace_json_path.empty()) {
@@ -627,7 +681,7 @@ int CmdRun(const std::vector<std::string>& args) {
     // Written for every outcome (the reason field records which), so fatal
     // paths are debuggable and deterministic runs diff byte-identically.
     CrashDumpOptions options;
-    options.reason = ReasonName(result.reason);
+    options.reason = reason_name;
     options.fatal_message = result.fatal_message;
     if (Status status = WriteCrashDumpFile(system.core(), want_ring ? &ring : nullptr,
                                            want_flight ? &flight : nullptr, options,
@@ -638,10 +692,20 @@ int CmdRun(const std::vector<std::string>& args) {
     }
   }
   if (!io_ok) {
-    return 1;
+    return kExitRuntimeError;
   }
-  return result.reason == RunResult::Reason::kHalted ? static_cast<int>(result.exit_code & 0xFF)
-                                                     : 1;
+  if (evicted) {
+    return kExitEvicted;
+  }
+  switch (result.reason) {
+    case RunResult::Reason::kHalted:
+      return static_cast<int>(result.exit_code & 0xFF);
+    case RunResult::Reason::kCycleLimit:
+      return kExitTimeout;
+    case RunResult::Reason::kFatal:
+      return kExitFatalFault;
+  }
+  return kExitRuntimeError;
 }
 
 // msim replay: run configuration A (the shared run options) in lockstep
@@ -854,7 +918,7 @@ int CmdReplay(const std::vector<std::string>& args) {
       return 1;
     }
   }
-  return report->diverged ? 10 : 0;
+  return report->diverged ? kExitDivergence : kExitOk;
 }
 
 int CmdAsm(const std::vector<std::string>& args) {
