@@ -1,6 +1,8 @@
 #include "fault/fault.h"
 
+#include "cpu/config.h"
 #include "cpu/core.h"
+#include "mem/mram.h"
 #include "snap/snapstream.h"
 #include "support/strings.h"
 
@@ -124,6 +126,12 @@ Result<FaultSpec> ParseFaultSpec(std::string_view text) {
           return ParseError(
               StrFormat("fault spec '%s': mask=X needs a 32-bit value", spec.text.c_str()));
         }
+        if (*value == 0) {
+          return ParseError(StrFormat(
+              "fault spec '%s': mask=0 corrupts nothing; omit mask for a random "
+              "single-bit flip or set at least one bit",
+              spec.text.c_str()));
+        }
         spec.mask |= static_cast<uint32_t>(*value);
       } else if (key == "at") {
         if (*value < 0 || static_cast<uint64_t>(*value) > 0xFFFFFFFFull) {
@@ -149,6 +157,118 @@ Result<FaultSpec> ParseFaultSpec(std::string_view text) {
     }
   }
   return spec;
+}
+
+uint32_t FaultTargetCapacity(FaultTarget target, const CoreConfig& config) {
+  switch (target) {
+    case FaultTarget::kMramCode: return kMramCodeSize / 4;
+    case FaultTarget::kMramData: return kMramDataSize / 4;
+    case FaultTarget::kMreg: return 32;
+    case FaultTarget::kTlb: return config.tlb_entries;
+    case FaultTarget::kICache: return config.icache_lines;
+    case FaultTarget::kDCache: return config.dcache_lines;
+    case FaultTarget::kBus: return 1;
+  }
+  return 1;
+}
+
+Status ValidateFaultSpec(const FaultSpec& spec, const CoreConfig& config,
+                         uint64_t max_cycles) {
+  if (!spec.probabilistic && max_cycles != 0 && spec.cycle >= max_cycles) {
+    return InvalidArgument(StrFormat(
+        "fault spec '%s': trigger cycle %llu never fires within the cycle "
+        "budget of %llu (raise --max-cycles or lower the trigger)",
+        spec.text.c_str(), static_cast<unsigned long long>(spec.cycle),
+        static_cast<unsigned long long>(max_cycles)));
+  }
+  if (!spec.has_at) {
+    return Status::Ok();
+  }
+  switch (spec.target) {
+    case FaultTarget::kMramCode:
+      if (spec.at >= kMramCodeSize) {
+        return InvalidArgument(StrFormat(
+            "fault spec '%s': at=%u is outside mram-code (byte offsets 0..%u)",
+            spec.text.c_str(), spec.at, kMramCodeSize - 1));
+      }
+      break;
+    case FaultTarget::kMramData:
+      if (spec.at >= kMramDataSize) {
+        return InvalidArgument(StrFormat(
+            "fault spec '%s': at=%u is outside mram-data (byte offsets 0..%u)",
+            spec.text.c_str(), spec.at, kMramDataSize - 1));
+      }
+      break;
+    case FaultTarget::kMreg:
+      if (spec.at >= 32) {
+        return InvalidArgument(
+            StrFormat("fault spec '%s': at=%u is not a Metal register (m0..m31)",
+                      spec.text.c_str(), spec.at));
+      }
+      break;
+    case FaultTarget::kTlb:
+      if (spec.at >= config.tlb_entries) {
+        return InvalidArgument(StrFormat(
+            "fault spec '%s': at=%u is outside the TLB (entries 0..%u)",
+            spec.text.c_str(), spec.at, config.tlb_entries - 1));
+      }
+      break;
+    case FaultTarget::kICache:
+      if (spec.at >= config.icache_lines) {
+        return InvalidArgument(StrFormat(
+            "fault spec '%s': at=%u is outside the I-cache (lines 0..%u)",
+            spec.text.c_str(), spec.at, config.icache_lines - 1));
+      }
+      break;
+    case FaultTarget::kDCache:
+      if (spec.at >= config.dcache_lines) {
+        return InvalidArgument(StrFormat(
+            "fault spec '%s': at=%u is outside the D-cache (lines 0..%u)",
+            spec.text.c_str(), spec.at, config.dcache_lines - 1));
+      }
+      break;
+    case FaultTarget::kBus:
+      return InvalidArgument(StrFormat(
+          "fault spec '%s': bus faults corrupt the next completed load and "
+          "have no location; drop at=",
+          spec.text.c_str()));
+  }
+  return Status::Ok();
+}
+
+std::string DescribeFaultTargets(const CoreConfig& config) {
+  std::string out;
+  out +=
+      "fault spec grammar (msim run --inject SPEC, repeatable):\n"
+      "\n"
+      "  SPEC    := TARGET '@' TRIGGER [':' PARAM (',' PARAM)*]\n"
+      "  TRIGGER := CYCLE        one-shot, fires at the first cycle >= CYCLE\n"
+      "                          (must lie inside the --max-cycles budget)\n"
+      "           | '~' N        probabilistic, 1/N chance every cycle\n"
+      "  PARAM   := bit=N        corrupt bit N (0..31; repeatable, bits accumulate)\n"
+      "           | mask=X       corrupt the bits set in X (nonzero 32-bit)\n"
+      "           | at=N         pin the location (see table; random when absent)\n"
+      "           | stuck=0|1    stuck-at instead of the default bit flip\n"
+      "\n"
+      "  TARGET     at= range                    detection\n";
+  out += StrFormat(
+      "  mram-code  byte offset 0..%u (word-aligned)   fetch parity -> machine check\n",
+      kMramCodeSize - 1);
+  out += StrFormat(
+      "  mram-data  byte offset 0..%u (word-aligned)    mld parity -> machine check\n",
+      kMramDataSize - 1);
+  out += "  mreg       register index 0..31             none (silent)\n";
+  out += StrFormat(
+      "  tlb        entry index 0..%u                silent; wrong translations\n",
+      config.tlb_entries - 1);
+  out += StrFormat(
+      "  icache     line index 0..%u                 timing-only (tags)\n",
+      config.icache_lines - 1);
+  out += StrFormat(
+      "  dcache     line index 0..%u                 timing-only (tags)\n",
+      config.dcache_lines - 1);
+  out += "  bus        (no location; at= rejected)      silent; next load's data\n";
+  return out;
 }
 
 Status FaultEngine::AddSpec(std::string_view text) {

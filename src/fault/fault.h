@@ -40,6 +40,7 @@ namespace msim {
 class Core;
 class SnapWriter;
 class SnapReader;
+struct CoreConfig;
 
 enum class FaultTarget : uint32_t {
   kMramCode = 0,  // MRAM code words (detected by fetch parity)
@@ -74,6 +75,26 @@ struct FaultSpec {
 
 // Parses one spec string; the error message names the offending piece.
 Result<FaultSpec> ParseFaultSpec(std::string_view text);
+
+// Number of distinct injectable locations the target exposes under `config`:
+// MRAM words, Metal registers, TLB entries or cache lines (1 for bus, which
+// has no location). This is the sampling universe for campaign fault spaces
+// and the bound behind `at=` validation.
+uint32_t FaultTargetCapacity(FaultTarget target, const CoreConfig& config);
+
+// Strict semantic validation of a parsed spec against a concrete machine:
+// pinned locations must exist (MRAM byte offsets inside the array, mreg
+// index 0..31, TLB/cache indices below capacity, no at= for bus) and a
+// one-shot trigger cycle must be reachable within `max_cycles` (0 = no
+// budget). ParseFaultSpec alone accepts these because it cannot know the
+// machine; the CLI calls this afterwards so typos exit 2 with a pointed
+// message instead of silently never firing.
+Status ValidateFaultSpec(const FaultSpec& spec, const CoreConfig& config,
+                         uint64_t max_cycles);
+
+// Human-readable grammar + per-target table of valid ranges and detection
+// story for `msim run --list-fault-targets`.
+std::string DescribeFaultTargets(const CoreConfig& config);
 
 class FaultEngine {
  public:

@@ -1,6 +1,7 @@
 #include "fleet/report.h"
 
 #include "fleet/scheduler.h"
+#include "support/exit_codes.h"
 #include "support/strings.h"
 #include "trace/json.h"
 
@@ -17,6 +18,9 @@ void WriteFleetJson(const FleetSupervisor& fleet, std::ostream& out) {
     json.Field("name", record.name);
     json.Field("outcome", JobOutcomeName(record.outcome));
     json.Field("exit_code", record.exit_code);
+    // Symbolic name from the shared exit-code table, so readers do not have
+    // to memorise the numbers. Signal deaths have no meaningful exit code.
+    json.Field("exit_name", record.signal != 0 ? "signal" : ExitCodeName(record.exit_code));
     json.Field("signal", record.signal);
     json.Field("attempts", record.attempts);
     json.Field("failures", record.failures);

@@ -375,8 +375,12 @@ void FleetSupervisor::HandleExit(RunningJob& running, int raw_status, uint64_t n
 
   const uint64_t retry_budget =
       spec.retries >= 0 ? static_cast<uint64_t>(spec.retries) : options_.retries;
+  // SDC findings are deterministic (same program, seed and fault space every
+  // attempt), so a retry would only reproduce the corruption — fail fast and
+  // harvest the repro instead.
   const bool retry_futile = outcome.cls == AttemptClass::kUsageError ||
-                            outcome.cls == AttemptClass::kGuestTimeout;
+                            outcome.cls == AttemptClass::kGuestTimeout ||
+                            outcome.cls == AttemptClass::kSdc;
   if (retry_futile || record.failures > retry_budget) {
     HarvestRepro(index, running, outcome);
     FinishJob(index, budget_class ? JobOutcome::kTimedOut : JobOutcome::kCrashed, outcome);

@@ -182,6 +182,9 @@ AttemptOutcome ClassifyWaitStatus(int raw_status) {
     case kExitUsage:
       outcome.cls = AttemptClass::kUsageError;
       break;
+    case kExitSdc:
+      outcome.cls = AttemptClass::kSdc;
+      break;
     default:
       // Runtime errors, fatal simulation faults and nonzero guest halts all
       // land here: the attempt failed and may be retried.

@@ -79,6 +79,8 @@ enum class AttemptClass {
   kEvicted,       // exit kExitEvicted: graceful stop, resumable, not a failure
   kGuestTimeout,  // exit kExitTimeout: guest cycle budget exhausted
   kUsageError,    // exit kExitUsage: bad command line/manifest — retry is futile
+  kSdc,           // exit kExitSdc: silent data corruption found; the campaign
+                  // is deterministic, so retry is futile — harvest the repro
   kCrash,         // signal death or any other nonzero exit
 };
 

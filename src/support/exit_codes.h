@@ -16,6 +16,9 @@
 //   12  guest cycle budget exhausted before halt (--max-cycles timeout)
 //   13  evicted: a graceful SIGTERM/SIGINT stop wrote a final checkpoint and
 //       flushed artifacts; the run is resumable, not failed
+//   14  silent data corruption found (mcamp campaign, mfuzz injection
+//       oracle): an injected fault changed the architectural outcome without
+//       being detected — deterministic, so retrying cannot help
 //   20  fleet run finished but one or more jobs ended in a failed terminal
 //       state (msimd)
 #ifndef MSIM_SUPPORT_EXIT_CODES_H_
@@ -30,6 +33,7 @@ inline constexpr int kExitDivergence = 10;
 inline constexpr int kExitFatalFault = 11;
 inline constexpr int kExitTimeout = 12;
 inline constexpr int kExitEvicted = 13;
+inline constexpr int kExitSdc = 14;
 inline constexpr int kExitJobsFailed = 20;
 
 // Stable name for an exit code, for logs and the fleet report. Codes in
@@ -43,6 +47,7 @@ inline const char* ExitCodeName(int code) {
     case kExitFatalFault: return "fatal-fault";
     case kExitTimeout: return "timeout";
     case kExitEvicted: return "evicted";
+    case kExitSdc: return "sdc";
     case kExitJobsFailed: return "jobs-failed";
     default: return "guest-exit";
   }

@@ -1,0 +1,19 @@
+# Campaign-test guest: twelve accelerator calls accumulating in MRAM data
+# (see campaign_mcode.s), one console byte per iteration, and a
+# data-dependent halt code — so silent corruption of the counter changes the
+# final architectural digest (registers, console stream and exit code) and
+# the campaign classifier can tell masked from SDC.
+  _start:
+    li s0, 12                 # twelve accelerator calls of +5 each
+    li s1, 0
+    li s2, 0xF0003000         # console MMIO doorbell
+  loop:
+    li a0, 5
+    menter 1                  # s1 = D_COUNT += 5
+    mv s1, a0
+    andi t0, s1, 63           # print a counter-derived byte each iteration
+    addi t0, t0, 32
+    sw t0, 0(s2)
+    addi s0, s0, -1
+    bnez s0, loop
+    halt s1                   # expect 60 on a clean (or fully recovered) run

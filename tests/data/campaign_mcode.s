@@ -1,0 +1,33 @@
+# Campaign-test mcode: a counter accelerator whose state lives in the MRAM
+# data segment (entry 1) plus a scrub-and-retry machine-check recovery
+# mroutine (entry 2). The campaign tests delegate machine checks to entry 2
+# (mcamp --mcheck-entry 2), so an injected MRAM parity error is repaired and
+# the aborted accelerator call replays — detected_recovered — instead of
+# stopping the machine.
+#
+# Unlike examples/fault_recovery.cc, the recovery mroutine here is
+# architecturally TRANSPARENT: it stashes its one scratch GPR in a Metal
+# register and restores it before mexit. The campaign classifier digests the
+# full register file, so a handler that leaks scratch into x-registers would
+# turn every recovered trial into a false SDC.
+    .equ D_COUNT, 0           # accumulator in the MRAM data segment
+    .equ CR_MEPC, 1
+    .equ CR_MRAM_SCRUB, 52
+
+    .mentry 1, count_add      # the "accelerator": D_COUNT += a0
+    .mentry 2, mcheck_recover
+
+  count_add:
+    mld t0, D_COUNT(zero)     # parity-checked: corruption machine-checks here
+    add t0, t0, a0
+    mst t0, D_COUNT(zero)
+    mv a0, t0
+    mexit
+
+  mcheck_recover:
+    wcr CR_MRAM_SCRUB, zero   # repair: restore from the shadow copy
+    wmr m30, t0               # transparent: preserve the guest's t0
+    rcr t0, CR_MEPC           # retry: resume Metal mode at the faulting pc
+    wmr m31, t0               # (mexit restores m31 from MCHECKM31 on re-entry)
+    rmr t0, m30
+    mexit

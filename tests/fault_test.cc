@@ -77,6 +77,74 @@ TEST(FaultSpecTest, RejectsMalformedSpecs) {
   }
 }
 
+TEST(FaultSpecTest, RejectsZeroWidthMask) {
+  const auto spec = ParseFaultSpec("mram-code@5:mask=0");
+  EXPECT_FALSE(spec.ok());
+  EXPECT_NE(spec.status().message().find("mask=0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Strict semantic validation (msim exits 2 on these instead of silently
+// running a spec that can never fire).
+
+TEST(FaultValidateTest, TargetCapacitiesMatchTheMachine) {
+  const CoreConfig config;
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kMramCode, config), kMramCodeSize / 4);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kMramData, config), kMramDataSize / 4);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kMreg, config), 32u);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kTlb, config), config.tlb_entries);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kICache, config), config.icache_lines);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kDCache, config), config.dcache_lines);
+  EXPECT_EQ(FaultTargetCapacity(FaultTarget::kBus, config), 1u);
+}
+
+TEST(FaultValidateTest, AcceptsInRangeSpecs) {
+  const CoreConfig config;
+  for (const char* text : {"mram-code@5:at=16380", "mram-data@5:at=8188,bit=31",
+                           "mreg@5:at=31", "tlb@~100:at=31", "icache@5:at=63",
+                           "dcache@5:at=0", "bus@5:bit=7"}) {
+    const auto spec = ParseFaultSpec(text);
+    ASSERT_OK(spec.status());
+    EXPECT_OK(ValidateFaultSpec(*spec, config, /*max_cycles=*/1000));
+  }
+}
+
+TEST(FaultValidateTest, RejectsOutOfRangeLocations) {
+  const CoreConfig config;
+  for (const char* text : {"mram-code@5:at=16384",  // one past the code array
+                           "mram-data@5:at=8192",   // one past the data array
+                           "mreg@5:at=32", "tlb@5:at=32", "icache@5:at=64",
+                           "dcache@5:at=64", "bus@5:at=0"}) {  // bus has no location
+    const auto spec = ParseFaultSpec(text);
+    ASSERT_OK(spec.status());
+    const Status status = ValidateFaultSpec(*spec, config, /*max_cycles=*/1000);
+    EXPECT_FALSE(status.ok()) << "accepted: " << text;
+    EXPECT_NE(status.message().find(text), std::string::npos) << text;
+  }
+}
+
+TEST(FaultValidateTest, RejectsUnreachableTriggerCycle) {
+  const CoreConfig config;
+  const auto spec = ParseFaultSpec("mram-code@1000");
+  ASSERT_OK(spec.status());
+  EXPECT_FALSE(ValidateFaultSpec(*spec, config, /*max_cycles=*/1000).ok());  // fires at >= 1000
+  EXPECT_OK(ValidateFaultSpec(*spec, config, /*max_cycles=*/1001));
+  EXPECT_OK(ValidateFaultSpec(*spec, config, /*max_cycles=*/0));  // 0 = no budget
+  // Probabilistic triggers have no fixed cycle, so no budget check applies.
+  const auto prob = ParseFaultSpec("mram-code@~50");
+  ASSERT_OK(prob.status());
+  EXPECT_OK(ValidateFaultSpec(*prob, config, /*max_cycles=*/10));
+}
+
+TEST(FaultValidateTest, DescribeFaultTargetsCoversEveryTarget) {
+  const CoreConfig config;
+  const std::string text = DescribeFaultTargets(config);
+  for (const char* name : {"mram-code", "mram-data", "mreg", "tlb", "icache", "dcache", "bus"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(text.find("SPEC"), std::string::npos);  // the grammar rides along
+}
+
 // ---------------------------------------------------------------------------
 // Shared scenarios.
 

@@ -137,6 +137,7 @@ TEST(WorkerTest, ClassifiesWaitStatuses) {
   EXPECT_EQ(ClassifyWaitStatus(kExitEvicted << 8).cls, AttemptClass::kEvicted);
   EXPECT_EQ(ClassifyWaitStatus(kExitTimeout << 8).cls, AttemptClass::kGuestTimeout);
   EXPECT_EQ(ClassifyWaitStatus(kExitUsage << 8).cls, AttemptClass::kUsageError);
+  EXPECT_EQ(ClassifyWaitStatus(kExitSdc << 8).cls, AttemptClass::kSdc);
   EXPECT_EQ(ClassifyWaitStatus(1 << 8).cls, AttemptClass::kCrash);
   const AttemptOutcome segv = ClassifyWaitStatus(SIGSEGV);
   EXPECT_EQ(segv.cls, AttemptClass::kCrash);
@@ -298,6 +299,9 @@ TEST(FleetTest, FleetJsonIsDeterministicAcrossWorkerCounts) {
   const std::string parallel = run(4);
   EXPECT_EQ(serial, parallel) << "fleet.json must not depend on host scheduling";
   EXPECT_NE(serial.find("\"outcome\":\"retried\""), std::string::npos);
+  // Every attempt record names its exit code so post-mortems don't need the
+  // numeric table from support/exit_codes.h at hand.
+  EXPECT_NE(serial.find("\"exit_name\":\"ok\""), std::string::npos);
 }
 
 TEST(FleetTest, MemoryPressureEvictsAndResumes) {

@@ -14,6 +14,18 @@
 //   fast         fast vs. slow menter/mexit transitions, compared by retire
 //                stream with transition retires canonicalized away.
 //
+// A fourth oracle, `injection` (not part of `all` — it tests the machine's
+// fault detection, not the simulator's determinism), runs each generated
+// program clean to get a golden outcome, derives one deterministic pinned
+// fault from the case seed (MRAM code/data word or cache tag — the targets
+// the machine claims to detect or tolerate), reruns with the fault injected
+// and classifies the divergence with the campaign classifier
+// (src/campaign). A run whose final architectural state differs from golden
+// with no machine check raised is silent data corruption: mfuzz pinpoints
+// the first divergent cycle by lockstep, writes a repro directory and exits
+// 14. With MRAM parity on, a finding is a real detection hole; pass
+// --no-parity to watch the oracle light up on the unprotected machine.
+//
 // On a failure mfuzz writes a self-contained repro directory (program.s,
 // mcode.s, divergence.json, repro.sh), shrinks same-config divergences by
 // checkpoint bisection (the latest snapshot from which the divergence still
@@ -21,12 +33,15 @@
 //
 // Usage:
 //   mfuzz [--seed N] [--runs N] [--time-budget-seconds N] [--max-cycles N]
-//         [--oracle all|determinism|storage|fast|faststep] [--out DIR]
+//         [--oracle all|determinism|storage|fast|faststep|injection]
+//         [--no-parity] [--out DIR]
 //
-// Exit: 0 = all runs clean, 10 = divergence found, 2 = usage, 1 = error.
-// All reporting goes to stderr; artifacts go to --out (default mfuzz-out).
+// Exit: 0 = all runs clean, 10 = divergence found, 14 = silent data
+// corruption found (injection oracle), 2 = usage, 1 = error. All reporting
+// goes to stderr; artifacts go to --out (default mfuzz-out).
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +51,8 @@
 #include <string>
 #include <vector>
 
+#include "campaign/campaign.h"
+#include "fault/fault.h"
 #include "metal/system.h"
 #include "snap/diverge.h"
 #include "snap/snapshot.h"
@@ -51,7 +68,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: mfuzz [--seed N] [--runs N] [--time-budget-seconds N] "
                "[--max-cycles N]\n"
-               "             [--oracle all|determinism|storage|fast|faststep] [--out DIR]\n");
+               "             [--oracle all|determinism|storage|fast|faststep|injection]\n"
+               "             [--no-parity] [--out DIR]\n");
   return kExitUsage;
 }
 
@@ -236,9 +254,9 @@ struct Oracle {
   LockstepOptions options;
 };
 
-std::vector<Oracle> BuildOracles(const std::string& which, uint64_t max_cycles) {
+std::vector<Oracle> BuildOracles(const std::string& which, const CoreConfig& base,
+                                 uint64_t max_cycles) {
   std::vector<Oracle> oracles;
-  const CoreConfig base;
   if (which == "all" || which == "determinism") {
     Oracle o{"determinism", base, base, {}};
     o.options.granularity = CompareGranularity::kCycle;
@@ -370,6 +388,137 @@ int WriteArtifacts(const std::string& out_dir, uint64_t seed, const char* oracle
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Injection oracle (src/campaign): golden run vs. one seeded fault.
+// ---------------------------------------------------------------------------
+
+// One fully pinned fault spec derived from the case seed. Targets are the
+// structures the machine claims to detect (MRAM words, via parity) or
+// tolerate (cache tags, timing-only); the silent-by-design targets (mreg,
+// tlb, bus) would trivially "find" corruption the architecture never
+// promised to catch. MRAM locations are drawn from the first 256 words —
+// the region the generator's mld/mst traffic and mcode actually occupy —
+// so faults land on live state instead of measuring dead space.
+FaultSpec DeriveInjectionSpec(uint64_t seed, const CoreConfig& config, uint64_t golden_cycles) {
+  static const FaultTarget kTargets[] = {FaultTarget::kMramCode, FaultTarget::kMramData,
+                                         FaultTarget::kICache, FaultTarget::kDCache};
+  Rng rng(seed ^ 0xFA17ull);
+  FaultSpec spec;
+  spec.target = kTargets[rng.Below(4)];
+  spec.cycle = rng.Range(1, golden_cycles - 1);
+  const uint32_t capacity =
+      std::min(FaultTargetCapacity(spec.target, config), UINT32_C(256));
+  const uint32_t location = static_cast<uint32_t>(rng.Below(capacity));
+  const uint32_t bit = static_cast<uint32_t>(rng.Below(32));
+  spec.has_at = true;
+  spec.at = (spec.target == FaultTarget::kMramCode || spec.target == FaultTarget::kMramData)
+                ? location * 4
+                : location;
+  spec.mask = 1u << bit;
+  spec.text = StrFormat("%s@%llu:at=%u,bit=%u", FaultTargetName(spec.target),
+                        (unsigned long long)spec.cycle, spec.at, bit);
+  return spec;
+}
+
+int WriteInjectionArtifacts(const std::string& out_dir, uint64_t seed, const GeneratedCase& c,
+                            const FaultSpec& spec, const DivergenceReport& report,
+                            uint64_t budget, const CoreConfig& config) {
+  if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", out_dir.c_str(), std::strerror(errno));
+    return 1;
+  }
+  const std::string dir =
+      StrFormat("%s/case-%llu-injection", out_dir.c_str(), (unsigned long long)seed);
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create '%s': %s\n", dir.c_str(), std::strerror(errno));
+    return 1;
+  }
+  bool ok = WriteTextFile(dir + "/program.s", c.program);
+  ok &= WriteTextFile(dir + "/mcode.s", c.mcode);
+  ok &= WriteTextFile(dir + "/spec.txt", spec.text + "\n");
+  {
+    std::ofstream out(dir + "/divergence.json");
+    WriteDivergenceJson(report, out);
+    out << "\n";
+    ok &= out.good();
+  }
+  std::string repro =
+      "#!/bin/sh\n# Replays the silent data corruption found by the mfuzz injection oracle:\n"
+      "# machine B runs with the fault injected, machine A clean, compared per cycle.\n"
+      "cd \"$(dirname \"$0\")\"\n";
+  repro += StrFormat(
+      "exec \"${MSIM:-msim}\" replay program.s --mcode mcode.s --until-divergence%s "
+      "--b-inject '%s' --max-cycles %llu\n",
+      config.mram_parity ? "" : " --no-parity", spec.text.c_str(), (unsigned long long)budget);
+  ok &= WriteTextFile(dir + "/repro.sh", repro);
+  ::chmod((dir + "/repro.sh").c_str(), 0755);
+  if (!ok) {
+    std::fprintf(stderr, "failed writing artifacts under '%s'\n", dir.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[mfuzz] artifacts: %s\n", dir.c_str());
+  return 0;
+}
+
+// One injection case: clean golden run, one injected rerun, campaign
+// classification. Returns true when the case is a finding (an SDC — silent
+// architectural divergence with no machine check), after pinpointing the
+// first divergent cycle and writing the repro directory.
+Result<bool> RunInjectionCase(uint64_t seed, const GeneratedCase& c, const CoreConfig& config,
+                              uint64_t max_cycles, const std::string& out_dir) {
+  MetalSystem golden_sys(config);
+  MSIM_RETURN_IF_ERROR(BuildSystem(golden_sys, c));
+  golden_sys.core().Run(max_cycles);
+  if (!golden_sys.core().halted() || golden_sys.core().has_fatal()) {
+    // Generated programs are bounded by construction; a clean run that does
+    // not halt is a generator problem, not a detection hole — skip the case.
+    std::fprintf(stderr, "[mfuzz] seed %llu: clean run did not halt in %llu cycles, skipping\n",
+                 (unsigned long long)seed, (unsigned long long)max_cycles);
+    return false;
+  }
+  const ArchOutcome golden = CaptureArchOutcome(golden_sys.core());
+  if (golden.cycles < 4) {
+    return false;  // no live cycle range to inject into
+  }
+
+  const FaultSpec spec = DeriveInjectionSpec(seed, config, golden.cycles);
+  const uint64_t budget = golden.cycles * 4;
+
+  MetalSystem trial_sys(config);
+  MSIM_RETURN_IF_ERROR(BuildSystem(trial_sys, c));
+  FaultEngine engine(0);
+  engine.AddSpec(spec);
+  trial_sys.core().SetFaultEngine(&engine);
+  trial_sys.core().Run(budget);
+  const TrialOutcome outcome = ClassifyTrial(golden, CaptureArchOutcome(trial_sys.core()));
+  if (outcome != TrialOutcome::kSdc) {
+    if (outcome != TrialOutcome::kMasked) {
+      std::fprintf(stderr, "[mfuzz] seed %llu oracle injection: %s (%s)\n",
+                   (unsigned long long)seed, TrialOutcomeName(outcome), spec.text.c_str());
+    }
+    return false;
+  }
+
+  std::fprintf(stderr, "[mfuzz] seed %llu oracle injection: SILENT DATA CORRUPTION (%s)\n",
+               (unsigned long long)seed, spec.text.c_str());
+  MetalSystem a(config);
+  MetalSystem b(config);
+  MSIM_RETURN_IF_ERROR(BuildSystem(a, c));
+  MSIM_RETURN_IF_ERROR(BuildSystem(b, c));
+  FaultEngine pin_engine(0);
+  pin_engine.AddSpec(spec);
+  b.core().SetFaultEngine(&pin_engine);
+  LockstepOptions options;
+  options.granularity = CompareGranularity::kCycle;
+  options.max_cycles = budget;
+  MSIM_ASSIGN_OR_RETURN(const DivergenceReport report, RunLockstep(a, b, options));
+  WriteDivergenceText(report, std::cerr);
+  if (WriteInjectionArtifacts(out_dir, seed, c, spec, report, budget, config) != 0) {
+    return Internal("failed writing injection artifacts");
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,6 +528,7 @@ int main(int argc, char** argv) {
   uint64_t max_cycles = 200000;
   std::string oracle_name = "all";
   std::string out_dir = "mfuzz-out";
+  bool no_parity = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (size_t i = 0; i < args.size(); ++i) {
@@ -402,12 +552,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--oracle" && i + 1 < args.size()) {
       oracle_name = args[++i];
       if (oracle_name != "all" && oracle_name != "determinism" && oracle_name != "storage" &&
-          oracle_name != "fast" && oracle_name != "faststep") {
+          oracle_name != "fast" && oracle_name != "faststep" && oracle_name != "injection") {
         std::fprintf(stderr,
-                     "unknown oracle '%s' (want all, determinism, storage, fast or faststep)\n",
+                     "unknown oracle '%s' (want all, determinism, storage, fast, faststep or "
+                     "injection)\n",
                      oracle_name.c_str());
         return 2;
       }
+    } else if (arg == "--no-parity") {
+      no_parity = true;
     } else if (arg == "--out" && i + 1 < args.size()) {
       out_dir = args[++i];
     } else {
@@ -419,7 +572,11 @@ int main(int argc, char** argv) {
     runs = 100;
   }
 
-  const std::vector<Oracle> oracles = BuildOracles(oracle_name, max_cycles);
+  CoreConfig base_config;
+  base_config.mram_parity = !no_parity;
+  const bool injection = oracle_name == "injection";
+  const std::vector<Oracle> oracles =
+      injection ? std::vector<Oracle>{} : BuildOracles(oracle_name, base_config, max_cycles);
   const auto start = std::chrono::steady_clock::now();
   auto out_of_budget = [&] {
     if (time_budget_seconds == 0) {
@@ -434,6 +591,22 @@ int main(int argc, char** argv) {
   for (uint64_t i = 0; (runs == 0 || i < runs) && !out_of_budget(); ++i) {
     const uint64_t seed = base_seed + i;
     const GeneratedCase c = Generate(seed);
+    if (injection) {
+      auto found = RunInjectionCase(seed, c, base_config, max_cycles, out_dir);
+      if (!found.ok()) {
+        std::fprintf(stderr, "[mfuzz] seed %llu oracle injection: %s\n",
+                     (unsigned long long)seed, found.status().ToString().c_str());
+        return 1;
+      }
+      if (*found) {
+        return kExitSdc;
+      }
+      ++executed;
+      if (executed % 25 == 0) {
+        std::fprintf(stderr, "[mfuzz] %llu cases clean\n", (unsigned long long)executed);
+      }
+      continue;
+    }
     for (const Oracle& oracle : oracles) {
       MetalSystem a(oracle.config_a);
       MetalSystem b(oracle.config_b);

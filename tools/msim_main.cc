@@ -26,7 +26,12 @@
 //                         is armed whenever --crash-dump is given)
 //
 // Robustness options (docs/robustness.md):
-//   --inject SPEC         inject a fault (repeatable; see src/fault/fault.h)
+//   --inject SPEC         inject a fault (repeatable; see src/fault/fault.h).
+//                         Specs are validated against the machine: an
+//                         out-of-range location, a zero-width mask or a
+//                         one-shot trigger beyond the cycle budget exits 2
+//   --list-fault-targets  print the fault-spec grammar and each target's
+//                         valid ranges, then exit 0
 //   --fault-seed N        seed for the fault-injection RNG (default 0)
 //   --watchdog N          Metal-mode watchdog budget in cycles (0 = off)
 //   --no-parity           disable the MRAM parity model
@@ -98,7 +103,8 @@ int Usage() {
                "dram-uncached]\n"
                "           [--no-fast] [--no-fast-step] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
-               "           [--inject SPEC]... [--fault-seed N] [--watchdog N] [--no-parity]\n"
+               "           [--inject SPEC]... [--list-fault-targets] [--fault-seed N]\n"
+               "           [--watchdog N] [--no-parity]\n"
                "           [--crash-dump FILE] [--flight-events K]\n"
                "           [--metrics-every N --metrics-jsonl FILE]\n"
                "           [--checkpoint-every N --checkpoint-dir D] [--restore FILE]\n"
@@ -272,6 +278,7 @@ int CmdRun(const std::vector<std::string>& args) {
   uint64_t checkpoint_every = 0;
   std::string checkpoint_dir;
   std::string restore_path;
+  bool list_fault_targets = false;
 
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -293,6 +300,8 @@ int CmdRun(const std::vector<std::string>& args) {
       }
     } else if (arg == "--inject" && i + 1 < args.size()) {
       inject_specs.push_back(args[++i]);
+    } else if (arg == "--list-fault-targets") {
+      list_fault_targets = true;
     } else if (arg == "--fault-seed" && i + 1 < args.size()) {
       if (!ParseU64Flag("--fault-seed", args[++i], &fault_seed)) {
         return 2;
@@ -360,6 +369,10 @@ int CmdRun(const std::vector<std::string>& args) {
       return 2;
     }
   }
+  if (list_fault_targets) {
+    std::fputs(DescribeFaultTargets(config).c_str(), stdout);
+    return kExitOk;
+  }
   if (program_path.empty()) {
     return Usage();
   }
@@ -391,14 +404,25 @@ int CmdRun(const std::vector<std::string>& args) {
     return 1;
   }
 
-  // Fault injection: parse specs up front (malformed specs are a usage error)
-  // and attach the engine so its Tick runs every cycle.
+  // Fault injection: parse AND validate specs up front — malformed specs,
+  // out-of-range locations and unreachable trigger cycles are usage errors,
+  // not silently-inert runs. A restored run's budget is relative to the
+  // restore point while trigger cycles are absolute, so the trigger-cycle
+  // check only applies to cold starts.
   FaultEngine fault_engine(fault_seed);
-  for (const std::string& spec : inject_specs) {
-    if (Status status = fault_engine.AddSpec(spec); !status.ok()) {
+  const uint64_t validate_budget =
+      restore_path.empty() ? (max_cycles != 0 ? max_cycles : config.default_max_cycles) : 0;
+  for (const std::string& text : inject_specs) {
+    auto spec = ParseFaultSpec(text);
+    if (!spec.ok()) {
+      std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+      return 2;
+    }
+    if (Status status = ValidateFaultSpec(*spec, config, validate_budget); !status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 2;
     }
+    fault_engine.AddSpec(*spec);
   }
   if (fault_engine.num_specs() != 0) {
     fault_engine.RegisterMetrics(system.core().metrics());
@@ -881,16 +905,20 @@ int CmdReplay(const std::vector<std::string>& args) {
 
   FaultEngine fault_a(fault_seed_a);
   FaultEngine fault_b(b_seed_set ? fault_seed_b : fault_seed_a);
-  for (const std::string& spec : inject_a) {
-    if (Status status = fault_a.AddSpec(spec); !status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 2;
-    }
-  }
-  for (const std::string& spec : inject_b) {
-    if (Status status = fault_b.AddSpec(spec); !status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 2;
+  const uint64_t replay_budget = max_cycles != 0 ? max_cycles : config_a.default_max_cycles;
+  for (const auto& [specs, engine] :
+       {std::pair{&inject_a, &fault_a}, std::pair{&inject_b, &fault_b}}) {
+    for (const std::string& text : *specs) {
+      auto spec = ParseFaultSpec(text);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "%s\n", spec.status().ToString().c_str());
+        return 2;
+      }
+      if (Status status = ValidateFaultSpec(*spec, config_a, replay_budget); !status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 2;
+      }
+      engine->AddSpec(*spec);
     }
   }
   if (fault_a.num_specs() != 0) {
