@@ -71,8 +71,15 @@ void RunAluLoop(benchmark::State& state, const CoreConfig& config) {
 }
 
 void BM_AluLoop(benchmark::State& state) {
-  RunAluLoop(state, CoreConfig{});  // fast_step defaults on
+  RunAluLoop(state, CoreConfig{});  // fast_step + superblocks default on
 }
+
+void BM_AluLoopNoSuperblocks(benchmark::State& state) {
+  CoreConfig config;
+  config.superblocks = false;  // the plain fast-step window, no trace tier
+  RunAluLoop(state, config);
+}
+BENCHMARK(BM_AluLoopNoSuperblocks)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AluLoop)->Unit(benchmark::kMillisecond);
 
 void BM_AluLoopStepCycle(benchmark::State& state) {
@@ -153,22 +160,31 @@ double MeasureAluLoopInstrPerSec(const CoreConfig& config, int reps,
 // as a plain google-benchmark main.
 int RunBenchReport(int argc, char** argv) {
   BenchReport report("simspeed", "engineering throughput (not a paper experiment)");
-  CoreConfig fast_config;  // defaults: fast_step on, predecode on
+  CoreConfig fast_config;  // defaults: fast_step on, superblocks on
+  CoreConfig nosb_config;
+  nosb_config.superblocks = false;
   CoreConfig slow_config;
   slow_config.fast_step = false;
   const int kReps = 10;
   const double fast = MeasureAluLoopInstrPerSec(fast_config, kReps);
+  const double nosb = MeasureAluLoopInstrPerSec(nosb_config, kReps);
   const double slow = MeasureAluLoopInstrPerSec(slow_config, kReps);
   const double observed = MeasureAluLoopInstrPerSec(fast_config, kReps, /*observed=*/true);
-  std::printf("BM_AluLoop           %12.0f sim-instr/s (fast_step on)\n", fast);
-  std::printf("BM_AluLoopStepCycle  %12.0f sim-instr/s (fast_step off)\n", slow);
-  std::printf("BM_AluLoopObserved   %12.0f sim-instr/s (fast_step on + span sink)\n",
+  std::printf("BM_AluLoop                %12.0f sim-instr/s (superblocks on)\n", fast);
+  std::printf("BM_AluLoopNoSuperblocks   %12.0f sim-instr/s (plain fast-step window)\n",
+              nosb);
+  std::printf("BM_AluLoopStepCycle       %12.0f sim-instr/s (fast_step off)\n", slow);
+  std::printf("BM_AluLoopObserved        %12.0f sim-instr/s (superblocks on + span sink)\n",
               observed);
-  std::printf("speedup              %12.2fx\n", slow > 0.0 ? fast / slow : 0.0);
+  std::printf("speedup (fast/stepcycle)  %12.2fx\n", slow > 0.0 ? fast / slow : 0.0);
+  std::printf("speedup (superblock/window)%11.2fx\n", nosb > 0.0 ? fast / nosb : 0.0);
   report.AddRow("BM_AluLoop").Field("sim_instr_per_sec", fast);
+  report.AddRow("BM_AluLoopNoSuperblocks").Field("sim_instr_per_sec", nosb);
   report.AddRow("BM_AluLoopStepCycle").Field("sim_instr_per_sec", slow);
   report.AddRow("BM_AluLoopObserved").Field("sim_instr_per_sec", observed);
   report.AddRow("speedup").Field("fast_over_stepcycle", slow > 0.0 ? fast / slow : 0.0);
+  report.AddRow("superblock_speedup")
+      .Field("superblock_over_window", nosb > 0.0 ? fast / nosb : 0.0);
   return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }
 

@@ -68,6 +68,16 @@ struct CoreConfig {
   // stepped without per-cycle device polling or latch shuffling. Cycle-exact
   // by construction; Core::StepCycle is the per-cycle reference either way.
   bool fast_step = true;
+  // Superblock translation tier on top of the fast-step window
+  // (cpu/superblock.h): straight-line decoded runs are chained into trace
+  // objects executed by a threaded-code inner loop, byte-exact like the
+  // tiers below it (enforced by `msim replay --b-no-superblocks` and the
+  // mfuzz "superblock" oracle). Like fast_step, neither knob joins the
+  // snapshot config hash: trace state travels in a separate "superblocks"
+  // snapshot section, and snapshots stay portable across stepping modes.
+  bool superblocks = true;
+  // Maximum executable instructions per superblock trace.
+  uint32_t superblock_max_len = 64;
 
   // Safety net for runaway simulations in tests.
   uint64_t default_max_cycles = 50'000'000;

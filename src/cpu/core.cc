@@ -76,51 +76,9 @@ uint32_t LowestSetBit(uint32_t mask) {
 // Metal state, no halt — so a window cycle needs no MEM stage and no
 // exception machinery. Loads/stores, menter/mexit, ecall/ebreak/halt and
 // every Metal-only kind fall back to StepCycle.
-bool WindowSafe(InstrKind kind) {
-  switch (kind) {
-    case InstrKind::kLui:
-    case InstrKind::kAuipc:
-    case InstrKind::kJal:
-    case InstrKind::kJalr:
-    case InstrKind::kBeq:
-    case InstrKind::kBne:
-    case InstrKind::kBlt:
-    case InstrKind::kBge:
-    case InstrKind::kBltu:
-    case InstrKind::kBgeu:
-    case InstrKind::kAddi:
-    case InstrKind::kSlti:
-    case InstrKind::kSltiu:
-    case InstrKind::kXori:
-    case InstrKind::kOri:
-    case InstrKind::kAndi:
-    case InstrKind::kSlli:
-    case InstrKind::kSrli:
-    case InstrKind::kSrai:
-    case InstrKind::kAdd:
-    case InstrKind::kSub:
-    case InstrKind::kSll:
-    case InstrKind::kSlt:
-    case InstrKind::kSltu:
-    case InstrKind::kXor:
-    case InstrKind::kSrl:
-    case InstrKind::kSra:
-    case InstrKind::kOr:
-    case InstrKind::kAnd:
-    case InstrKind::kFence:
-    case InstrKind::kMul:
-    case InstrKind::kMulh:
-    case InstrKind::kMulhsu:
-    case InstrKind::kMulhu:
-    case InstrKind::kDiv:
-    case InstrKind::kDivu:
-    case InstrKind::kRem:
-    case InstrKind::kRemu:
-      return true;
-    default:
-      return false;
-  }
-}
+// The per-cycle window check delegates to the shared predicate so the
+// superblock build walk (cpu/superblock.cc) can never disagree with it.
+bool WindowSafe(InstrKind kind) { return WindowSafeInstr(kind); }
 
 }  // namespace
 
@@ -132,7 +90,8 @@ Core::Core(const CoreConfig& config)
               config.dram_latency),
       dcache_(config.dcache_lines, config.dcache_line_size, config.cache_hit_latency,
               config.dram_latency),
-      predecode_(config.predecode_entries) {
+      predecode_(config.predecode_entries),
+      superblocks_(config.superblocks && config.fast_step, config.superblock_max_len) {
   // Device map; AttachDevice only fails on overlap, which is impossible here.
   (void)bus_.AttachDevice(InterruptController::kDefaultBase, &intc_);
   (void)bus_.AttachDevice(TimerDevice::kDefaultBase, &timer_);
@@ -184,6 +143,7 @@ void Core::RegisterMetrics() {
   mmu_.tlb().RegisterMetrics(metrics_);
   mram_.RegisterMetrics(metrics_);
   predecode_.RegisterMetrics(metrics_);
+  superblocks_.RegisterMetrics(metrics_);
   metal_.RegisterMetrics(metrics_);
   metrics_.RegisterFn("nic", "packets_delivered",
                       [this] { return nic_.packets_delivered(); },
@@ -205,6 +165,7 @@ Status Core::LoadProgram(const Program& program) {
   MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.text));
   MSIM_RETURN_IF_ERROR(bus_.dram().LoadSection(program.data));
   predecode_.InvalidateAll();
+  superblocks_.InvalidateAll();
   SetPc(program.entry);
   return Status::Ok();
 }
@@ -225,6 +186,7 @@ void Core::ResetStats() {
   mmu_.tlb().ResetStats();
   mram_.ResetStats();
   predecode_.ResetStats();
+  superblocks_.ResetStats();
   metal_.ResetStats();
 }
 
@@ -408,8 +370,396 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
   Op ex_op;
   ex_op.valid = true;
 
+  const bool sb_on = superblocks_.enabled();
+  const uint32_t sb_icache_line = config_.icache_line_size;
+  // Every fetch inside a trace must be a 1-cycle icache hit, and lines
+  // cannot change in-window (no D-side traffic; hits do not allocate), so
+  // one probe sweep per trace entry stands in for the per-fetch Probe the
+  // generic loop runs. A trace with any line absent simply does not enter —
+  // the generic loop takes the same cycles, hits the same probe failure and
+  // exits the window for StepCycle to fill the line.
+  auto sb_lines_ok = [&](const Superblock& t) {
+    const uint32_t first = t.start - (t.start % sb_icache_line);
+    const uint32_t limit = t.start + 4 * t.len;
+    for (uint32_t a = first; a < limit; a += sb_icache_line) {
+      if (!icache_.Probe(a)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+// Superblock executor cycle fragments (see the executor block below). Each
+// committed trace cycle performs exactly the generic loop's work for that
+// cycle — same counters, same tracer events, same latch-shadow evolution —
+// with the per-cycle decode, window-safety re-check and double branch
+// evaluation compiled away at build time.
+//
+// Pre-commit fetch check for the cycle's speculative fetch (slot e + 2).
+// Mirrors the generic loop's decide-then-commit contract: every exit taken
+// here abandons the cycle with no side effects. The first guard is the
+// generic loop's ID window-safety break: when the word about to shift into
+// EX (slot e + 1) is past the executable run, a per-cycle run would refuse
+// to commit this cycle, so the trace must exit BEFORE committing it too.
+#define MSIM_SB_FETCH_OR_EXIT()                                          \
+  do {                                                                   \
+    if (e + 1 >= exec_len || e + 2 >= len) {                             \
+      goto sb_exit_uncommitted;                                          \
+    }                                                                    \
+    const SbSlot& sb_fs = slots[e + 2];                                  \
+    const Decoded* sb_peek = predecode_.Peek(sb_fs.addr, gen);           \
+    if (sb_peek != nullptr) {                                            \
+      if (sb_peek->raw != sb_fs.raw) {                                   \
+        goto sb_exit_stale;                                              \
+      }                                                                  \
+      sb_hit = true;                                                     \
+    } else {                                                             \
+      const auto sb_word = bus_.dram().Read32(sb_fs.addr);               \
+      if (!sb_word || *sb_word != sb_fs.raw) {                           \
+        goto sb_exit_stale;                                              \
+      }                                                                  \
+      sb_hit = false;                                                    \
+    }                                                                    \
+  } while (0)
+
+// Post-commit fetch bookkeeping: the same counting events as the generic
+// loop's fetch (icache hit tally, predecode hit tally or Verify/Insert),
+// the ID -> EX shift, and the latch-payload shadow pointers (sh_ex/sh_id
+// track which slot's payload a per-cycle run would have left in each latch;
+// they are materialized into the ex_*/id_* shadows only at executor exit).
+#define MSIM_SB_COMMIT_FETCH()                                           \
+  do {                                                                   \
+    const SbSlot& sb_fs = slots[e + 2];                                  \
+    ++icache_hits;                                                       \
+    if (sb_hit) {                                                        \
+      ++predecode_hits;                                                  \
+    } else if (predecode_.Verify(sb_fs.addr, gen, sb_fs.raw) == nullptr) { \
+      predecode_.Insert(sb_fs.addr, gen, sb_fs.raw, sb_fs.d);            \
+    }                                                                    \
+    if (e >= -1) {                                                       \
+      sh_ex = sh_id;                                                     \
+      shifted_any = true;                                                \
+    }                                                                    \
+    sh_id = &sb_fs;                                                      \
+    fetched_any = true;                                                  \
+    ++e;                                                                 \
+    pc = sb_fs.addr + 4;                                                 \
+  } while (0)
+
+// Retire bookkeeping, identical to ExecuteAluOp's tail for a non-Metal op.
+#define MSIM_SB_RETIRE(s)                                                \
+  do {                                                                   \
+    ++retired;                                                           \
+    ++stats_.instret;                                                    \
+    tracer_.Emit(TraceEventKind::kRetire, (s).addr, (s).raw, 0, false);  \
+    if (retire_trace_) {                                                 \
+      retire_trace_(RetireEvent{cycle_, (s).addr, (s).raw, false});      \
+    }                                                                    \
+  } while (0)
+
+// Operand shorthands (pure register-file reads; x0 is hardwired zero by
+// WriteReg never storing to it, so reads index the array directly).
+#define MSIM_SB_A (regs_[es->rs1])
+#define MSIM_SB_B (regs_[es->rs2])
+#define MSIM_SB_SA (static_cast<int32_t>(regs_[es->rs1]))
+#define MSIM_SB_SB (static_cast<int32_t>(regs_[es->rs2]))
+
+// A straight-line op: fetch check, commit, rd writeback, retire, advance.
+#define MSIM_SB_ALU(label_name, expr)                                    \
+  label_name : {                                                         \
+    MSIM_SB_FETCH_OR_EXIT();                                             \
+    ++cycle_;                                                            \
+    if (es->rd != 0) {                                                   \
+      regs_[es->rd] = (expr);                                            \
+    }                                                                    \
+    MSIM_SB_RETIRE(*es);                                                 \
+    last_redirect = false;                                               \
+    MSIM_SB_COMMIT_FETCH();                                              \
+    goto sb_next;                                                        \
+  }
+
+// A conditional branch: taken resolves with no fetch (the speculative
+// fall-through word is squashed, exactly as per-cycle); not-taken is a
+// straight-line cycle with no writeback.
+#define MSIM_SB_BRANCH(label_name, cond)                                 \
+  label_name : {                                                         \
+    if (cond) {                                                          \
+      sb_tgt = es->target;                                               \
+      goto sb_taken;                                                     \
+    }                                                                    \
+    MSIM_SB_FETCH_OR_EXIT();                                             \
+    ++cycle_;                                                            \
+    MSIM_SB_RETIRE(*es);                                                 \
+    last_redirect = false;                                               \
+    MSIM_SB_COMMIT_FETCH();                                              \
+    goto sb_next;                                                        \
+  }
+
   while (cycle_ - start < max_cycles && cycle_ + 1 < horizon &&
          (max_retires == 0 || retired < max_retires)) {
+    // ---- Superblock tier (cpu/superblock.h) ------------------------------
+    // Entered only at refill points — both latches empty, which is exactly
+    // the state after a taken branch or a cold window entry — so every
+    // window-entry guard (horizon, no pending interrupt, not Metal) is
+    // already established and stays valid across the whole trace: traces
+    // admit no loads/stores, so no MMIO write can move a device's next
+    // event, and no interrupt can become pending before the horizon.
+    if (sb_on && !ex_valid && !id_valid) {
+      Superblock* sb = superblocks_.Lookup(pc);
+      if (sb == nullptr) {
+        sb = superblocks_.Build(pc, bus_.dram());
+      }
+      if (sb != nullptr && sb_lines_ok(*sb)) {
+        superblocks_.CountExecution();
+        const uint64_t sb_entry_retired = retired;
+        const SbSlot* slots = sb->slots.data();
+        int32_t exec_len = static_cast<int32_t>(sb->exec_len);
+        int32_t len = static_cast<int32_t>(sb->len);
+        // Slot position of the EX stage this cycle; -2/-1 are the two
+        // refill cycles before slots[0] reaches EX. Invariant after every
+        // committed cycle: EX holds slot e, ID holds slot e + 1, the next
+        // fetch is slot e + 2 (pc == start + 4 * (e + 2)).
+        int32_t e = -2;
+        const SbSlot* sh_ex = nullptr;
+        const SbSlot* sh_id = nullptr;
+        const SbSlot* es = nullptr;
+        bool sb_hit = false;
+        uint32_t sb_tgt = 0;
+
+#if defined(__GNUC__) || defined(__clang__)
+        // Threaded dispatch: one indirect jump per instruction, indexed by
+        // the build-time executor opcode. Order must match SbExec exactly.
+        static const void* const kSbGoto[] = {
+            &&sb_x_const, &&sb_x_addi, &&sb_x_slti, &&sb_x_sltiu,
+            &&sb_x_xori, &&sb_x_ori, &&sb_x_andi, &&sb_x_slli, &&sb_x_srli,
+            &&sb_x_srai, &&sb_x_add, &&sb_x_sub, &&sb_x_sll, &&sb_x_slt,
+            &&sb_x_sltu, &&sb_x_xor, &&sb_x_srl, &&sb_x_sra, &&sb_x_or,
+            &&sb_x_and, &&sb_x_fence, &&sb_x_mul, &&sb_x_mulh,
+            &&sb_x_mulhsu, &&sb_x_mulhu, &&sb_x_div, &&sb_x_divu,
+            &&sb_x_rem, &&sb_x_remu, &&sb_x_jal, &&sb_x_jalr, &&sb_x_beq,
+            &&sb_x_bne, &&sb_x_blt, &&sb_x_bge, &&sb_x_bltu, &&sb_x_bgeu};
+        static_assert(sizeof(kSbGoto) / sizeof(kSbGoto[0]) ==
+                      static_cast<size_t>(SbExec::kCount));
+#endif
+
+      sb_next:
+        // The generic loop's per-cycle budget/horizon condition, verbatim.
+        if (!(cycle_ - start < max_cycles && cycle_ + 1 < horizon &&
+              (max_retires == 0 || retired < max_retires))) {
+          goto sb_exit_uncommitted;
+        }
+        if (e < 0) {
+          // Refill cycle: nothing in EX yet, fetch only.
+          MSIM_SB_FETCH_OR_EXIT();
+          ++cycle_;
+          last_redirect = false;
+          MSIM_SB_COMMIT_FETCH();
+          goto sb_next;
+        }
+        es = &slots[e];
+#if defined(__GNUC__) || defined(__clang__)
+        goto *kSbGoto[static_cast<uint8_t>(es->exec)];
+#else
+        switch (es->exec) {
+          case SbExec::kConst: goto sb_x_const;
+          case SbExec::kAddi: goto sb_x_addi;
+          case SbExec::kSlti: goto sb_x_slti;
+          case SbExec::kSltiu: goto sb_x_sltiu;
+          case SbExec::kXori: goto sb_x_xori;
+          case SbExec::kOri: goto sb_x_ori;
+          case SbExec::kAndi: goto sb_x_andi;
+          case SbExec::kSlli: goto sb_x_slli;
+          case SbExec::kSrli: goto sb_x_srli;
+          case SbExec::kSrai: goto sb_x_srai;
+          case SbExec::kAdd: goto sb_x_add;
+          case SbExec::kSub: goto sb_x_sub;
+          case SbExec::kSll: goto sb_x_sll;
+          case SbExec::kSlt: goto sb_x_slt;
+          case SbExec::kSltu: goto sb_x_sltu;
+          case SbExec::kXor: goto sb_x_xor;
+          case SbExec::kSrl: goto sb_x_srl;
+          case SbExec::kSra: goto sb_x_sra;
+          case SbExec::kOr: goto sb_x_or;
+          case SbExec::kAnd: goto sb_x_and;
+          case SbExec::kFence: goto sb_x_fence;
+          case SbExec::kMul: goto sb_x_mul;
+          case SbExec::kMulh: goto sb_x_mulh;
+          case SbExec::kMulhsu: goto sb_x_mulhsu;
+          case SbExec::kMulhu: goto sb_x_mulhu;
+          case SbExec::kDiv: goto sb_x_div;
+          case SbExec::kDivu: goto sb_x_divu;
+          case SbExec::kRem: goto sb_x_rem;
+          case SbExec::kRemu: goto sb_x_remu;
+          case SbExec::kJal: goto sb_x_jal;
+          case SbExec::kJalr: goto sb_x_jalr;
+          case SbExec::kBeq: goto sb_x_beq;
+          case SbExec::kBne: goto sb_x_bne;
+          case SbExec::kBlt: goto sb_x_blt;
+          case SbExec::kBge: goto sb_x_bge;
+          case SbExec::kBltu: goto sb_x_bltu;
+          case SbExec::kBgeu: goto sb_x_bgeu;
+          default: goto sb_exit_uncommitted;
+        }
+#endif
+
+        MSIM_SB_ALU(sb_x_const, es->cval)
+        MSIM_SB_ALU(sb_x_addi, MSIM_SB_A + es->imm)
+        MSIM_SB_ALU(sb_x_slti,
+                    MSIM_SB_SA < static_cast<int32_t>(es->imm) ? 1u : 0u)
+        MSIM_SB_ALU(sb_x_sltiu, MSIM_SB_A < es->imm ? 1u : 0u)
+        MSIM_SB_ALU(sb_x_xori, MSIM_SB_A ^ es->imm)
+        MSIM_SB_ALU(sb_x_ori, MSIM_SB_A | es->imm)
+        MSIM_SB_ALU(sb_x_andi, MSIM_SB_A & es->imm)
+        MSIM_SB_ALU(sb_x_slli, MSIM_SB_A << es->imm)
+        MSIM_SB_ALU(sb_x_srli, MSIM_SB_A >> es->imm)
+        MSIM_SB_ALU(sb_x_srai,
+                    static_cast<uint32_t>(MSIM_SB_SA >> es->imm))
+        MSIM_SB_ALU(sb_x_add, MSIM_SB_A + MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_sub, MSIM_SB_A - MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_sll, MSIM_SB_A << (MSIM_SB_B & 31))
+        MSIM_SB_ALU(sb_x_slt, MSIM_SB_SA < MSIM_SB_SB ? 1u : 0u)
+        MSIM_SB_ALU(sb_x_sltu, MSIM_SB_A < MSIM_SB_B ? 1u : 0u)
+        MSIM_SB_ALU(sb_x_xor, MSIM_SB_A ^ MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_srl, MSIM_SB_A >> (MSIM_SB_B & 31))
+        MSIM_SB_ALU(sb_x_sra,
+                    static_cast<uint32_t>(MSIM_SB_SA >> (MSIM_SB_B & 31)))
+        MSIM_SB_ALU(sb_x_or, MSIM_SB_A | MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_and, MSIM_SB_A & MSIM_SB_B)
+
+      sb_x_fence : {
+        MSIM_SB_FETCH_OR_EXIT();
+        ++cycle_;
+        MSIM_SB_RETIRE(*es);
+        last_redirect = false;
+        MSIM_SB_COMMIT_FETCH();
+        goto sb_next;
+      }
+
+        MSIM_SB_ALU(sb_x_mul, MSIM_SB_A * MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_mulh,
+                    static_cast<uint32_t>((static_cast<int64_t>(MSIM_SB_SA) *
+                                           static_cast<int64_t>(MSIM_SB_SB)) >>
+                                          32))
+        MSIM_SB_ALU(sb_x_mulhsu,
+                    static_cast<uint32_t>((static_cast<int64_t>(MSIM_SB_SA) *
+                                           static_cast<uint64_t>(MSIM_SB_B)) >>
+                                          32))
+        MSIM_SB_ALU(sb_x_mulhu,
+                    static_cast<uint32_t>((static_cast<uint64_t>(MSIM_SB_A) *
+                                           static_cast<uint64_t>(MSIM_SB_B)) >>
+                                          32))
+        MSIM_SB_ALU(sb_x_div,
+                    MSIM_SB_B == 0 ? 0xFFFFFFFFu
+                    : (MSIM_SB_SA == INT32_MIN && MSIM_SB_SB == -1)
+                        ? static_cast<uint32_t>(INT32_MIN)
+                        : static_cast<uint32_t>(MSIM_SB_SA / MSIM_SB_SB))
+        MSIM_SB_ALU(sb_x_divu,
+                    MSIM_SB_B == 0 ? 0xFFFFFFFFu : MSIM_SB_A / MSIM_SB_B)
+        MSIM_SB_ALU(sb_x_rem,
+                    MSIM_SB_B == 0 ? MSIM_SB_A
+                    : (MSIM_SB_SA == INT32_MIN && MSIM_SB_SB == -1)
+                        ? 0u
+                        : static_cast<uint32_t>(MSIM_SB_SA % MSIM_SB_SB))
+        MSIM_SB_ALU(sb_x_remu,
+                    MSIM_SB_B == 0 ? MSIM_SB_A : MSIM_SB_A % MSIM_SB_B)
+
+      sb_x_jal:
+        sb_tgt = es->target;
+        goto sb_taken_link;
+      sb_x_jalr:
+        // Target reads rs1 BEFORE the link write (rd may alias rs1).
+        sb_tgt = (MSIM_SB_A + es->imm) & ~1u;
+        goto sb_taken_link;
+      sb_taken_link:
+        ++cycle_;
+        if (es->rd != 0) {
+          regs_[es->rd] = es->cval;  // pc + 4, folded at build
+        }
+        goto sb_taken_commit;
+
+        MSIM_SB_BRANCH(sb_x_beq, MSIM_SB_A == MSIM_SB_B)
+        MSIM_SB_BRANCH(sb_x_bne, MSIM_SB_A != MSIM_SB_B)
+        MSIM_SB_BRANCH(sb_x_blt, MSIM_SB_SA < MSIM_SB_SB)
+        MSIM_SB_BRANCH(sb_x_bge, MSIM_SB_SA >= MSIM_SB_SB)
+        MSIM_SB_BRANCH(sb_x_bltu, MSIM_SB_A < MSIM_SB_B)
+        MSIM_SB_BRANCH(sb_x_bgeu, MSIM_SB_A >= MSIM_SB_B)
+
+      sb_taken:
+        ++cycle_;
+      sb_taken_commit:
+        // ExecuteAluOp's taken-branch order: flush (kFlush event) first,
+        // retire (kRetire event) second.
+        ++stats_.control_flushes;
+        RedirectFetch(sb_tgt);
+        MSIM_SB_RETIRE(*es);
+        last_redirect = true;
+        pc = fetch_pc_;
+        // EX consumed, ID squashed; sh_ex/sh_id keep their (now stale)
+        // payloads, exactly like the member latches in a per-cycle run.
+        {
+          Superblock* sb_nt = superblocks_.Lookup(pc);
+          if (sb_nt != nullptr && sb_lines_ok(*sb_nt)) {
+            // Chain: the branch target starts another cached trace. Stale
+            // payload pointers stay valid — invalidation never frees slot
+            // storage, and Build cannot run inside the executor.
+            superblocks_.CountChain();
+            sb = sb_nt;
+            slots = sb_nt->slots.data();
+            exec_len = static_cast<int32_t>(sb_nt->exec_len);
+            len = static_cast<int32_t>(sb_nt->len);
+            e = -2;
+            goto sb_next;
+          }
+        }
+        // No trace at the target: exit in the committed post-redirect state
+        // (both latches empty). The loop top may build one there.
+        if (sh_ex != nullptr) {
+          ex_pc = sh_ex->addr;
+          ex_d = sh_ex->d;
+        }
+        if (sh_id != nullptr) {
+          id_pc = sh_id->addr;
+          id_raw = sh_id->raw;
+          id_d = sh_id->d;
+          id_metal = false;
+          id_fault = ExcCause::kNone;
+          id_fault_addr = 0;
+        }
+        ex_valid = false;
+        id_valid = false;
+        superblocks_.CreditInstructions(retired - sb_entry_retired);
+        continue;
+
+      sb_exit_stale:
+        // A raw word no longer matches the backing store (the write that
+        // changed it bumped the generation, forcing the re-read above).
+        superblocks_.Invalidate(*sb);
+      sb_exit_uncommitted:
+        // Exit BEFORE the current cycle commits, materializing the latch
+        // shadows exactly as a per-cycle run would hold them here: slot e
+        // in EX, slot e + 1 in ID, consumed payloads stale in place. The
+        // generic loop continues this very cycle interpretively (or the
+        // window ends, if the budget/horizon condition tripped).
+        if (sh_ex != nullptr) {
+          ex_pc = sh_ex->addr;
+          ex_d = sh_ex->d;
+        }
+        if (sh_id != nullptr) {
+          id_pc = sh_id->addr;
+          id_raw = sh_id->raw;
+          id_d = sh_id->d;
+          id_metal = false;
+          id_fault = ExcCause::kNone;
+          id_fault_addr = 0;
+        }
+        ex_valid = e >= 0;
+        id_valid = e + 1 >= 0 && e + 1 < len;
+        superblocks_.CreditInstructions(retired - sb_entry_retired);
+        continue;
+      }
+    }
+    // ---- end superblock tier ---------------------------------------------
+
     // Decide, without side effects, what this cycle would do.
     const bool taken = ex_valid && AluRedirects(ex_d);
     uint32_t fetch_raw = 0;
@@ -497,6 +847,16 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     fetched_any = true;
     pc += 4;
   }
+
+#undef MSIM_SB_FETCH_OR_EXIT
+#undef MSIM_SB_COMMIT_FETCH
+#undef MSIM_SB_RETIRE
+#undef MSIM_SB_A
+#undef MSIM_SB_B
+#undef MSIM_SB_SA
+#undef MSIM_SB_SB
+#undef MSIM_SB_ALU
+#undef MSIM_SB_BRANCH
 
   const uint64_t committed = cycle_ - start;
   if (committed != 0) {
@@ -1787,6 +2147,11 @@ void Core::SaveState(SnapWriter& w, bool include_dram) const {
 }
 
 Status Core::RestoreState(SnapReader& r) {
+  // Restore replaces DRAM wholesale: every cached trace's raw words are
+  // suspect. Trace state is not part of this stream (it is architecturally
+  // invisible, like the stepping mode); msim restores it from the optional
+  // "superblocks" snapshot section afterwards.
+  superblocks_.InvalidateAll();
   for (uint32_t& reg : regs_) {
     reg = r.U32();
   }

@@ -38,6 +38,7 @@
 #include "cpu/config.h"
 #include "cpu/metal_unit.h"
 #include "cpu/predecode.h"
+#include "cpu/superblock.h"
 #include "cpu/trap.h"
 #include "dev/console.h"
 #include "dev/intc.h"
@@ -130,6 +131,8 @@ class Core {
   Cache& dcache() { return dcache_; }
   PredecodeCache& predecode() { return predecode_; }
   const PredecodeCache& predecode() const { return predecode_; }
+  SuperblockCache& superblocks() { return superblocks_; }
+  const SuperblockCache& superblocks() const { return superblocks_; }
 
   // --- architectural state ---
   uint32_t ReadReg(uint8_t index) const { return regs_[index & 31]; }
@@ -337,6 +340,7 @@ class Core {
   Cache icache_;
   Cache dcache_;
   PredecodeCache predecode_;
+  SuperblockCache superblocks_;
   MetalUnit metal_;
   InterruptController intc_;
   TimerDevice timer_;

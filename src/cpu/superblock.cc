@@ -1,0 +1,320 @@
+#include "cpu/superblock.h"
+
+#include "isa/decode.h"
+#include "mem/bus.h"
+#include "mem/phys_mem.h"
+#include "snap/snapstream.h"
+
+namespace msim {
+
+bool WindowSafeInstr(InstrKind kind) {
+  switch (kind) {
+    case InstrKind::kLui:
+    case InstrKind::kAuipc:
+    case InstrKind::kJal:
+    case InstrKind::kJalr:
+    case InstrKind::kBeq:
+    case InstrKind::kBne:
+    case InstrKind::kBlt:
+    case InstrKind::kBge:
+    case InstrKind::kBltu:
+    case InstrKind::kBgeu:
+    case InstrKind::kAddi:
+    case InstrKind::kSlti:
+    case InstrKind::kSltiu:
+    case InstrKind::kXori:
+    case InstrKind::kOri:
+    case InstrKind::kAndi:
+    case InstrKind::kSlli:
+    case InstrKind::kSrli:
+    case InstrKind::kSrai:
+    case InstrKind::kAdd:
+    case InstrKind::kSub:
+    case InstrKind::kSll:
+    case InstrKind::kSlt:
+    case InstrKind::kSltu:
+    case InstrKind::kXor:
+    case InstrKind::kSrl:
+    case InstrKind::kSra:
+    case InstrKind::kOr:
+    case InstrKind::kAnd:
+    case InstrKind::kFence:
+    case InstrKind::kMul:
+    case InstrKind::kMulh:
+    case InstrKind::kMulhsu:
+    case InstrKind::kMulhu:
+    case InstrKind::kDiv:
+    case InstrKind::kDivu:
+    case InstrKind::kRem:
+    case InstrKind::kRemu:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// A word the fetch unit could pull speculatively: aligned, DRAM-resident,
+// below the MMIO aperture. Mirrors the per-cycle fetch eligibility check in
+// Core::StepFast (minus the icache probe, which is dynamic and verified at
+// every trace entry instead).
+bool Fetchable(uint32_t addr, uint32_t dram_size) {
+  return (addr & 3) == 0 && addr < kMmioBase && addr + 4 <= dram_size;
+}
+
+}  // namespace
+
+SuperblockCache::SuperblockCache(bool enabled, uint32_t max_len)
+    : max_len_(max_len) {
+  if (!enabled || max_len < kSuperblockMinLen) {
+    return;
+  }
+  traces_.resize(kSuperblockEntries);
+  mask_ = kSuperblockEntries - 1;
+}
+
+bool SuperblockCache::TranslateSlot(const Decoded& d, uint32_t pc, uint32_t raw,
+                                    SbSlot* out) {
+  using K = InstrKind;
+  using E = SbExec;
+  const uint32_t imm = static_cast<uint32_t>(d.imm);
+  out->rd = d.rd & 31;
+  out->rs1 = d.rs1 & 31;
+  out->rs2 = d.rs2 & 31;
+  out->imm = imm;
+  out->cval = 0;
+  out->target = 0;
+  out->addr = pc;
+  out->raw = raw;
+  out->d = d;
+  switch (d.kind) {
+    case K::kLui:
+      out->exec = E::kConst;
+      out->cval = imm << 12;
+      break;
+    case K::kAuipc:
+      out->exec = E::kConst;
+      out->cval = pc + (imm << 12);
+      break;
+    case K::kJal:
+      out->exec = E::kJal;
+      out->cval = pc + 4;
+      out->target = pc + imm;
+      break;
+    case K::kJalr:
+      out->exec = E::kJalr;
+      out->cval = pc + 4;
+      break;
+    case K::kBeq: out->exec = E::kBeq; out->target = pc + imm; break;
+    case K::kBne: out->exec = E::kBne; out->target = pc + imm; break;
+    case K::kBlt: out->exec = E::kBlt; out->target = pc + imm; break;
+    case K::kBge: out->exec = E::kBge; out->target = pc + imm; break;
+    case K::kBltu: out->exec = E::kBltu; out->target = pc + imm; break;
+    case K::kBgeu: out->exec = E::kBgeu; out->target = pc + imm; break;
+    case K::kAddi: out->exec = E::kAddi; break;
+    case K::kSlti: out->exec = E::kSlti; break;
+    case K::kSltiu: out->exec = E::kSltiu; break;
+    case K::kXori: out->exec = E::kXori; break;
+    case K::kOri: out->exec = E::kOri; break;
+    case K::kAndi: out->exec = E::kAndi; break;
+    case K::kSlli: out->exec = E::kSlli; out->imm = imm & 31; break;
+    case K::kSrli: out->exec = E::kSrli; out->imm = imm & 31; break;
+    case K::kSrai: out->exec = E::kSrai; out->imm = imm & 31; break;
+    case K::kAdd: out->exec = E::kAdd; break;
+    case K::kSub: out->exec = E::kSub; break;
+    case K::kSll: out->exec = E::kSll; break;
+    case K::kSlt: out->exec = E::kSlt; break;
+    case K::kSltu: out->exec = E::kSltu; break;
+    case K::kXor: out->exec = E::kXor; break;
+    case K::kSrl: out->exec = E::kSrl; break;
+    case K::kSra: out->exec = E::kSra; break;
+    case K::kOr: out->exec = E::kOr; break;
+    case K::kAnd: out->exec = E::kAnd; break;
+    case K::kFence: out->exec = E::kFence; break;
+    case K::kMul: out->exec = E::kMul; break;
+    case K::kMulh: out->exec = E::kMulh; break;
+    case K::kMulhsu: out->exec = E::kMulhsu; break;
+    case K::kMulhu: out->exec = E::kMulhu; break;
+    case K::kDiv: out->exec = E::kDiv; break;
+    case K::kDivu: out->exec = E::kDivu; break;
+    case K::kRem: out->exec = E::kRem; break;
+    case K::kRemu: out->exec = E::kRemu; break;
+    default:
+      return false;
+  }
+  return true;
+}
+
+Superblock* SuperblockCache::Build(uint32_t start, const PhysicalMemory& dram) {
+  if (traces_.empty() || !Fetchable(start, dram.size())) {
+    return nullptr;
+  }
+  std::vector<SbSlot> slots;
+  slots.reserve(16);
+  uint32_t addr = start;
+  bool jump_terminated = false;
+  while (slots.size() < max_len_ && Fetchable(addr, dram.size())) {
+    const auto word = dram.Read32(addr);
+    if (!word) {
+      break;
+    }
+    const Decoded d = DecodeInstr(*word);
+    if (!WindowSafeInstr(d.kind)) {
+      break;
+    }
+    SbSlot slot;
+    if (!TranslateSlot(d, addr, *word, &slot)) {
+      break;
+    }
+    slots.push_back(slot);
+    addr += 4;
+    if (d.kind == InstrKind::kJal || d.kind == InstrKind::kJalr) {
+      jump_terminated = true;
+      break;
+    }
+  }
+  const uint32_t exec_len = static_cast<uint32_t>(slots.size());
+  if (exec_len < kSuperblockMinLen) {
+    return nullptr;
+  }
+  // Fetch-only tail: the words the pipeline pulls speculatively while the
+  // final slots execute (see Superblock::len). A jump-terminated trace never
+  // fetches past exec_len + 1 (the jump slot fetches nothing).
+  const uint32_t tail = jump_terminated ? 1 : 2;
+  for (uint32_t i = 0; i < tail && Fetchable(addr, dram.size()); ++i) {
+    const auto word = dram.Read32(addr);
+    if (!word) {
+      break;
+    }
+    SbSlot slot;
+    slot.exec = SbExec::kFence;  // never dispatched
+    slot.addr = addr;
+    slot.raw = *word;
+    slot.d = DecodeInstr(*word);
+    slots.push_back(slot);
+    addr += 4;
+  }
+
+  Superblock& sb = traces_[Index(start)];
+  if (sb.valid && sb.start != start) {
+    ++stats_.evictions;
+  }
+  sb.valid = true;
+  sb.start = start;
+  sb.exec_len = exec_len;
+  sb.len = static_cast<uint32_t>(slots.size());
+  sb.slots = std::move(slots);
+  ++stats_.builds;
+  return &sb;
+}
+
+void SuperblockCache::InvalidateAll() {
+  bool any = false;
+  for (Superblock& sb : traces_) {
+    any |= sb.valid;
+    sb.valid = false;
+  }
+  if (any) {
+    ++stats_.invalidations;
+  }
+}
+
+void SuperblockCache::RegisterMetrics(MetricRegistry& registry) const {
+  registry.Register("superblock", "builds", &stats_.builds,
+                    "superblock traces constructed");
+  registry.Register("superblock", "executions", &stats_.executions,
+                    "trace executions entered from the hot-path window");
+  registry.Register("superblock", "chains", &stats_.chains,
+                    "taken branches chained directly into a cached trace");
+  registry.Register("superblock", "instructions", &stats_.instructions,
+                    "instructions retired inside superblock traces");
+  registry.Register("superblock", "invalidations", &stats_.invalidations,
+                    "traces killed by stale raw words or InvalidateAll");
+  registry.Register("superblock", "evictions", &stats_.evictions,
+                    "builds that overwrote a different live trace");
+}
+
+void SuperblockCache::SaveState(SnapWriter& w) const {
+  uint32_t live = 0;
+  for (const Superblock& sb : traces_) {
+    live += sb.valid ? 1 : 0;
+  }
+  w.U32(live);
+  for (const Superblock& sb : traces_) {
+    if (!sb.valid) {
+      continue;
+    }
+    w.U32(sb.start);
+    w.U32(sb.exec_len);
+    w.U32(sb.len);
+    for (const SbSlot& slot : sb.slots) {
+      w.U32(slot.raw);
+    }
+  }
+  w.U64(stats_.builds);
+  w.U64(stats_.executions);
+  w.U64(stats_.chains);
+  w.U64(stats_.instructions);
+  w.U64(stats_.invalidations);
+  w.U64(stats_.evictions);
+}
+
+Status SuperblockCache::RestoreState(SnapReader& r) {
+  for (Superblock& sb : traces_) {
+    sb.valid = false;
+  }
+  const uint32_t live = r.U32();
+  if (!r.ok() || live > kSuperblockEntries) {
+    return InvalidArgument("superblock section: bad trace count");
+  }
+  for (uint32_t i = 0; i < live; ++i) {
+    const uint32_t start = r.U32();
+    const uint32_t exec_len = r.U32();
+    const uint32_t len = r.U32();
+    if (!r.ok() || exec_len < kSuperblockMinLen || len < exec_len ||
+        len > exec_len + 2 || len > kSuperblockMaxRestoreLen || (start & 3) != 0) {
+      return InvalidArgument("superblock section: bad trace geometry");
+    }
+    std::vector<SbSlot> slots;
+    slots.reserve(len);
+    for (uint32_t j = 0; j < len; ++j) {
+      const uint32_t raw = r.U32();
+      const uint32_t addr = start + 4 * j;
+      const Decoded d = DecodeInstr(raw);
+      SbSlot slot;
+      if (j < exec_len) {
+        if (!TranslateSlot(d, addr, raw, &slot)) {
+          return InvalidArgument("superblock section: untranslatable slot");
+        }
+      } else {
+        slot.exec = SbExec::kFence;
+        slot.addr = addr;
+        slot.raw = raw;
+        slot.d = d;
+      }
+      slots.push_back(slot);
+    }
+    MSIM_RETURN_IF_ERROR(r.ToStatus("superblock trace"));
+    if (traces_.empty()) {
+      // Cache disabled in this core: drop the traces, keep the counters (the
+      // executor never runs, so they stay frozen at their restored values).
+      continue;
+    }
+    Superblock& sb = traces_[Index(start)];
+    sb.valid = true;
+    sb.start = start;
+    sb.exec_len = exec_len;
+    sb.len = len;
+    sb.slots = std::move(slots);
+  }
+  stats_.builds = r.U64();
+  stats_.executions = r.U64();
+  stats_.chains = r.U64();
+  stats_.instructions = r.U64();
+  stats_.invalidations = r.U64();
+  stats_.evictions = r.U64();
+  return r.ToStatus("superblock counters");
+}
+
+}  // namespace msim

@@ -1,0 +1,207 @@
+// Superblock translation tier: chained decoded traces over the predecode
+// cache (the next rung of the interpreter -> DBT ladder after batched
+// stepping; docs/performance.md).
+//
+// A superblock is a straight-line run of window-safe DRAM instructions
+// starting at a pipeline refill point (a branch target or a cold entry),
+// extended THROUGH not-taken conditional branches and terminated by an
+// unconditional jump (jal/jalr), the first window-unsafe or unfetchable
+// word, the DRAM/MMIO segment boundary, or CoreConfig::superblock_max_len.
+// Core::StepFast executes whole traces with a computed-goto inner loop over
+// pre-extracted operand fields, dispatching once per instruction instead of
+// re-deciding window safety, branch direction and decode per cycle; a taken
+// branch whose target starts another cached trace chains directly into it.
+//
+// Byte-exactness is the contract, exactly as for the predecode cache and
+// batched stepping below it: N cycles through a superblock leave machine
+// state byte-identical to N Core::StepCycle calls (enforced by
+// `msim replay --b-no-superblocks`, the mfuzz "superblock" oracle and the
+// superblock_test digest matrix). Three mechanisms carry the contract:
+//   * Entry guards. Traces run only inside a StepFast window, so every
+//     window-entry guard (no fault engine, not Metal, no pending interrupt,
+//     device-event horizon) is already established; trace entry additionally
+//     requires both pipeline latches empty (the refill state) and every
+//     icache line spanning the trace resident. The horizon stays valid
+//     across a whole trace because device state is MMIO-only and traces
+//     admit no loads/stores: Bus::NextDeviceEventCycle returns an absolute
+//     cycle that only device register writes could move.
+//   * Per-fetch revalidation. Each trace slot records the raw word it was
+//     built from. Every simulated fetch still consults the predecode cache
+//     (side-effect-free Peek before the cycle commits, the counting
+//     Verify/Insert after), so predecode hit/verified/miss counters match a
+//     per-cycle run exactly, and a slot whose raw word no longer matches the
+//     backing store invalidates the whole trace before any cycle commits.
+//   * Generation-driven invalidation. The Peek/Verify pair keys on
+//     PhysicalMemory::write_generation, so any DRAM write (self-modifying
+//     store, loader, debug poke) forces the raw-word re-read above. Traces
+//     never contain MRAM code (Mram::generation): MRAM code executes in
+//     Metal mode, which the fast path refuses wholesale, and the build walk
+//     stops at kMmioBase.
+//
+// Trace state is NOT part of Core::SaveState — like CoreConfig::fast_step,
+// the tier is architecturally invisible and snapshots stay portable across
+// it. msim serializes the cache and its counters as a "superblocks" snapshot
+// extras section instead (tools/msim_main.cc), so a restored run reports the
+// same --stats-json superblock counters as the straight run; a snapshot
+// without the section simply restores to a cold cache.
+#ifndef MSIM_CPU_SUPERBLOCK_H_
+#define MSIM_CPU_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/decode.h"
+#include "support/result.h"
+#include "trace/metrics.h"
+
+namespace msim {
+
+class PhysicalMemory;
+class SnapWriter;
+class SnapReader;
+
+// True for the instruction kinds the StepFast window admits: faultless
+// 1-cycle ALU/branch work with no D-side access and no Metal state. Shared
+// by the per-cycle window check in Core::StepFast and the superblock build
+// walk (both must agree, or a trace could contain a cycle the window would
+// have refused).
+bool WindowSafeInstr(InstrKind kind);
+
+// Executor opcode: the computed-goto dispatch index. Operands are
+// pre-extracted at build time (pc-relative constants folded, shift amounts
+// pre-masked) so the inner loop reads fields, never re-decodes.
+enum class SbExec : uint8_t {
+  kConst = 0,  // rd <- cval (lui, auipc)
+  kAddi, kSlti, kSltiu, kXori, kOri, kAndi, kSlli, kSrli, kSrai,
+  kAdd, kSub, kSll, kSlt, kSltu, kXor, kSrl, kSra, kOr, kAnd,
+  kFence,      // architectural no-op
+  kMul, kMulh, kMulhsu, kMulhu, kDiv, kDivu, kRem, kRemu,
+  kJal,        // rd <- cval (pc+4); always redirects to target
+  kJalr,       // rd <- cval (pc+4); redirects to (rs1 + imm) & ~1
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+  kCount,
+};
+
+struct SbSlot {
+  SbExec exec = SbExec::kFence;
+  uint8_t rd = 0;    // pre-masked to 5 bits; 0 means "no writeback"
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  uint32_t imm = 0;     // imm32; shift amounts pre-masked to 5 bits
+  uint32_t cval = 0;    // folded constant: lui/auipc result, jal/jalr link
+  uint32_t target = 0;  // pc + imm for branches and jal
+  uint32_t addr = 0;    // the word's address (== trace start + 4 * index)
+  uint32_t raw = 0;     // raw word at build time; revalidated per fetch
+  Decoded d;            // for latch-payload writeback and predecode Insert
+};
+
+struct Superblock {
+  bool valid = false;
+  uint32_t start = 0;     // address of slots[0]; the only entry point
+  uint32_t exec_len = 0;  // executable slots (>= kSuperblockMinLen)
+  // Total slots including up to two trailing FETCH-ONLY slots: the pipeline
+  // fetches two words past the last executable slot before a terminal branch
+  // resolves (one speculative fall-through fetch per unresolved stage), and
+  // recording those words lets the hot taken-branch back edge of a loop
+  // execute fully in-trace. Fetch-only slots carry addr/raw/d only; the
+  // executor exits before one would reach EX.
+  uint32_t len = 0;
+  std::vector<SbSlot> slots;
+};
+
+struct SuperblockStats {
+  uint64_t builds = 0;         // traces constructed (build walk succeeded)
+  uint64_t executions = 0;     // trace entries from the generic window loop
+  uint64_t chains = 0;         // taken branches that chained trace-to-trace
+  uint64_t instructions = 0;   // instructions retired inside traces
+  uint64_t invalidations = 0;  // traces killed (stale raw word, InvalidateAll)
+  uint64_t evictions = 0;      // builds that overwrote a different live trace
+};
+
+// Direct-mapped trace cache, indexed by start address. Deterministic by
+// construction: build-on-first-miss with overwrite eviction, so cache
+// contents are a pure function of the execution history (which checkpoint
+// restore replays via the serialized trace list).
+class SuperblockCache {
+ public:
+  // Geometry is fixed (kSuperblockEntries); `enabled` off constructs an
+  // empty cache that Lookup/Build treat as permanently cold.
+  SuperblockCache(bool enabled, uint32_t max_len);
+
+  bool enabled() const { return !traces_.empty(); }
+  uint32_t max_len() const { return max_len_; }
+
+  // Trace lookup for `pc`. No counters are touched: executions/chains are
+  // counted by the executor, which may still reject the trace (icache lines
+  // not resident).
+  Superblock* Lookup(uint32_t pc) {
+    if (traces_.empty()) {
+      return nullptr;
+    }
+    Superblock& sb = traces_[Index(pc)];
+    return (sb.valid && sb.start == pc) ? &sb : nullptr;
+  }
+
+  // Builds, caches and returns the trace starting at `start`, or nullptr if
+  // no trace of at least kSuperblockMinLen window-safe instructions exists
+  // there. The walk is side-effect-free on machine state: raw words come
+  // from PhysicalMemory::Read32 and are revalidated per fetch at execution
+  // time, so no generation is recorded. A failed walk stops at the first
+  // offending word — re-probing an unsafe target costs O(1) decodes.
+  Superblock* Build(uint32_t start, const PhysicalMemory& dram);
+
+  // Kills one stale trace (raw word changed under a bumped generation).
+  void Invalidate(Superblock& sb) {
+    sb.valid = false;
+    ++stats_.invalidations;
+  }
+
+  // Kills every trace (program load, snapshot restore). Counts one
+  // invalidation only when at least one live trace died: unlike the
+  // predecode cache this keeps the counter identical across stepping modes
+  // (a run that never built a trace reports 0, whichever mode ran).
+  void InvalidateAll();
+
+  // Executor counter ports (Core::StepFast).
+  void CountExecution() { ++stats_.executions; }
+  void CountChain() { ++stats_.chains; }
+  void CreditInstructions(uint64_t n) { stats_.instructions += n; }
+
+  const SuperblockStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SuperblockStats{}; }
+  void RegisterMetrics(MetricRegistry& registry) const;
+
+  // Checkpoint/restore for the msim "superblocks" snapshot extras section:
+  // live traces as (start, raw words) plus the counters. Restore rebuilds
+  // slots by re-translating the SERIALIZED raw words — not current DRAM —
+  // so a trace that had gone stale in the checkpointed machine restores
+  // equally stale and dies at the same future fetch, keeping restored-run
+  // counters byte-identical to the straight run. Traces longer than this
+  // cache's max_len restore intact (max_len gates new builds only).
+  void SaveState(SnapWriter& w) const;
+  Status RestoreState(SnapReader& r);
+
+ private:
+  uint32_t Index(uint32_t addr) const { return (addr >> 2) & mask_; }
+
+  // Translates one decoded word at `pc` into an executor slot. False when
+  // the kind has no executor op (window-unsafe or unknown).
+  static bool TranslateSlot(const Decoded& d, uint32_t pc, uint32_t raw, SbSlot* out);
+
+  std::vector<Superblock> traces_;
+  uint32_t mask_ = 0;
+  uint32_t max_len_ = 0;
+  SuperblockStats stats_;
+};
+
+// Cache geometry: fixed so snapshot sections are portable across configs.
+inline constexpr uint32_t kSuperblockEntries = 1024;
+// Refilling the two pipeline latches costs two in-trace cycles before the
+// first slot reaches EX, so a shorter trace could never execute anything.
+inline constexpr uint32_t kSuperblockMinLen = 2;
+// Restore-time sanity bound on serialized trace length (corrupt snapshots).
+inline constexpr uint32_t kSuperblockMaxRestoreLen = 4096;
+
+}  // namespace msim
+
+#endif  // MSIM_CPU_SUPERBLOCK_H_

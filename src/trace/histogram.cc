@@ -58,10 +58,19 @@ void Histogram::Merge(const Histogram& other) {
 
 double Histogram::Percentile(double p) const {
   if (count_ == 0) {
-    return 0.0;
+    return 0.0;  // every percentile of an empty histogram, p = 0/100 included
   }
-  p = std::min(100.0, std::max(0.0, p));
-  // Rank of the target sample, 1-based.
+  // The 0th percentile is the minimum by definition; the rank formula below
+  // would instead interpolate INTO the lowest occupied bucket (rank is
+  // clamped to 1). NaN lands here too: !(NaN > 0) — any comparison-based
+  // clamp would otherwise turn it into an arbitrary in-range rank.
+  if (!(p > 0.0)) {
+    return static_cast<double>(min_);
+  }
+  if (p >= 100.0) {
+    return static_cast<double>(max_);
+  }
+  // Rank of the target sample, 1-based; p is strictly inside (0, 100) here.
   const uint64_t target =
       std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(p / 100.0 * count_)));
   uint64_t seen = 0;

@@ -47,9 +47,12 @@ class Histogram {
   uint64_t max() const { return max_; }
   const std::array<uint64_t, kNumBuckets>& buckets() const { return buckets_; }
 
-  // Deterministic percentile estimate for p in [0, 100]: walks buckets to the
+  // Deterministic percentile estimate for p in (0, 100): walks buckets to the
   // sample of rank ceil(p/100 * count) and interpolates linearly inside that
-  // bucket, clamped to [min, max]. Returns 0 for an empty histogram.
+  // bucket, clamped to [min, max] (so a single-sample histogram reports that
+  // sample at every p). Edges are pinned by definition, not interpolation:
+  // p <= 0 (NaN included) returns min, p >= 100 returns max, and every
+  // percentile of an empty histogram — edges included — returns 0.
   double Percentile(double p) const;
 
   // Appends count/sum/min/max/mean/p50/p90/p99 members plus a "buckets" array

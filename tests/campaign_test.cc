@@ -348,5 +348,21 @@ TEST(McampCliTest, RejectsUsageErrors) {
             kExitUsage);
 }
 
+// Numeric flags hold msim's strict parsing standard: negative values, garbage
+// suffixes and overflow are usage errors (exit 2), never a silent 0 or a
+// saturated value, and documented range floors are enforced at the CLI.
+TEST(McampCliTest, RejectsMalformedNumericFlags) {
+  const std::string dir = WriteGuestFiles(testing::TempDir());
+  const std::string base = std::string(MCAMP_CLI_PATH) + " run " + dir + "/guest.s ";
+  EXPECT_EQ(RunCommand(base + "--trials -3 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunCommand(base + "--trials 10abc 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunCommand(base + "--max-cycles 99999999999999999999 2>/dev/null"),
+            kExitUsage);
+  EXPECT_EQ(RunCommand(base + "--seed banana 2>/dev/null"), kExitUsage);
+  // --hang-factor documents "min 2"; the engine no longer clamps silently.
+  EXPECT_EQ(RunCommand(base + "--hang-factor 1 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunCommand(base + "--hang-factor 0 2>/dev/null"), kExitUsage);
+}
+
 }  // namespace
 }  // namespace msim

@@ -408,5 +408,31 @@ TEST(FleetRealMsimTest, GracefulEvictionWritesFinalCheckpoint) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The msimd CLI, end to end: numeric flags hold msim's strict parsing
+// standard (support/strings.h ParseInt) — negative values, garbage suffixes
+// and overflow exit 2, never a silent 0 or a saturated value.
+
+int RunShell(const std::string& command) {
+  const int raw = std::system(command.c_str());
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+TEST(MsimdCliTest, RejectsMalformedNumericFlags) {
+  const std::string dir = MakeTempDir();
+  const std::string manifest = dir + "/fleet.ini";
+  WriteText(manifest, "[job noop]\nprogram = " + dir + "/noop.s\n");
+  WriteText(dir + "/noop.s", "_start:\n  halt zero\n");
+  const std::string base = std::string(MSIMD_CLI_PATH) + " run " + manifest + " ";
+  EXPECT_EQ(RunShell(std::string(MSIMD_CLI_PATH) + " 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--workers -2 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--workers 4abc 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--workers 0 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--retries 99999999999999999999 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--deadline-ms 5s 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--heartbeat-every banana 2>/dev/null"), kExitUsage);
+  EXPECT_EQ(RunShell(base + "--mem-limit-mb 1e9 2>/dev/null"), kExitUsage);
+}
+
 }  // namespace
 }  // namespace msim

@@ -104,8 +104,34 @@ TEST(HistogramTest, MergeFoldsBucketsAndExtremes) {
 
 TEST(HistogramTest, PercentileOfEmptyIsZero) {
   Histogram h;
+  // Edges and out-of-range p included: an empty histogram has no min/max to
+  // pin the edge percentiles to, so everything is the documented 0.0.
+  EXPECT_EQ(h.Percentile(0), 0.0);
   EXPECT_EQ(h.Percentile(50), 0.0);
   EXPECT_EQ(h.Percentile(99), 0.0);
+  EXPECT_EQ(h.Percentile(100), 0.0);
+  EXPECT_EQ(h.Percentile(-5), 0.0);
+  EXPECT_EQ(h.Percentile(200), 0.0);
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+}
+
+TEST(HistogramTest, PercentileEdgesPinToMinAndMax) {
+  Histogram h;
+  h.Record(10);   // bucket [8, 15]
+  h.Record(100);  // bucket [64, 127]
+  h.Record(900);  // bucket [512, 1023]
+  // p = 0 is the minimum BY DEFINITION — not an interpolated value inside
+  // the lowest occupied bucket, which the rank-1 walk would produce.
+  EXPECT_EQ(h.Percentile(0), 10.0);
+  EXPECT_EQ(h.Percentile(-1), 10.0);
+  // p = 100 is the maximum; values above 100 clamp to it.
+  EXPECT_EQ(h.Percentile(100), 900.0);
+  EXPECT_EQ(h.Percentile(1000), 900.0);
+  // NaN does not propagate or select an arbitrary rank: it reports min.
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::quiet_NaN()), 10.0);
+  // Infinities behave like their clamped edges.
+  EXPECT_EQ(h.Percentile(std::numeric_limits<double>::infinity()), 900.0);
+  EXPECT_EQ(h.Percentile(-std::numeric_limits<double>::infinity()), 10.0);
 }
 
 TEST(HistogramTest, PercentileSingleValue) {

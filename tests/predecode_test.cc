@@ -221,6 +221,54 @@ TEST(FastStepTest, RetireBoundedSteppingStopsExactly) {
   ExpectSameRetires(retires, slow_retires);
 }
 
+TEST(FastStepTest, SingleCycleLockstepHoldsAtEveryHorizonBoundary) {
+  // Horizon audit regression: pump the fast core ONE cycle at a time
+  // (StepFast(1) with the StepCycle fallback, exactly the diverge-pump
+  // shape) against a per-cycle core, with a short-interval timer so device
+  // horizons land on every possible window phase — mid-trace, on chained
+  // back edges, during refills. A window or trace that commits even one
+  // cycle at or past its horizon shows up as a digest mismatch at that
+  // exact cycle instead of a smeared end-of-run failure.
+  auto boot = [](Core& core) {
+    MustLoadMcodeRaw(core, kTimerHandler);
+    ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+      _start:
+        li t2, 3000
+      loop:
+        addi t2, t2, -1
+        bne t2, zero, loop
+        halt zero
+    )")));
+    core.metal().DelegateIrq(1);
+    core.metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+    core.timer().Write32(12, 97);  // short, odd interval: all phases hit
+    core.timer().Write32(4, 97);
+    core.timer().Write32(8, 1);
+  };
+  Core fast;  // defaults: fast_step + superblocks
+  CoreConfig slow_config;
+  slow_config.fast_step = false;
+  Core slow(slow_config);
+  boot(fast);
+  boot(slow);
+  while (!fast.halted() && !slow.halted()) {
+    if (fast.StepFast(1) == 0) {
+      fast.StepCycle();
+    }
+    slow.StepCycle();
+    ASSERT_EQ(fast.cycle(), slow.cycle());
+    // DRAM excluded per cycle to keep the pump cheap; the program never
+    // stores, and the final full digest below covers memory anyway.
+    ASSERT_EQ(fast.StateDigest(/*include_dram=*/false),
+              slow.StateDigest(/*include_dram=*/false))
+        << "diverged at cycle " << fast.cycle();
+  }
+  EXPECT_TRUE(fast.halted());
+  EXPECT_TRUE(slow.halted());
+  EXPECT_EQ(fast.StateDigest(true), slow.StateDigest(true));
+  EXPECT_GE(fast.stats().interrupts, 10u);
+}
+
 // ---------------------------------------------------------------------------
 // Invalidation matrix: every coherence source vs the no-cache reference.
 // ---------------------------------------------------------------------------

@@ -343,11 +343,15 @@ constexpr const char* kTimerHandler = R"(
 // The StepFast parity acceptance check: a run with the batched hot path and a
 // per-cycle run must produce identical spans, counters and histogram buckets
 // — interrupts, menters and traps included. Any metric hook the fast path
-// bypassed would show up as a diff here.
+// bypassed would show up as a diff here. The superblock tier's own counters
+// are mode-dependent by nature (the executor only runs inside StepFast), so
+// the strict byte-compare runs with the tier off and a second check pins the
+// superblock-enabled run to differ in the "superblock" component ONLY.
 TEST(SpanSinkCoreTest, FastStepAndPerCycleEmitIdenticalStatistics) {
-  const auto run = [](bool fast_step) {
+  const auto run = [](bool fast_step, bool superblocks = false) {
     CoreConfig config;
     config.fast_step = fast_step;
+    config.superblocks = superblocks;
     auto core = std::make_unique<Core>(config);
     MustLoadMcodeRaw(*core, kTimerHandler);
     EXPECT_OK(core->LoadProgram(MustAssemble(R"(
@@ -389,6 +393,21 @@ TEST(SpanSinkCoreTest, FastStepAndPerCycleEmitIdenticalStatistics) {
   EXPECT_EQ(fast, slow);
   // The run actually delivered interrupts (the parity check is not vacuous).
   EXPECT_NE(fast.find("\"interrupt\""), std::string::npos) << fast;
+
+  // Superblock tier on: every architectural counter, span and histogram must
+  // still be byte-identical — only the "superblock" component may change.
+  const auto scrub_superblock = [](std::string s) {
+    const size_t begin = s.find("\"superblock\":{");
+    EXPECT_NE(begin, std::string::npos) << s;
+    const size_t end = s.find('}', begin);
+    EXPECT_NE(end, std::string::npos) << s;
+    s.erase(begin, end + 2 - begin);  // includes the trailing comma
+    return s;
+  };
+  const std::string traced = run(true, true);
+  EXPECT_EQ(scrub_superblock(traced), scrub_superblock(fast));
+  // And the tier actually ran (this check is not vacuous either).
+  EXPECT_EQ(traced.find("\"superblock\":{\"builds\":0,"), std::string::npos) << traced;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,489 @@
+// Superblock translation tier (cpu/superblock.h, docs/performance.md).
+//
+// The tier is "invisible by construction", one rung above the predecode
+// cache: N cycles through chained trace execution must leave machine state
+// byte-identical to N cycles of the plain fast-step window AND to N
+// Core::StepCycle calls. The tests mirror predecode_test.cc's structure —
+// digest matrices at awkward sync points, an invalidation matrix against
+// every coherence source, and snapshot round trips — with the superblock
+// cache's own counters checked on the side so none of the parity checks can
+// pass vacuously with the tier disabled.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/creg.h"
+#include "cpu/superblock.h"
+#include "fault/fault.h"
+#include "metal/system.h"
+#include "snap/snapshot.h"
+#include "snap/snapstream.h"
+#include "tests/sim_test_util.h"
+
+namespace msim {
+namespace {
+
+struct Retire {
+  uint64_t cycle;
+  uint32_t pc;
+  uint32_t raw;
+  bool metal;
+  bool operator==(const Retire& o) const {
+    return cycle == o.cycle && pc == o.pc && raw == o.raw && metal == o.metal;
+  }
+};
+
+void RecordRetires(Core& core, std::vector<Retire>* out) {
+  core.SetRetireTrace([out](const Core::RetireEvent& e) {
+    out->push_back(Retire{e.cycle, e.pc, e.raw, e.metal});
+  });
+}
+
+void ExpectSameRetires(const std::vector<Retire>& a, const std::vector<Retire>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(a[i] == b[i]) << "retire " << i << ": cycle " << a[i].cycle << " pc 0x"
+                              << std::hex << a[i].pc << " raw 0x" << a[i].raw
+                              << " vs cycle " << std::dec << b[i].cycle << " pc 0x"
+                              << std::hex << b[i].pc << " raw 0x" << b[i].raw;
+    if (!(a[i] == b[i])) {
+      return;  // the first divergence is the informative one
+    }
+  }
+}
+
+// Identical geometry everywhere so SaveState streams (and digests) compare;
+// only the stepping tier under test varies.
+CoreConfig NoSuperblockConfig() {
+  CoreConfig config;
+  config.superblocks = false;
+  return config;
+}
+
+CoreConfig PerCycleConfig() {
+  CoreConfig config;
+  config.fast_step = false;
+  return config;
+}
+
+// ALU/branch loops interleaved with loads and stores: traces build over the
+// inner loop, chain on its back edge, and exit at every memory access.
+constexpr const char* kMixedProgram = R"(
+  _start:
+    la s2, counter
+    li s0, 400
+    li s1, 0
+  outer:
+    li t0, 9
+  inner:
+    addi s1, s1, 3
+    xor s1, s1, t0
+    addi t0, t0, -1
+    bne t0, zero, inner
+    lw t1, 0(s2)
+    addi t1, t1, 1
+    sw t1, 0(s2)
+    addi s0, s0, -1
+    bne s0, zero, outer
+    lw a0, 0(s2)
+    halt a0
+    .data
+  counter:
+    .word 0
+)";
+
+// ---------------------------------------------------------------------------
+// Byte-exactness across all three stepping tiers.
+// ---------------------------------------------------------------------------
+
+TEST(SuperblockTest, ByteExactAgainstWindowAndPerCycleAtManySyncPoints) {
+  Core traced;  // defaults: superblocks on
+  Core window(NoSuperblockConfig());
+  Core percycle(PerCycleConfig());
+  const Program program = MustAssemble(kMixedProgram);
+  for (Core* core : {&traced, &window, &percycle}) {
+    ASSERT_OK(core->LoadProgram(program));
+  }
+  std::vector<Retire> a, b, c;
+  RecordRetires(traced, &a);
+  RecordRetires(window, &b);
+  RecordRetires(percycle, &c);
+
+  // Deliberately awkward chunk sizes so sync points land mid-trace, on
+  // chained back edges and inside the two-cycle refill. Neither superblocks
+  // nor fast_step joins CoreConfigHash, so the digests are comparable.
+  const uint64_t kChunks[] = {1, 2, 3, 7, 64, 129, 1000, 4096, 977, 50000};
+  uint64_t at = 0;
+  for (const uint64_t chunk : kChunks) {
+    traced.Run(chunk);
+    window.Run(chunk);
+    percycle.Run(chunk);
+    at += chunk;
+    ASSERT_EQ(traced.cycle(), window.cycle()) << "after " << at << " cycles";
+    ASSERT_EQ(traced.cycle(), percycle.cycle()) << "after " << at << " cycles";
+    ASSERT_EQ(traced.StateDigest(/*include_dram=*/true),
+              window.StateDigest(/*include_dram=*/true))
+        << "trace tier diverged from the window by cycle " << at;
+    ASSERT_EQ(traced.StateDigest(true), percycle.StateDigest(true))
+        << "trace tier diverged from per-cycle by cycle " << at;
+  }
+  const RunResult rt = traced.Run(2'000'000);
+  const RunResult rw = window.Run(2'000'000);
+  const RunResult rp = percycle.Run(2'000'000);
+  EXPECT_EQ(rt.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(rw.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(rp.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(rt.exit_code, rw.exit_code);
+  EXPECT_EQ(rt.exit_code, rp.exit_code);
+  EXPECT_EQ(traced.StateDigest(true), window.StateDigest(true));
+  ExpectSameRetires(a, b);
+  ExpectSameRetires(a, c);
+
+  // The parity above actually exercised the tier: traces built, executed,
+  // chained on the inner loop's back edge, and retired the bulk of the run.
+  const SuperblockStats& stats = traced.superblocks().stats();
+  EXPECT_GT(stats.builds, 0u);
+  EXPECT_GT(stats.executions, 0u);
+  EXPECT_GT(stats.chains, 0u);
+  EXPECT_GT(stats.instructions, 0u);
+  EXPECT_LE(stats.instructions, traced.stats().instret);
+  // And the control cores never ran it.
+  EXPECT_EQ(window.superblocks().stats().executions, 0u);
+  EXPECT_EQ(percycle.superblocks().stats().executions, 0u);
+}
+
+// Counts timer interrupts in MRAM data[0] (same handler as interrupt_test).
+constexpr const char* kTimerHandler = R"(
+    .mentry 1, irq
+  irq:
+    wmr m10, t0
+    wmr m11, t1
+    mld t0, 0(zero)
+    addi t0, t0, 1
+    mst t0, 0(zero)
+    li t0, 0xF0000008
+    li t1, 1
+    psw t1, 0(t0)
+    rmr t0, m10
+    rmr t1, m11
+    mexit
+)";
+
+TEST(SuperblockTest, ByteExactWithTimerInterruptsAcrossHorizons) {
+  // Satellite regression for the horizon audit: a chained trace must never
+  // commit a cycle at or past the device-event horizon computed at window
+  // entry, so every interrupt is taken at exactly the cycle the plain
+  // window (and per-cycle core) takes it.
+  auto boot = [](Core& core) {
+    MustLoadMcodeRaw(core, kTimerHandler);
+    ASSERT_OK(core.LoadProgram(MustAssemble(R"(
+      _start:
+        li t2, 30000
+      loop:
+        addi t2, t2, -1
+        bne t2, zero, loop
+        halt zero
+    )")));
+    core.metal().DelegateIrq(1);
+    core.metal().WriteCreg(kCrIenable, 1u << kIrqTimer);
+    core.timer().Write32(12, 700);  // interval
+    core.timer().Write32(4, 700);   // compare
+    core.timer().Write32(8, 1);     // enable
+  };
+  Core traced;
+  Core window(NoSuperblockConfig());
+  boot(traced);
+  boot(window);
+
+  const uint64_t kChunks[] = {500, 333, 1024, 10000, 50000};
+  for (const uint64_t chunk : kChunks) {
+    traced.Run(chunk);
+    window.Run(chunk);
+    ASSERT_EQ(traced.cycle(), window.cycle());
+    ASSERT_EQ(traced.StateDigest(true), window.StateDigest(true))
+        << "diverged by cycle " << traced.cycle();
+  }
+  const RunResult rt = traced.Run(2'000'000);
+  const RunResult rw = window.Run(2'000'000);
+  EXPECT_EQ(rt.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(rw.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(traced.stats().interrupts, window.stats().interrupts);
+  EXPECT_GE(traced.stats().interrupts, 10u);
+  EXPECT_EQ(traced.StateDigest(true), window.StateDigest(true));
+  EXPECT_GT(traced.superblocks().stats().chains, 0u);
+}
+
+TEST(SuperblockTest, MaxLenKnobGatesAndBoundsTraces) {
+  // Below kSuperblockMinLen the tier shuts off entirely; at the minimum it
+  // still runs. Either way behavior is byte-exact (guaranteed by the matrix
+  // above; here the knob wiring itself is under test).
+  CoreConfig off_config;
+  off_config.superblock_max_len = 1;
+  Core off(off_config);
+  CoreConfig tiny_config;
+  tiny_config.superblock_max_len = 2;
+  Core tiny(tiny_config);
+  const Program program = MustAssemble(kMixedProgram);
+  ASSERT_OK(off.LoadProgram(program));
+  ASSERT_OK(tiny.LoadProgram(program));
+  MustHalt(off, 400);
+  MustHalt(tiny, 400);
+  EXPECT_FALSE(off.superblocks().enabled());
+  EXPECT_EQ(off.superblocks().stats().executions, 0u);
+  EXPECT_GT(tiny.superblocks().stats().executions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Invalidation matrix: every coherence source vs a no-trace reference.
+// ---------------------------------------------------------------------------
+
+// Patches its own inner loop after three iterations: the stored word must
+// take effect on the very next fetch, killing the trace built over it.
+constexpr const char* kSelfModifyingProgram = R"(
+  _start:
+    la t0, slot
+    la t1, patch
+    lw t1, 0(t1)
+    li s0, 6
+    li s1, 0
+  loop:
+  slot:
+    addi s1, s1, 1
+    addi s0, s0, -1
+    beq s0, zero, done
+    li t2, 3
+    bne s0, t2, loop
+    sw t1, 0(t0)
+    j loop
+  done:
+    halt s1
+  patch:
+    addi s1, s1, 5
+)";
+
+TEST(SuperblockInvalidationTest, SelfModifyingStoreKillsAffectedTrace) {
+  Core traced;  // defaults
+  Core window(NoSuperblockConfig());
+  ASSERT_OK(traced.LoadProgram(MustAssemble(kSelfModifyingProgram)));
+  ASSERT_OK(window.LoadProgram(MustAssemble(kSelfModifyingProgram)));
+  std::vector<Retire> a, b;
+  RecordRetires(traced, &a);
+  RecordRetires(window, &b);
+  // 3 iterations of +1, then the patched +5 for the remaining 3.
+  MustHalt(traced, 18);
+  MustHalt(window, 18);
+  ExpectSameRetires(a, b);
+  // The store bumped the DRAM write generation; the per-fetch raw-word
+  // revalidation must have caught the stale slot and killed its trace.
+  EXPECT_GT(traced.superblocks().stats().executions, 0u);
+  EXPECT_GT(traced.superblocks().stats().invalidations, 0u);
+}
+
+// Accumulates into MRAM data with mld/mst (same mroutine as predecode_test):
+// MRAM activity alongside hot DRAM traces.
+constexpr const char* kCounterMcode = R"(
+    .mentry 1, count_add
+  count_add:
+    mld t0, 0(zero)
+    add t0, t0, a0
+    mst t0, 0(zero)
+    mv a0, t0
+    mexit
+)";
+
+// The spin loop keeps a hot DRAM trace alive between mroutine invocations
+// (the taken back edge drains the pipeline, so the tier builds and chains
+// there); `menter` itself is never part of a trace.
+constexpr const char* kLongCounterProgram = R"(
+  _start:
+    li s0, 400
+    li s1, 0
+  loop:
+    li t3, 8
+  spin:
+    addi t3, t3, -1
+    bne t3, zero, spin
+    li a0, 7
+    menter 1
+    mv s1, a0
+    addi s0, s0, -1
+    bne s0, zero, loop
+    halt s1
+)";
+
+TEST(SuperblockInvalidationTest, MramScrubMatchesNoTraceReference) {
+  // Traces never contain MRAM code (the tier only runs outside Metal mode
+  // and the build walk stops at the DRAM boundary), so a corruption-scrub
+  // episode in the mroutine must leave the DRAM traces untouched AND the
+  // retire streams identical with and without the tier.
+  CoreConfig traced_config;
+  traced_config.mram_parity = false;
+  CoreConfig window_config = NoSuperblockConfig();
+  window_config.mram_parity = false;
+  MetalSystem traced(traced_config);
+  MetalSystem window(window_config);
+  for (MetalSystem* s : {&traced, &window}) {
+    s->AddMcode(kCounterMcode);
+    ASSERT_OK(s->LoadProgramSource(kLongCounterProgram));
+    ASSERT_OK(s->Boot());
+  }
+  std::vector<Retire> a, b;
+  RecordRetires(traced.core(), &a);
+  RecordRetires(window.core(), &b);
+  auto drive = [](MetalSystem& s) -> RunResult {
+    s.Run(1500);
+    // Flip `add t0, t0, a0` (second mroutine word) into `sub`.
+    EXPECT_TRUE(s.core().mram().CorruptCodeWord(4, 0xFFFFFFFFu, 1u << 30));
+    s.Run(1500);
+    EXPECT_GT(s.core().mram().Scrub(), 0u);  // restores + bumps MRAM gen
+    return s.Run(2'000'000);
+  };
+  const RunResult ra = drive(traced);
+  const RunResult rb = drive(window);
+  EXPECT_EQ(ra.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(rb.reason, RunResult::Reason::kHalted);
+  EXPECT_EQ(ra.exit_code, rb.exit_code);
+  ExpectSameRetires(a, b);
+  EXPECT_GT(traced.core().superblocks().stats().executions, 0u);
+}
+
+TEST(SuperblockInvalidationTest, FaultEngineAttachDisablesTraceExecution) {
+  // An attached fault engine can flip any word at any cycle, behind every
+  // generation counter. StepFast refuses the whole window in that case —
+  // and the superblock tier with it. Regression for the entry guard: the
+  // counters must stay zero and behavior must match the per-cycle reference.
+  MetalSystem traced;  // defaults: superblocks on
+  MetalSystem reference(PerCycleConfig());
+  FaultEngine traced_engine(/*seed=*/7);
+  FaultEngine reference_engine(/*seed=*/7);
+  ASSERT_OK(traced_engine.AddSpec("mram-data@3000:at=0,bit=3"));
+  ASSERT_OK(reference_engine.AddSpec("mram-data@3000:at=0,bit=3"));
+  traced.core().SetFaultEngine(&traced_engine);
+  reference.core().SetFaultEngine(&reference_engine);
+  for (MetalSystem* s : {&traced, &reference}) {
+    s->AddMcode(kCounterMcode);
+    ASSERT_OK(s->LoadProgramSource(kLongCounterProgram));
+  }
+  std::vector<Retire> a, b;
+  RecordRetires(traced.core(), &a);
+  RecordRetires(reference.core(), &b);
+  const RunResult ra = traced.Run(2'000'000);
+  const RunResult rb = reference.Run(2'000'000);
+  EXPECT_EQ(ra.reason, rb.reason);
+  EXPECT_EQ(ra.exit_code, rb.exit_code);
+  ExpectSameRetires(a, b);
+  EXPECT_EQ(traced.core().superblocks().stats().executions, 0u);
+  EXPECT_EQ(traced.core().superblocks().stats().builds, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots: restore parity and section round trips.
+// ---------------------------------------------------------------------------
+
+TEST(SuperblockSnapshotTest, RestoreMidLoopResumesIdentically) {
+  // Core::SaveState deliberately excludes trace state (snapshots are
+  // portable across stepping modes); restore invalidates the cache and the
+  // tier rebuilds deterministically. The continuation retire stream of the
+  // restored machine must equal the uninterrupted one — including into a
+  // core with the tier off, and a per-cycle core.
+  Core original;  // defaults: superblocks on
+  ASSERT_OK(original.LoadProgram(MustAssemble(kMixedProgram)));
+  original.Run(1234);  // mid-loop, trace cache warm
+  const std::vector<uint8_t> image = SaveSnapshot(original);
+  const uint64_t digest_at_save = original.StateDigest(true);
+
+  std::vector<Retire> rest_of_original;
+  RecordRetires(original, &rest_of_original);
+  const RunResult ro = original.Run(2'000'000);
+  EXPECT_EQ(ro.reason, RunResult::Reason::kHalted);
+
+  const auto resume = [&](const CoreConfig& config) {
+    Core restored(config);
+    ASSERT_OK(RestoreSnapshot(restored, image));
+    EXPECT_EQ(restored.StateDigest(true), digest_at_save);
+    std::vector<Retire> rest;
+    RecordRetires(restored, &rest);
+    const RunResult rr = restored.Run(2'000'000);
+    EXPECT_EQ(rr.reason, RunResult::Reason::kHalted);
+    EXPECT_EQ(rr.exit_code, ro.exit_code);
+    ExpectSameRetires(rest_of_original, rest);
+  };
+  resume(CoreConfig{});
+  resume(NoSuperblockConfig());
+  resume(PerCycleConfig());
+}
+
+TEST(SuperblockSnapshotTest, SaveRestoreRoundTripIsByteIdentical) {
+  // The msim "superblocks" extras section: serializing a warm cache,
+  // restoring it into a fresh one and serializing again must reproduce the
+  // byte stream — traces (stale ones included, via raw-word re-translation)
+  // and counters both.
+  Core core;
+  ASSERT_OK(core.LoadProgram(MustAssemble(kMixedProgram)));
+  core.Run(5000);
+  ASSERT_GT(core.superblocks().stats().builds, 0u);
+
+  SnapWriter first;
+  core.superblocks().SaveState(first);
+  const std::vector<uint8_t> bytes = first.TakeBytes();
+
+  SuperblockCache restored(/*enabled=*/true, /*max_len=*/64);
+  SnapReader reader(bytes);
+  ASSERT_OK(restored.RestoreState(reader));
+  SnapWriter second;
+  restored.SaveState(second);
+  EXPECT_EQ(second.TakeBytes(), bytes);
+
+  // Restoring into a core with the tier disabled keeps the counters (the
+  // executor never runs, so --stats-json stays byte-identical) but drops
+  // the traces.
+  SuperblockCache disabled(/*enabled=*/false, /*max_len=*/64);
+  SnapReader reader2(bytes);
+  ASSERT_OK(disabled.RestoreState(reader2));
+  EXPECT_EQ(disabled.stats().builds, core.superblocks().stats().builds);
+  EXPECT_EQ(disabled.stats().executions, core.superblocks().stats().executions);
+  EXPECT_EQ(disabled.stats().chains, core.superblocks().stats().chains);
+  EXPECT_FALSE(disabled.enabled());
+}
+
+TEST(SuperblockSnapshotTest, RestoreRejectsCorruptSections) {
+  SuperblockCache cache(/*enabled=*/true, /*max_len=*/64);
+  {
+    // Trace count past the cache geometry.
+    SnapWriter w;
+    w.U32(kSuperblockEntries + 1);
+    const std::vector<uint8_t> bytes = w.TakeBytes();
+    SnapReader r(bytes);
+    EXPECT_FALSE(cache.RestoreState(r).ok());
+  }
+  {
+    // Geometry that claims fewer total slots than executable ones.
+    SnapWriter w;
+    w.U32(1);
+    w.U32(0x1000);  // start
+    w.U32(4);       // exec_len
+    w.U32(3);       // len < exec_len
+    const std::vector<uint8_t> bytes = w.TakeBytes();
+    SnapReader r(bytes);
+    EXPECT_FALSE(cache.RestoreState(r).ok());
+  }
+  {
+    // An executable slot whose raw word is not window-safe (a load).
+    SnapWriter w;
+    w.U32(1);
+    w.U32(0x1000);      // start
+    w.U32(2);           // exec_len
+    w.U32(2);           // len
+    w.U32(0x00000013);  // addi x0, x0, 0 — fine
+    w.U32(0x00002003);  // lw x0, 0(x0) — untranslatable
+    const std::vector<uint8_t> bytes = w.TakeBytes();
+    SnapReader r(bytes);
+    EXPECT_FALSE(cache.RestoreState(r).ok());
+  }
+}
+
+}  // namespace
+}  // namespace msim

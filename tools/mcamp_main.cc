@@ -187,6 +187,13 @@ int CmdRun(const std::vector<std::string>& args) {
       if (!ParseU64Flag("--hang-factor", args[++i], &options.hang_factor)) {
         return kExitUsage;
       }
+      // The documented minimum is 2 (a factor below that cannot distinguish a
+      // hang from the golden run itself). The engine used to clamp silently;
+      // reject at the CLI like every other out-of-range numeric flag.
+      if (options.hang_factor < 2) {
+        std::fprintf(stderr, "invalid value for --hang-factor (want >= 2)\n");
+        return kExitUsage;
+      }
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &options.max_cycles)) {
         return kExitUsage;

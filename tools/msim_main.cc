@@ -101,7 +101,8 @@ int Usage() {
                "usage:\n"
                "  msim run <program.s> [--mcode file.s]... [--storage mram|dram-cached|"
                "dram-uncached]\n"
-               "           [--no-fast] [--no-fast-step] [--max-cycles N] [--trace-stats] [--trace [N]]\n"
+               "           [--no-fast] [--no-fast-step] [--no-superblocks] [--max-cycles N]\n"
+               "           [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "           [--inject SPEC]... [--list-fault-targets] [--fault-seed N]\n"
                "           [--watchdog N] [--no-parity]\n"
@@ -111,7 +112,7 @@ int Usage() {
                "  msim replay <program.s> [run options] --until-divergence\n"
                "           [--compare auto|cycle|retire] [--b-storage MODE] [--b-fast|"
                "--b-no-fast]\n"
-               "           [--b-fast-step|--b-no-fast-step]\n"
+               "           [--b-fast-step|--b-no-fast-step] [--b-superblocks|--b-no-superblocks]\n"
                "           [--b-inject SPEC]... [--b-fault-seed N] [--divergence-json FILE]\n"
                "  msim asm <file.s>\n"
                "  msim table2\n");
@@ -294,6 +295,8 @@ int CmdRun(const std::vector<std::string>& args) {
       config.fast_transition = false;
     } else if (arg == "--no-fast-step") {
       config.fast_step = false;
+    } else if (arg == "--no-superblocks") {
+      config.superblocks = false;
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
@@ -534,6 +537,13 @@ int CmdRun(const std::vector<std::string>& args) {
           std::fprintf(stderr, "%s\n", status.ToString().c_str());
           return 1;
         }
+      } else if (section.name == "superblocks") {
+        SnapReader reader(section.payload);
+        if (Status status = system.core().superblocks().RestoreState(reader);
+            !status.ok()) {
+          std::fprintf(stderr, "%s\n", status.ToString().c_str());
+          return 1;
+        }
       }
     }
   }
@@ -590,6 +600,15 @@ int CmdRun(const std::vector<std::string>& args) {
       SnapWriter writer;
       ring.SaveState(writer);
       extras.push_back({"ring", writer.TakeBytes()});
+    }
+    {
+      // Always present: a restored run must report the same --stats-json
+      // superblock counters (and rebuild the same trace cache) as the
+      // straight run, in every stepping mode. Restoring into a core with the
+      // tier disabled keeps the counters and drops the traces.
+      SnapWriter writer;
+      core.superblocks().SaveState(writer);
+      extras.push_back({"superblocks", writer.TakeBytes()});
     }
     const std::string path = StrFormat("%s/checkpoint-%llu.msnap", checkpoint_dir.c_str(),
                                        (unsigned long long)core.cycle());
@@ -747,6 +766,7 @@ int CmdReplay(const std::vector<std::string>& args) {
   MroutineStorage b_storage = MroutineStorage::kMram;
   int b_fast = -1;  // -1 = inherit A's setting, 0 = slow, 1 = fast
   int b_fast_step = -1;  // same convention, for CoreConfig::fast_step
+  int b_superblocks = -1;  // same convention, for CoreConfig::superblocks
   std::vector<std::string> inject_b;
   uint64_t fault_seed_b = 0;
   bool b_seed_set = false;
@@ -767,6 +787,8 @@ int CmdReplay(const std::vector<std::string>& args) {
       config_a.fast_transition = false;
     } else if (arg == "--no-fast-step") {
       config_a.fast_step = false;
+    } else if (arg == "--no-superblocks") {
+      config_a.superblocks = false;
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
@@ -807,6 +829,10 @@ int CmdReplay(const std::vector<std::string>& args) {
       b_fast_step = 1;
     } else if (arg == "--b-no-fast-step") {
       b_fast_step = 0;
+    } else if (arg == "--b-superblocks") {
+      b_superblocks = 1;
+    } else if (arg == "--b-no-superblocks") {
+      b_superblocks = 0;
     } else if (arg == "--b-inject" && i + 1 < args.size()) {
       inject_b.push_back(args[++i]);
     } else if (arg == "--b-fault-seed" && i + 1 < args.size()) {
@@ -837,6 +863,9 @@ int CmdReplay(const std::vector<std::string>& args) {
   if (b_fast_step != -1) {
     config_b.fast_step = (b_fast_step == 1);
   }
+  if (b_superblocks != -1) {
+    config_b.superblocks = (b_superblocks == 1);
+  }
 
   // Cycle-granularity lockstep compares full per-cycle state digests, which
   // only lines up when both machines have identical timing. Fault injection
@@ -848,7 +877,8 @@ int CmdReplay(const std::vector<std::string>& args) {
   // cycle-granularity driver steps both cores per cycle and would never run
   // the hot path at all — a fast-vs-slow compare only means something at
   // retire granularity, where A is pumped through StepFast.
-  const bool same_stepping = config_b.fast_step == config_a.fast_step;
+  const bool same_stepping = config_b.fast_step == config_a.fast_step &&
+                             config_b.superblocks == config_a.superblocks;
   LockstepOptions options;
   if (compare_mode == "cycle") {
     if (!same_timing) {
@@ -860,7 +890,8 @@ int CmdReplay(const std::vector<std::string>& args) {
     if (!same_stepping) {
       std::fprintf(stderr,
                    "--compare cycle steps both machines per cycle and would not exercise "
-                   "fast_step; use --compare retire with --b-no-fast-step\n");
+                   "fast_step/superblocks; use --compare retire with --b-no-fast-step or "
+                   "--b-no-superblocks\n");
       return 2;
     }
     options.granularity = CompareGranularity::kCycle;
