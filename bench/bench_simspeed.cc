@@ -38,6 +38,65 @@ const char* kAluLoop = R"(
     halt zero
 )";
 
+// Memory-bound rows: the superblock memory slots (docs/performance.md) keep
+// these loops inside traces, so their throughput tracks the trace tier's
+// dcache/TLB fast path rather than the ALU ceiling. CI gates the ratio of
+// BM_MemCopyLoop over its --no-superblocks twin (memloop_superblock_speedup).
+const char* kMemCopyLoop = R"(
+  _start:
+    la t5, src
+    la t6, dst
+    li t0, 25000
+  loop:
+    lw a0, 0(t5)
+    addi a0, a0, 1
+    sw a0, 0(t6)
+    addi t0, t0, -1
+    bnez t0, loop
+    halt zero
+    .data
+  src:
+    .word 7
+  dst:
+    .word 0
+)";
+
+const char* kStridedStoreLoop = R"(
+  _start:
+    la t6, buf
+    li t0, 12500
+  loop:
+    sw t0, 0(t6)
+    sh t0, 32(t6)
+    sb t0, 64(t6)
+    lbu a1, 64(t6)
+    addi t0, t0, -1
+    bnez t0, loop
+    halt zero
+    .data
+  buf:
+    .space 128
+)";
+
+const char* kMixedAluMemLoop = R"(
+  _start:
+    la t6, buf
+    li t0, 20000
+  loop:
+    addi a0, a0, 3
+    xor a1, a1, a0
+    lw a2, 0(t6)
+    add a2, a2, a0
+    sw a2, 4(t6)
+    addi t0, t0, -1
+    bnez t0, loop
+    halt zero
+    .data
+  buf:
+    .word 5
+    .word 0
+)";
+
 const char* kMetalLoop = R"(
   _start:
     li t0, 50000
@@ -54,10 +113,11 @@ const char* kNoopMroutine = R"(
     mexit
 )";
 
-// Runs kAluLoop to completion once per iteration under `config`, reporting
+// Runs `source` to completion once per iteration under `config`, reporting
 // measured simulated instructions as items.
-void RunAluLoop(benchmark::State& state, const CoreConfig& config) {
-  const auto program = Assemble(kAluLoop);
+void RunLoopProgram(benchmark::State& state, const char* source,
+                    const CoreConfig& config) {
+  const auto program = Assemble(source);
   uint64_t total_instret = 0;
   for (auto _ : state) {
     Core core(config);
@@ -71,13 +131,13 @@ void RunAluLoop(benchmark::State& state, const CoreConfig& config) {
 }
 
 void BM_AluLoop(benchmark::State& state) {
-  RunAluLoop(state, CoreConfig{});  // fast_step + superblocks default on
+  RunLoopProgram(state, kAluLoop, CoreConfig{});  // fast_step + superblocks on
 }
 
 void BM_AluLoopNoSuperblocks(benchmark::State& state) {
   CoreConfig config;
   config.superblocks = false;  // the plain fast-step window, no trace tier
-  RunAluLoop(state, config);
+  RunLoopProgram(state, kAluLoop, config);
 }
 BENCHMARK(BM_AluLoopNoSuperblocks)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_AluLoop)->Unit(benchmark::kMillisecond);
@@ -85,9 +145,31 @@ BENCHMARK(BM_AluLoop)->Unit(benchmark::kMillisecond);
 void BM_AluLoopStepCycle(benchmark::State& state) {
   CoreConfig config;
   config.fast_step = false;
-  RunAluLoop(state, config);
+  RunLoopProgram(state, kAluLoop, config);
 }
 BENCHMARK(BM_AluLoopStepCycle)->Unit(benchmark::kMillisecond);
+
+void BM_MemCopyLoop(benchmark::State& state) {
+  RunLoopProgram(state, kMemCopyLoop, CoreConfig{});
+}
+BENCHMARK(BM_MemCopyLoop)->Unit(benchmark::kMillisecond);
+
+void BM_MemCopyLoopNoSuperblocks(benchmark::State& state) {
+  CoreConfig config;
+  config.superblocks = false;
+  RunLoopProgram(state, kMemCopyLoop, config);
+}
+BENCHMARK(BM_MemCopyLoopNoSuperblocks)->Unit(benchmark::kMillisecond);
+
+void BM_StridedStoreLoop(benchmark::State& state) {
+  RunLoopProgram(state, kStridedStoreLoop, CoreConfig{});
+}
+BENCHMARK(BM_StridedStoreLoop)->Unit(benchmark::kMillisecond);
+
+void BM_MixedAluMemLoop(benchmark::State& state) {
+  RunLoopProgram(state, kMixedAluMemLoop, CoreConfig{});
+}
+BENCHMARK(BM_MixedAluMemLoop)->Unit(benchmark::kMillisecond);
 
 void BM_MetalTransitionLoop(benchmark::State& state) {
   uint64_t total_instret = 0;
@@ -119,15 +201,15 @@ BENCHMARK(BM_Assembler)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-// Best-of-N wall-clock measurement of kAluLoop under `config`, in simulated
+// Best-of-N wall-clock measurement of `source` under `config`, in simulated
 // instructions per second. Self-contained (std::chrono, not the
 // google-benchmark timer) so the BenchReport path works identically across
 // library versions and never depends on benchmark CLI flags. With `observed`
 // a SpanSink is attached (the msim --stats-json / --trace-json configuration),
 // measuring the cost of full observability on the hot path.
-double MeasureAluLoopInstrPerSec(const CoreConfig& config, int reps,
-                                 bool observed = false) {
-  const auto program = Assemble(kAluLoop);
+double MeasureInstrPerSec(const char* source, const CoreConfig& config, int reps,
+                          bool observed = false) {
+  const auto program = Assemble(source);
   double best = 0.0;
   for (int rep = 0; rep < reps; ++rep) {
     Core core(config);
@@ -166,25 +248,47 @@ int RunBenchReport(int argc, char** argv) {
   CoreConfig slow_config;
   slow_config.fast_step = false;
   const int kReps = 10;
-  const double fast = MeasureAluLoopInstrPerSec(fast_config, kReps);
-  const double nosb = MeasureAluLoopInstrPerSec(nosb_config, kReps);
-  const double slow = MeasureAluLoopInstrPerSec(slow_config, kReps);
-  const double observed = MeasureAluLoopInstrPerSec(fast_config, kReps, /*observed=*/true);
+  const double fast = MeasureInstrPerSec(kAluLoop, fast_config, kReps);
+  const double nosb = MeasureInstrPerSec(kAluLoop, nosb_config, kReps);
+  const double slow = MeasureInstrPerSec(kAluLoop, slow_config, kReps);
+  const double observed = MeasureInstrPerSec(kAluLoop, fast_config, kReps,
+                                             /*observed=*/true);
+  const double memcopy = MeasureInstrPerSec(kMemCopyLoop, fast_config, kReps);
+  const double memcopy_nosb = MeasureInstrPerSec(kMemCopyLoop, nosb_config, kReps);
+  const double strided = MeasureInstrPerSec(kStridedStoreLoop, fast_config, kReps);
+  const double mixed = MeasureInstrPerSec(kMixedAluMemLoop, fast_config, kReps);
   std::printf("BM_AluLoop                %12.0f sim-instr/s (superblocks on)\n", fast);
   std::printf("BM_AluLoopNoSuperblocks   %12.0f sim-instr/s (plain fast-step window)\n",
               nosb);
   std::printf("BM_AluLoopStepCycle       %12.0f sim-instr/s (fast_step off)\n", slow);
   std::printf("BM_AluLoopObserved        %12.0f sim-instr/s (superblocks on + span sink)\n",
               observed);
+  std::printf("BM_MemCopyLoop            %12.0f sim-instr/s (lw/sw trace fast path)\n",
+              memcopy);
+  std::printf("BM_MemCopyLoopNoSuperblocks%11.0f sim-instr/s (plain fast-step window)\n",
+              memcopy_nosb);
+  std::printf("BM_StridedStoreLoop       %12.0f sim-instr/s (sw/sh/sb/lbu widths)\n",
+              strided);
+  std::printf("BM_MixedAluMemLoop        %12.0f sim-instr/s (interleaved ALU + mem)\n",
+              mixed);
   std::printf("speedup (fast/stepcycle)  %12.2fx\n", slow > 0.0 ? fast / slow : 0.0);
   std::printf("speedup (superblock/window)%11.2fx\n", nosb > 0.0 ? fast / nosb : 0.0);
+  std::printf("speedup (memloop sb/window)%11.2fx\n",
+              memcopy_nosb > 0.0 ? memcopy / memcopy_nosb : 0.0);
   report.AddRow("BM_AluLoop").Field("sim_instr_per_sec", fast);
   report.AddRow("BM_AluLoopNoSuperblocks").Field("sim_instr_per_sec", nosb);
   report.AddRow("BM_AluLoopStepCycle").Field("sim_instr_per_sec", slow);
   report.AddRow("BM_AluLoopObserved").Field("sim_instr_per_sec", observed);
+  report.AddRow("BM_MemCopyLoop").Field("sim_instr_per_sec", memcopy);
+  report.AddRow("BM_MemCopyLoopNoSuperblocks").Field("sim_instr_per_sec", memcopy_nosb);
+  report.AddRow("BM_StridedStoreLoop").Field("sim_instr_per_sec", strided);
+  report.AddRow("BM_MixedAluMemLoop").Field("sim_instr_per_sec", mixed);
   report.AddRow("speedup").Field("fast_over_stepcycle", slow > 0.0 ? fast / slow : 0.0);
   report.AddRow("superblock_speedup")
       .Field("superblock_over_window", nosb > 0.0 ? fast / nosb : 0.0);
+  report.AddRow("memloop_superblock_speedup")
+      .Field("superblock_over_window",
+             memcopy_nosb > 0.0 ? memcopy / memcopy_nosb : 0.0);
   return report.WriteIfRequested(argc, argv) ? 0 : 1;
 }
 

@@ -76,8 +76,12 @@ struct CoreConfig {
   // snapshot config hash: trace state travels in a separate "superblocks"
   // snapshot section, and snapshots stay portable across stepping modes.
   bool superblocks = true;
-  // Maximum executable instructions per superblock trace.
+  // Maximum executable instructions per superblock trace segment.
   uint32_t superblock_max_len = 64;
+  // Maximum tree segments grown past strongly biased conditional branches,
+  // per trace (0 disables trace-tree formation). Excluded from the snapshot
+  // config hash like the other superblock knobs.
+  uint32_t superblock_max_trees = 8;
 
   // Safety net for runaway simulations in tests.
   uint64_t default_max_cycles = 50'000'000;

@@ -312,9 +312,16 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     return 0;
   }
   // Global eligibility. Anything here that could change inside the window is
-  // only changed by instruction kinds the window refuses (see WindowSafe).
+  // only changed by instruction kinds the window refuses (see WindowSafe and
+  // TraceSafeInstr — paging state, ASID, KEYPERM and TLB contents move only
+  // under Metal-only instructions, so paging-enabled windows are sound: every
+  // translation is re-probed per access, side-effect-free, and a miss or
+  // permission failure exits to the per-cycle machinery, which then counts
+  // the miss and raises the fault). bus_fault_armed_ is normally implied by
+  // fault_engine_, but can survive it via checkpoint restore — the armed
+  // corruption must land through the per-cycle MEM stage.
   if (fault_engine_ != nullptr || arch_metal_ || frontend_metal_ ||
-      inflight_mode_ops_ != 0 || in_machine_check_ || metal_.paging_enabled() ||
+      inflight_mode_ops_ != 0 || in_machine_check_ || bus_fault_armed_ ||
       metal_.AnyInterceptEnabled() || (intc_.pending() & metal_.ienable()) != 0 ||
       config_.cache_hit_latency != 1) {
     return 0;
@@ -334,11 +341,20 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
 
   const uint64_t start = cycle_;
   // First cycle at which any device tick has an effect; cycles strictly below
-  // it need no TickDevices call. Stable in-window (no MMIO accesses).
+  // it need no TickDevices call. Stable in-window: in-window memory traffic
+  // is DRAM-only (MMIO is excluded from every fast path), so no store can
+  // move a device's next event.
   const uint64_t horizon = bus_.NextDeviceEventCycle(cycle_);
   const uint32_t dram_size = bus_.dram().size();
-  // Stable in-window: the window admits no stores and no loader activity.
-  const uint64_t gen = bus_.dram().write_generation();
+  // Translation context. Stable in-window: PGENABLE/ASID/KEYPERM and the TLB
+  // itself move only under Metal-only instructions, which no window admits.
+  const bool paged = metal_.paging_enabled();
+  const uint16_t asid = metal_.asid();
+  const uint32_t keyperm = metal_.keyperm();
+  const SbAddrSpace sb_as{paged ? &mmu_ : nullptr, asid, keyperm};
+  // Mutable: superblock store slots bump it mid-window; reloaded after every
+  // completed store so predecode probes always see the current generation.
+  uint64_t gen = bus_.dram().write_generation();
   uint64_t retired = 0;
 
   // The window's pipeline state lives in shadow locals; the member latches
@@ -363,6 +379,32 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
   bool last_redirect = false;
   uint64_t icache_hits = 0;
   uint64_t predecode_hits = 0;
+  uint64_t dcache_hits = 0;
+  uint64_t tlb_hits = 0;  // fetch + data translations, credited in one batch
+
+  // Pending MEM-stage op shadow (superblock memory slots only). A dispatch
+  // latches the access here with wait = 1; the next committed cycle's
+  // MEM-stage slice completes it. Mirrors ex_mem_: consuming only drops
+  // `valid`/zeroes `wait`, the payload goes stale in place, so the shadow is
+  // written back whenever any memory slot ran.
+  MemOp sb_pend;
+  bool sb_mem_any = false;
+  // Load-use shadow for writeback: per-cycle, ex_load_this_cycle_ is true at
+  // window end iff the LAST committed cycle dispatched a load. Recording the
+  // dispatch cycle number makes that a single compare at exit instead of a
+  // per-cycle reset.
+  uint64_t load_dispatch_cycle = ~uint64_t{0};
+  uint8_t ex_load_rd = ex_load_rd_;
+  // Fetch-buffer payload shadow. Generic-loop fetches deliver same-cycle, so
+  // their buffer payload equals the IF/ID payload (handled at writeback); a
+  // trace fetch under a live skid (depth 1) parks a DIFFERENT word in the
+  // buffer, tracked by these locals. buf_valid is the buffer's `valid` bit at
+  // window end (true only when a window exits mid-skid).
+  bool buf_valid = false;
+  bool buf_from_trace = false;
+  uint32_t buf_pc = 0;
+  uint32_t buf_raw = 0;
+  Decoded buf_d;
 
   // Reusable EX operand. Every in-window ID/EX op is a plain StageId product:
   // no transition chain, no intercept, no fetch fault — those fields stay at
@@ -372,21 +414,55 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
 
   const bool sb_on = superblocks_.enabled();
   const uint32_t sb_icache_line = config_.icache_line_size;
-  // Every fetch inside a trace must be a 1-cycle icache hit, and lines
-  // cannot change in-window (no D-side traffic; hits do not allocate), so
-  // one probe sweep per trace entry stands in for the per-fetch Probe the
-  // generic loop runs. A trace with any line absent simply does not enter —
-  // the generic loop takes the same cycles, hits the same probe failure and
-  // exits the window for StepCycle to fill the line.
-  auto sb_lines_ok = [&](const Superblock& t) {
-    const uint32_t first = t.start - (t.start % sb_icache_line);
-    const uint32_t limit = t.start + 4 * t.len;
-    for (uint32_t a = first; a < limit; a += sb_icache_line) {
-      if (!icache_.Probe(a)) {
-        return false;
+  // Segment readiness sweep, run once per trace-segment entry. Every fetch
+  // inside a segment must be a faultless, 1-cycle icache hit; neither the
+  // icache (hits do not allocate, D-side traffic is DRAM-only) nor the
+  // translation of the segment's pages (Metal-only mutations) can change
+  // in-window, so one sweep stands in for the per-fetch Probe/Translate the
+  // generic loop runs. Under paging, the pages must additionally be
+  // resident, executable, key-readable and map at ONE common delta (the
+  // build-time slot addresses are virtual; `*delta` rebases them).
+  //
+  // Returns the number of LEADING slots that are ready (0 rejects the
+  // segment). The executor runs the segment truncated to that prefix —
+  // byte-exact, because a truncated segment is indistinguishable from a
+  // shorter trace: the fetch guard exits before the first cold word, and
+  // the generic loop takes the same cycles to the same probe/translate
+  // failure. Truncation matters: a trace's cold suffix (a fall-through
+  // path the guest has not reached) must not keep its hot prefix — e.g. a
+  // loop body ending in a strongly taken back edge — out of the executor.
+  auto sb_seg_ready = [&](const SbSegment& seg, uint32_t* delta) -> uint32_t {
+    uint32_t d = 0;
+    uint32_t vlimit = seg.start + 4 * seg.len;
+    if (paged) {
+      bool have_d = false;
+      for (uint32_t page = seg.start & ~4095u; page < vlimit; page += 4096u) {
+        const uint32_t va = page < seg.start ? seg.start : page;
+        const uint32_t vend = page + 4096u < vlimit ? page + 4096u : vlimit;
+        const TranslateResult tr =
+            mmu_.ProbeTranslate(va, AccessType::kFetch, asid, keyperm);
+        if (!tr.ok || tr.paddr >= kMmioBase ||
+            static_cast<uint64_t>(tr.paddr) + (vend - va) > dram_size ||
+            (have_d && tr.paddr - va != d)) {
+          // Miss, fault, out of DRAM, or a discontiguous mapping: the ready
+          // prefix ends at this page boundary.
+          vlimit = va;
+          break;
+        }
+        d = tr.paddr - va;
+        have_d = true;
       }
     }
-    return true;
+    const uint32_t first = seg.start + d - ((seg.start + d) % sb_icache_line);
+    for (uint32_t a = first; a < vlimit + d; a += sb_icache_line) {
+      if (!icache_.Probe(a)) {
+        const uint32_t va = a - d;
+        vlimit = va < seg.start ? seg.start : va;
+        break;
+      }
+    }
+    *delta = d;
+    return (vlimit - seg.start) / 4;
   };
 
 // Superblock executor cycle fragments (see the executor block below). Each
@@ -395,55 +471,191 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
 // with the per-cycle decode, window-safety re-check and double branch
 // evaluation compiled away at build time.
 //
-// Pre-commit fetch check for the cycle's speculative fetch (slot e + 2).
-// Mirrors the generic loop's decide-then-commit contract: every exit taken
-// here abandons the cycle with no side effects. The first guard is the
-// generic loop's ID window-safety break: when the word about to shift into
-// EX (slot e + 1) is past the executable run, a per-cycle run would refuse
-// to commit this cycle, so the trace must exit BEFORE committing it too.
+// Pre-commit fetch check for the cycle's speculative fetch. The fetch slot
+// is e + 2 + depth: at depth 1 (live load-use skid) the frontend runs one
+// slot ahead, with the extra word parked in the skid buffer. Mirrors the
+// generic loop's decide-then-commit contract: every exit taken here abandons
+// the cycle with no side effects. The first guard is the generic loop's ID
+// window-safety break: when the word about to shift into EX (slot e + 1) is
+// past the executable run, a per-cycle run would refuse to commit this
+// cycle, so the trace must exit BEFORE committing it too.
+//
+// When a pending STORE completes this cycle, MEM runs before IF: the fetch
+// must observe the post-store bytes. The store may legally target the
+// executing trace's own backing words — the merged word is compared against
+// the slot raw, and any mismatch invalidates the trace and exits before the
+// cycle commits. The bumped generation also forces the per-cycle fetch off
+// the predecode-hit path, so sb_hit is forced false to count identically.
 #define MSIM_SB_FETCH_OR_EXIT()                                          \
   do {                                                                   \
-    if (e + 1 >= exec_len || e + 2 >= len) {                             \
+    const int32_t sb_f = e + 2 + depth;                                  \
+    if (e + 1 >= exec_len || sb_f >= len) {                              \
       goto sb_exit_uncommitted;                                          \
     }                                                                    \
-    const SbSlot& sb_fs = slots[e + 2];                                  \
-    const Decoded* sb_peek = predecode_.Peek(sb_fs.addr, gen);           \
-    if (sb_peek != nullptr) {                                            \
-      if (sb_peek->raw != sb_fs.raw) {                                   \
+    const SbSlot& sb_fs = slots[sb_f];                                   \
+    const uint32_t sb_fpa = sb_fs.addr + fdelta;                         \
+    if (sb_pend.valid && sb_pend.is_store) {                             \
+      const auto sb_word = bus_.dram().Read32(sb_fpa);                   \
+      if (!sb_word) {                                                    \
         goto sb_exit_stale;                                              \
       }                                                                  \
-      sb_hit = true;                                                     \
-    } else {                                                             \
-      const auto sb_word = bus_.dram().Read32(sb_fs.addr);               \
-      if (!sb_word || *sb_word != sb_fs.raw) {                           \
+      uint32_t sb_w = *sb_word;                                          \
+      if ((sb_pend.paddr & ~3u) == sb_fpa) {                             \
+        const uint32_t sb_sh = (sb_pend.paddr & 3u) * 8;                 \
+        const uint32_t sb_m = sb_pend.kind == InstrKind::kSb ? 0xFFu     \
+                              : sb_pend.kind == InstrKind::kSh           \
+                                  ? 0xFFFFu                              \
+                                  : 0xFFFFFFFFu;                         \
+        sb_w = (sb_w & ~(sb_m << sb_sh)) |                               \
+               ((sb_pend.store_value & sb_m) << sb_sh);                  \
+      }                                                                  \
+      if (sb_w != sb_fs.raw) {                                           \
         goto sb_exit_stale;                                              \
       }                                                                  \
       sb_hit = false;                                                    \
+    } else {                                                             \
+      const Decoded* sb_peek = predecode_.Peek(sb_fpa, gen);             \
+      if (sb_peek != nullptr) {                                          \
+        if (sb_peek->raw != sb_fs.raw) {                                 \
+          goto sb_exit_stale;                                            \
+        }                                                                \
+        sb_hit = true;                                                   \
+      } else {                                                           \
+        const auto sb_word = bus_.dram().Read32(sb_fpa);                 \
+        if (!sb_word || *sb_word != sb_fs.raw) {                         \
+          goto sb_exit_stale;                                            \
+        }                                                                \
+        sb_hit = false;                                                  \
+      }                                                                  \
     }                                                                    \
   } while (0)
 
 // Post-commit fetch bookkeeping: the same counting events as the generic
-// loop's fetch (icache hit tally, predecode hit tally or Verify/Insert),
-// the ID -> EX shift, and the latch-payload shadow pointers (sh_ex/sh_id
-// track which slot's payload a per-cycle run would have left in each latch;
-// they are materialized into the ex_*/id_* shadows only at executor exit).
+// loop's fetch (icache + TLB hit tally, predecode hit tally or
+// Verify/Insert — `gen` read here, AFTER any pending-store completion), the
+// ID -> EX shift, and the latch-payload shadow pointers. sh_ex/sh_id/sh_buf
+// track which slot's payload a per-cycle run would have left in each latch
+// and in the skid buffer; they are materialized into the ex_*/id_*/buf_*
+// shadows only at executor exit. Every started fetch rewrites the buffer
+// payload; at depth 0 delivery is same-cycle (ID gets the same word), at
+// depth 1 ID consumes the PREVIOUS buffered word and the new word parks.
 #define MSIM_SB_COMMIT_FETCH()                                           \
   do {                                                                   \
-    const SbSlot& sb_fs = slots[e + 2];                                  \
+    const SbSlot& sb_fs = slots[e + 2 + depth];                          \
+    const uint32_t sb_fpa = sb_fs.addr + fdelta;                         \
     ++icache_hits;                                                       \
+    if (paged) {                                                         \
+      ++tlb_hits;                                                        \
+    }                                                                    \
     if (sb_hit) {                                                        \
       ++predecode_hits;                                                  \
-    } else if (predecode_.Verify(sb_fs.addr, gen, sb_fs.raw) == nullptr) { \
-      predecode_.Insert(sb_fs.addr, gen, sb_fs.raw, sb_fs.d);            \
+    } else if (predecode_.Verify(sb_fpa, gen, sb_fs.raw) == nullptr) {   \
+      predecode_.Insert(sb_fpa, gen, sb_fs.raw, sb_fs.d);                \
     }                                                                    \
     if (e >= -1) {                                                       \
       sh_ex = sh_id;                                                     \
       shifted_any = true;                                                \
     }                                                                    \
-    sh_id = &sb_fs;                                                      \
+    sh_id = depth != 0 ? sh_buf : &sb_fs;                                \
+    sh_buf = &sb_fs;                                                     \
     fetched_any = true;                                                  \
     ++e;                                                                 \
     pc = sb_fs.addr + 4;                                                 \
+  } while (0)
+
+// Top-of-cycle MEM stage: completes the pending memory op latched by the
+// previous cycle's dispatch. StageMem runs before every other stage, so this
+// expands right after each ++cycle_, BEFORE the cycle's EX work and events.
+// Semantics are StageMem's DRAM path verbatim: consuming drops `valid` and
+// zeroes `wait` (payload stale in place), stores write through the bus and
+// bump the write generation (reloaded so every later predecode probe sees
+// it), loads sign-extend exactly and write rd, and the op retires with the
+// MEM-stage kRetire event ordering.
+#define MSIM_SB_COMPLETE_PEND()                                          \
+  do {                                                                   \
+    if (sb_pend.valid) {                                                 \
+      sb_pend.valid = false;                                             \
+      sb_pend.wait = 0;                                                  \
+      if (sb_pend.is_store) {                                            \
+        switch (sb_pend.kind) {                                          \
+          case InstrKind::kSb:                                           \
+            (void)bus_.Write8(sb_pend.paddr,                             \
+                              static_cast<uint8_t>(sb_pend.store_value)); \
+            break;                                                       \
+          case InstrKind::kSh:                                           \
+            (void)bus_.Write16(sb_pend.paddr,                            \
+                               static_cast<uint16_t>(sb_pend.store_value)); \
+            break;                                                       \
+          default:                                                       \
+            (void)bus_.Write32(sb_pend.paddr, sb_pend.store_value);      \
+            break;                                                       \
+        }                                                                \
+        gen = bus_.dram().write_generation();                            \
+      } else {                                                           \
+        uint32_t sb_ld = 0;                                              \
+        switch (sb_pend.kind) {                                          \
+          case InstrKind::kLb:                                           \
+            sb_ld = static_cast<uint32_t>(static_cast<int32_t>(          \
+                static_cast<int8_t>(bus_.Read8(sb_pend.paddr).value_or(0)))); \
+            break;                                                       \
+          case InstrKind::kLbu:                                          \
+            sb_ld = bus_.Read8(sb_pend.paddr).value_or(0);               \
+            break;                                                       \
+          case InstrKind::kLh:                                           \
+            sb_ld = static_cast<uint32_t>(static_cast<int32_t>(          \
+                static_cast<int16_t>(bus_.Read16(sb_pend.paddr).value_or(0)))); \
+            break;                                                       \
+          case InstrKind::kLhu:                                          \
+            sb_ld = bus_.Read16(sb_pend.paddr).value_or(0);              \
+            break;                                                       \
+          default:                                                       \
+            sb_ld = bus_.Read32(sb_pend.paddr).value_or(0);              \
+            break;                                                       \
+        }                                                                \
+        if (sb_pend.rd != 0) {                                           \
+          regs_[sb_pend.rd] = sb_ld;                                     \
+        }                                                                \
+      }                                                                  \
+      ++retired;                                                         \
+      ++stats_.instret;                                                  \
+      tracer_.Emit(TraceEventKind::kRetire, sb_pend.pc, sb_pend.raw, 0,  \
+                   false);                                               \
+      if (retire_trace_) {                                               \
+        retire_trace_(RetireEvent{cycle_, sb_pend.pc, sb_pend.raw, false}); \
+      }                                                                  \
+    }                                                                    \
+  } while (0)
+
+// EX-stage commit of a memory slot's fast path: the pre-checked access
+// becomes the pending MEM op (completed at the top of the next committed
+// cycle), with StartMemOp's counter effects replayed — dcache hit, TLB hit
+// when paged — and the load-use shadow updated for loads. store_value is
+// latched for loads too (StartMemOp reads rs2 unconditionally), keeping the
+// written-back ex_mem_ payload byte-identical.
+#define MSIM_SB_MEM_DISPATCH()                                           \
+  do {                                                                   \
+    superblocks_.CountMemFastHit();                                      \
+    ++dcache_hits;                                                       \
+    if (paged) {                                                         \
+      ++tlb_hits;                                                        \
+    }                                                                    \
+    sb_pend.valid = true;                                                \
+    sb_pend.pc = es->addr;                                               \
+    sb_pend.kind = es->d.kind;                                           \
+    sb_pend.metal = false;                                               \
+    sb_pend.is_store = sb_st;                                            \
+    sb_pend.vaddr = sb_va;                                               \
+    sb_pend.paddr = sb_pa;                                               \
+    sb_pend.store_value = MSIM_SB_B;                                     \
+    sb_pend.raw = es->raw;                                               \
+    sb_pend.rd = es->d.rd;                                               \
+    sb_pend.wait = 1;                                                    \
+    sb_pend.target = MemOp::Target::kDram;                               \
+    sb_mem_any = true;                                                   \
+    if (!sb_st) {                                                        \
+      load_dispatch_cycle = cycle_;                                      \
+      ex_load_rd = es->d.rd;                                             \
+    }                                                                    \
   } while (0)
 
 // Retire bookkeeping, identical to ExecuteAluOp's tail for a non-Metal op.
@@ -464,11 +676,14 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
 #define MSIM_SB_SA (static_cast<int32_t>(regs_[es->rs1]))
 #define MSIM_SB_SB (static_cast<int32_t>(regs_[es->rs2]))
 
-// A straight-line op: fetch check, commit, rd writeback, retire, advance.
+// A straight-line op: fetch check, commit, pending completion (MEM before
+// EX: a pending load's rd lands before this op's rd, which may alias it),
+// rd writeback, retire, advance.
 #define MSIM_SB_ALU(label_name, expr)                                    \
   label_name : {                                                         \
     MSIM_SB_FETCH_OR_EXIT();                                             \
     ++cycle_;                                                            \
+    MSIM_SB_COMPLETE_PEND();                                             \
     if (es->rd != 0) {                                                   \
       regs_[es->rd] = (expr);                                            \
     }                                                                    \
@@ -478,17 +693,25 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     goto sb_next;                                                        \
   }
 
-// A conditional branch: taken resolves with no fetch (the speculative
-// fall-through word is squashed, exactly as per-cycle); not-taken is a
-// straight-line cycle with no writeback.
+// A conditional branch: taken resolves via sb_taken_cond (bias counters and
+// possible tree transition) with no fetch — the speculative fall-through
+// word is squashed, exactly as per-cycle; not-taken is a straight-line
+// cycle with no writeback. Operands read the CURRENT register file: any
+// pending load completing this cycle has an older rd (stall_after would
+// have inserted the bubble otherwise), so evaluation before completion is
+// safe. Bias counters freeze once the slot is linked or refused.
 #define MSIM_SB_BRANCH(label_name, cond)                                 \
   label_name : {                                                         \
     if (cond) {                                                          \
       sb_tgt = es->target;                                               \
-      goto sb_taken;                                                     \
+      goto sb_taken_cond;                                                \
     }                                                                    \
     MSIM_SB_FETCH_OR_EXIT();                                             \
     ++cycle_;                                                            \
+    MSIM_SB_COMPLETE_PEND();                                             \
+    if (es->taken_seg == kSbSegUnlinked) {                               \
+      ++es->nottaken_n;                                                  \
+    }                                                                    \
     MSIM_SB_RETIRE(*es);                                                 \
     last_redirect = false;                                               \
     MSIM_SB_COMMIT_FETCH();                                              \
@@ -501,28 +724,47 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     // Entered only at refill points — both latches empty, which is exactly
     // the state after a taken branch or a cold window entry — so every
     // window-entry guard (horizon, no pending interrupt, not Metal) is
-    // already established and stays valid across the whole trace: traces
-    // admit no loads/stores, so no MMIO write can move a device's next
+    // already established and stays valid across the whole trace: in-trace
+    // memory slots are DRAM-only, so no MMIO write can move a device's next
     // event, and no interrupt can become pending before the horizon.
     if (sb_on && !ex_valid && !id_valid) {
       Superblock* sb = superblocks_.Lookup(pc);
       if (sb == nullptr) {
-        sb = superblocks_.Build(pc, bus_.dram());
+        sb = superblocks_.Build(pc, bus_.dram(), sb_as);
+      } else if (sb->grow_pending) {
+        // Deferred tree growth (a biased branch observed by an earlier
+        // executor run) applies only here: the walk reallocates slot
+        // storage, which must never happen while executor slot pointers
+        // are live.
+        superblocks_.MaybeGrow(*sb, bus_.dram(), sb_as,
+                               config_.superblock_max_trees);
       }
-      if (sb != nullptr && sb_lines_ok(*sb)) {
+      uint32_t sb_entry_delta = 0;
+      const uint32_t sb_entry_len =
+          sb != nullptr ? sb_seg_ready(sb->segs[0], &sb_entry_delta) : 0;
+      if (sb_entry_len >= kSuperblockMinLen) {
         superblocks_.CountExecution();
         const uint64_t sb_entry_retired = retired;
-        const SbSlot* slots = sb->slots.data();
-        int32_t exec_len = static_cast<int32_t>(sb->exec_len);
-        int32_t len = static_cast<int32_t>(sb->len);
+        SbSlot* slots = sb->slots.data();
+        int32_t len = static_cast<int32_t>(sb_entry_len);
+        int32_t exec_len =
+            sb->exec_len < sb_entry_len ? static_cast<int32_t>(sb->exec_len) : len;
+        // Physical rebase for the current segment's slot addresses (0 when
+        // unpaged or identity-mapped).
+        uint32_t fdelta = sb_entry_delta;
         // Slot position of the EX stage this cycle; -2/-1 are the two
         // refill cycles before slots[0] reaches EX. Invariant after every
-        // committed cycle: EX holds slot e, ID holds slot e + 1, the next
-        // fetch is slot e + 2 (pc == start + 4 * (e + 2)).
+        // committed cycle at depth 0: EX holds slot e, ID holds slot e + 1,
+        // the next fetch is slot e + 2. A load-use stall enters the skid
+        // regime (depth 1): the buffer holds slot e + 2 and fetches run one
+        // ahead, until a redirect drains it — exactly the per-cycle skid.
         int32_t e = -2;
+        int32_t depth = 0;
+        bool in_bubble = false;  // load-use bubble cycle in flight
         const SbSlot* sh_ex = nullptr;
         const SbSlot* sh_id = nullptr;
-        const SbSlot* es = nullptr;
+        const SbSlot* sh_buf = nullptr;
+        SbSlot* es = nullptr;
         bool sb_hit = false;
         uint32_t sb_tgt = 0;
 
@@ -537,15 +779,23 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
             &&sb_x_and, &&sb_x_fence, &&sb_x_mul, &&sb_x_mulh,
             &&sb_x_mulhsu, &&sb_x_mulhu, &&sb_x_div, &&sb_x_divu,
             &&sb_x_rem, &&sb_x_remu, &&sb_x_jal, &&sb_x_jalr, &&sb_x_beq,
-            &&sb_x_bne, &&sb_x_blt, &&sb_x_bge, &&sb_x_bltu, &&sb_x_bgeu};
+            &&sb_x_bne, &&sb_x_blt, &&sb_x_bge, &&sb_x_bltu, &&sb_x_bgeu,
+            &&sb_x_mem, &&sb_x_mem, &&sb_x_mem, &&sb_x_mem, &&sb_x_mem,
+            &&sb_x_mem, &&sb_x_mem, &&sb_x_mem};
         static_assert(sizeof(kSbGoto) / sizeof(kSbGoto[0]) ==
                       static_cast<size_t>(SbExec::kCount));
 #endif
 
       sb_next:
-        // The generic loop's per-cycle budget/horizon condition, verbatim.
+        // The generic loop's per-cycle budget/horizon condition, with one
+        // tightening: a cycle whose MEM stage completes a pending op can
+        // retire TWO instructions (the completion plus the EX op), so a
+        // live pending op reserves one unit of retire budget. Exiting a
+        // cycle early is always sound — every exit is a per-cycle-exact
+        // state — and the bound is what RunRetireLockstep relies on.
         if (!(cycle_ - start < max_cycles && cycle_ + 1 < horizon &&
-              (max_retires == 0 || retired < max_retires))) {
+              (max_retires == 0 ||
+               retired + (sb_pend.valid ? 1u : 0u) < max_retires))) {
           goto sb_exit_uncommitted;
         }
         if (e < 0) {
@@ -598,6 +848,14 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
           case SbExec::kBge: goto sb_x_bge;
           case SbExec::kBltu: goto sb_x_bltu;
           case SbExec::kBgeu: goto sb_x_bgeu;
+          case SbExec::kLb:
+          case SbExec::kLbu:
+          case SbExec::kLh:
+          case SbExec::kLhu:
+          case SbExec::kLw:
+          case SbExec::kSb:
+          case SbExec::kSh:
+          case SbExec::kSw: goto sb_x_mem;
           default: goto sb_exit_uncommitted;
         }
 #endif
@@ -667,11 +925,14 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
         sb_tgt = es->target;
         goto sb_taken_link;
       sb_x_jalr:
-        // Target reads rs1 BEFORE the link write (rd may alias rs1).
+        // Target reads rs1 BEFORE the link write (rd may alias rs1). A
+        // pending load completing this cycle cannot feed rs1 (stall_after
+        // would have inserted the bubble), so pre-completion read is exact.
         sb_tgt = (MSIM_SB_A + es->imm) & ~1u;
         goto sb_taken_link;
       sb_taken_link:
         ++cycle_;
+        MSIM_SB_COMPLETE_PEND();  // MEM's rd write lands before the link's
         if (es->rd != 0) {
           regs_[es->rd] = es->cval;  // pc + 4, folded at build
         }
@@ -684,8 +945,149 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
         MSIM_SB_BRANCH(sb_x_bltu, MSIM_SB_A < MSIM_SB_B)
         MSIM_SB_BRANCH(sb_x_bgeu, MSIM_SB_A >= MSIM_SB_B)
 
+      sb_x_mem : {
+        // A memory slot in EX: StartMemOp's fast path, pre-checked with no
+        // side effects. Any slow condition — misalignment (a fault
+        // per-cycle), TLB miss or permission/key failure, MMIO or
+        // out-of-bounds physical target, dcache miss — exits the trace
+        // UNCOMMITTED and replays the op through the per-cycle machinery,
+        // which counts the miss, raises the fault or models the latency.
+        const uint32_t sb_size = SbMemSize(es->exec);
+        const bool sb_st = SbIsStore(es->exec);
+        const uint32_t sb_va = MSIM_SB_A + es->imm;
+        if ((sb_va & (sb_size - 1)) != 0) {
+          goto sb_exit_mem_slow;
+        }
+        uint32_t sb_pa = sb_va;
+        if (paged) {
+          const TranslateResult sb_tr = mmu_.ProbeTranslate(
+              sb_va, sb_st ? AccessType::kStore : AccessType::kLoad, asid,
+              keyperm);
+          if (!sb_tr.ok) {
+            goto sb_exit_mem_slow;
+          }
+          sb_pa = sb_tr.paddr;
+        }
+        if (sb_pa >= kMmioBase || sb_pa + sb_size > dram_size ||
+            !dcache_.Probe(sb_pa)) {
+          goto sb_exit_mem_slow;
+        }
+        if (!es->stall_after) {
+          // Plain dispatch: the access becomes the pending MEM op and the
+          // frontend keeps streaming.
+          MSIM_SB_FETCH_OR_EXIT();
+          ++cycle_;
+          MSIM_SB_COMPLETE_PEND();
+          MSIM_SB_MEM_DISPATCH();
+          last_redirect = false;
+          MSIM_SB_COMMIT_FETCH();
+          goto sb_next;
+        }
+        // Load-use stall: the next slot reads this load's rd, so StageId
+        // holds it and emits kStall. At depth 0 the cycle's fetch still
+        // runs, parking its word in the skid buffer; at depth 1 the buffer
+        // is already held and NO fetch starts (pc unchanged). Either way
+        // the next cycle is a forced bubble.
+        if (depth == 0) {
+          MSIM_SB_FETCH_OR_EXIT();
+          ++cycle_;
+          MSIM_SB_COMPLETE_PEND();
+          MSIM_SB_MEM_DISPATCH();
+          ++stats_.load_use_stalls;
+          tracer_.Emit(TraceEventKind::kStall, slots[e + 1].addr, 0, 0,
+                       false);
+          {
+            const SbSlot& sb_fs = slots[e + 2];
+            const uint32_t sb_fpa = sb_fs.addr + fdelta;
+            ++icache_hits;
+            if (paged) {
+              ++tlb_hits;
+            }
+            if (sb_hit) {
+              ++predecode_hits;
+            } else if (predecode_.Verify(sb_fpa, gen, sb_fs.raw) == nullptr) {
+              predecode_.Insert(sb_fpa, gen, sb_fs.raw, sb_fs.d);
+            }
+            sh_buf = &sb_fs;
+            fetched_any = true;
+            pc = sb_fs.addr + 4;
+            depth = 1;
+          }
+          last_redirect = false;
+          goto sb_bubble;
+        }
+        if (e + 1 >= exec_len) {
+          goto sb_exit_uncommitted;  // unreachable: stall_after implies a next exec slot
+        }
+        ++cycle_;
+        MSIM_SB_COMPLETE_PEND();
+        MSIM_SB_MEM_DISPATCH();
+        ++stats_.load_use_stalls;
+        tracer_.Emit(TraceEventKind::kStall, slots[e + 1].addr, 0, 0, false);
+        last_redirect = false;
+        goto sb_bubble;
+      }
+
+      sb_bubble:
+        // The forced cycle after a load-use stall: EX is empty (no
+        // dispatch, no retire from EX), the stalled consumer advances from
+        // the buffer into ID next, and the frontend fetches one ahead. The
+        // stalled load itself completes at the top of this cycle.
+        in_bubble = true;
+        if (!(cycle_ - start < max_cycles && cycle_ + 1 < horizon &&
+              (max_retires == 0 ||
+               retired + (sb_pend.valid ? 1u : 0u) < max_retires))) {
+          goto sb_exit_uncommitted;
+        }
+        MSIM_SB_FETCH_OR_EXIT();
+        ++cycle_;
+        MSIM_SB_COMPLETE_PEND();
+        last_redirect = false;
+        MSIM_SB_COMMIT_FETCH();
+        in_bubble = false;
+        goto sb_next;
+
+      sb_taken_cond:
+        // Taken conditional branch: bias bookkeeping and tree transitions.
+        if (es->taken_seg >= 1) {
+          // The hot side was inlined as a tree segment. Entering it is the
+          // same committed redirect cycle, continued in the new segment
+          // without leaving the executor.
+          const SbSegment& sb_tseg = sb->segs[es->taken_seg];
+          uint32_t sb_tdelta = 0;
+          const uint32_t sb_tlen = sb_seg_ready(sb_tseg, &sb_tdelta);
+          if (sb_tlen >= kSuperblockMinLen) {
+            ++cycle_;
+            MSIM_SB_COMPLETE_PEND();
+            ++stats_.control_flushes;
+            RedirectFetch(sb_tgt);
+            MSIM_SB_RETIRE(*es);
+            last_redirect = true;
+            pc = fetch_pc_;
+            superblocks_.CountTreeTransition();
+            slots = sb->slots.data() + sb_tseg.base;
+            len = static_cast<int32_t>(sb_tlen);
+            exec_len = sb_tseg.exec_len < sb_tlen
+                           ? static_cast<int32_t>(sb_tseg.exec_len)
+                           : len;
+            fdelta = sb_tdelta;
+            e = -2;
+            depth = 0;  // the redirect drained any live skid
+            goto sb_next;
+          }
+        } else if (es->taken_seg == kSbSegUnlinked) {
+          ++es->taken_n;
+          if (es->taken_n >= kSbGrowMinTaken &&
+              es->nottaken_n * 8 <= es->taken_n && !sb->grow_pending) {
+            // Strongly biased: request growth. Applied at the next
+            // trace-entry point, never mid-execution (see entry block).
+            sb->grow_pending = true;
+            sb->grow_slot = static_cast<uint32_t>(es - sb->slots.data());
+          }
+        }
       sb_taken:
         ++cycle_;
+        MSIM_SB_COMPLETE_PEND();
       sb_taken_commit:
         // ExecuteAluOp's taken-branch order: flush (kFlush event) first,
         // retire (kRetire event) second.
@@ -694,25 +1096,33 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
         MSIM_SB_RETIRE(*es);
         last_redirect = true;
         pc = fetch_pc_;
+        depth = 0;  // the redirect drained any live skid
         // EX consumed, ID squashed; sh_ex/sh_id keep their (now stale)
         // payloads, exactly like the member latches in a per-cycle run.
         {
           Superblock* sb_nt = superblocks_.Lookup(pc);
-          if (sb_nt != nullptr && sb_lines_ok(*sb_nt)) {
+          uint32_t sb_nt_delta = 0;
+          const uint32_t sb_nt_len =
+              sb_nt != nullptr ? sb_seg_ready(sb_nt->segs[0], &sb_nt_delta) : 0;
+          if (sb_nt_len >= kSuperblockMinLen) {
             // Chain: the branch target starts another cached trace. Stale
             // payload pointers stay valid — invalidation never frees slot
             // storage, and Build cannot run inside the executor.
             superblocks_.CountChain();
             sb = sb_nt;
             slots = sb_nt->slots.data();
-            exec_len = static_cast<int32_t>(sb_nt->exec_len);
-            len = static_cast<int32_t>(sb_nt->len);
+            len = static_cast<int32_t>(sb_nt_len);
+            exec_len = sb_nt->exec_len < sb_nt_len
+                           ? static_cast<int32_t>(sb_nt->exec_len)
+                           : len;
+            fdelta = sb_nt_delta;
             e = -2;
             goto sb_next;
           }
         }
         // No trace at the target: exit in the committed post-redirect state
-        // (both latches empty). The loop top may build one there.
+        // (both latches empty, buffer drained by the flush). The loop top
+        // may build one there.
         if (sh_ex != nullptr) {
           ex_pc = sh_ex->addr;
           ex_d = sh_ex->d;
@@ -725,21 +1135,40 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
           id_fault = ExcCause::kNone;
           id_fault_addr = 0;
         }
+        if (sh_buf != nullptr) {
+          buf_pc = sh_buf->addr;
+          buf_raw = sh_buf->raw;
+          buf_d = sh_buf->d;
+          buf_from_trace = true;
+        }
+        buf_valid = false;
         ex_valid = false;
         id_valid = false;
         superblocks_.CreditInstructions(retired - sb_entry_retired);
         continue;
 
+      sb_exit_mem_slow:
+        // A memory slot that cannot take the fast path: exit uncommitted
+        // with the op still in the EX latch. The window then breaks (the
+        // op is not window-safe) and StepCycle replays it with full
+        // per-cycle semantics — miss counting, MMIO routing, faults.
+        superblocks_.CountMemSlowExit();
+        goto sb_exit_uncommitted;
       sb_exit_stale:
         // A raw word no longer matches the backing store (the write that
-        // changed it bumped the generation, forcing the re-read above).
+        // changed it — an external poke, a loader, or THIS trace's own
+        // pending store — forces the re-read above). Invalidate before the
+        // fetching cycle commits.
         superblocks_.Invalidate(*sb);
       sb_exit_uncommitted:
         // Exit BEFORE the current cycle commits, materializing the latch
         // shadows exactly as a per-cycle run would hold them here: slot e
-        // in EX, slot e + 1 in ID, consumed payloads stale in place. The
-        // generic loop continues this very cycle interpretively (or the
-        // window ends, if the budget/horizon condition tripped).
+        // in EX (unless this is a bubble cycle, whose EX is empty), slot
+        // e + 1 in ID, the skid word in the buffer, consumed payloads stale
+        // in place. The generic loop continues this very cycle
+        // interpretively, or the whole window breaks when the pipeline
+        // state is beyond it: a pending MEM op, a live skid, or a
+        // non-window-safe (memory) op latched in EX.
         if (sh_ex != nullptr) {
           ex_pc = sh_ex->addr;
           ex_d = sh_ex->d;
@@ -752,9 +1181,20 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
           id_fault = ExcCause::kNone;
           id_fault_addr = 0;
         }
-        ex_valid = e >= 0;
+        if (sh_buf != nullptr) {
+          buf_pc = sh_buf->addr;
+          buf_raw = sh_buf->raw;
+          buf_d = sh_buf->d;
+          buf_from_trace = true;
+        }
+        buf_valid = depth != 0;
+        ex_valid = e >= 0 && !in_bubble;
         id_valid = e + 1 >= 0 && e + 1 < len;
         superblocks_.CreditInstructions(retired - sb_entry_retired);
+        if (sb_pend.valid || depth != 0 ||
+            (ex_valid && !WindowSafe(ex_d.kind))) {
+          break;
+        }
         continue;
       }
     }
@@ -765,6 +1205,7 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     uint32_t fetch_raw = 0;
     Decoded fetch_dec;
     const Decoded* fetch_hit = nullptr;
+    uint32_t fetch_pa = pc;  // physical predecode/icache key
     if (!taken) {
       // The latched word shifts into ID/EX this cycle and executes next; that
       // is only in-window for a faultless, window-safe instruction. (On a
@@ -778,13 +1219,26 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
       // must be a faultless 1-cycle DRAM icache-hit fetch, or we leave the
       // cycle to StepCycle. The *kind* of the fetched word does not matter
       // yet — fetching is speculative and side-effect-free beyond counters.
-      if ((pc & 3) != 0 || pc >= kMmioBase || pc + 4 > dram_size ||
-          !icache_.Probe(pc)) {
+      // (pc >= kMmioBase also covers the MRAM code range, which sits above
+      // it — per-cycle would fetch there only in Metal mode anyway.)
+      if ((pc & 3) != 0 || pc >= kMmioBase) {
         break;
       }
-      fetch_hit = predecode_.Peek(pc, gen);
+      if (paged) {
+        const TranslateResult tr =
+            mmu_.ProbeTranslate(pc, AccessType::kFetch, asid, keyperm);
+        if (!tr.ok) {
+          break;  // per-cycle counts the miss / raises the fault
+        }
+        fetch_pa = tr.paddr;
+      }
+      if (fetch_pa >= kMmioBase || fetch_pa + 4 > dram_size ||
+          !icache_.Probe(fetch_pa)) {
+        break;
+      }
+      fetch_hit = predecode_.Peek(fetch_pa, gen);
       if (fetch_hit == nullptr) {
-        const auto word = bus_.dram().Read32(pc);
+        const auto word = bus_.dram().Read32(fetch_pa);
         if (!word) {
           break;
         }
@@ -827,15 +1281,18 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     // only counts — tallied locally, credited in bulk at exit; the rare
     // verify/miss path runs its counting calls in place.
     ++icache_hits;
+    if (paged) {
+      ++tlb_hits;
+    }
     if (fetch_hit != nullptr) {
       ++predecode_hits;
       id_d = *fetch_hit;
       id_raw = id_d.raw;
-    } else if (const Decoded* v = predecode_.Verify(pc, gen, fetch_raw)) {
+    } else if (const Decoded* v = predecode_.Verify(fetch_pa, gen, fetch_raw)) {
       id_d = *v;
       id_raw = fetch_raw;
     } else {
-      predecode_.Insert(pc, gen, fetch_raw, fetch_dec);
+      predecode_.Insert(fetch_pa, gen, fetch_raw, fetch_dec);
       id_d = fetch_dec;
       id_raw = fetch_raw;
     }
@@ -845,11 +1302,14 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     id_fault_addr = 0;
     id_valid = true;
     fetched_any = true;
+    buf_from_trace = false;  // same-cycle delivery: buffer payload == IF/ID
     pc += 4;
   }
 
 #undef MSIM_SB_FETCH_OR_EXIT
 #undef MSIM_SB_COMMIT_FETCH
+#undef MSIM_SB_COMPLETE_PEND
+#undef MSIM_SB_MEM_DISPATCH
 #undef MSIM_SB_RETIRE
 #undef MSIM_SB_A
 #undef MSIM_SB_B
@@ -866,9 +1326,20 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     stats_.cycles = cycle_;
     metal_resident_cycles_ = 0;
     redirect_this_cycle_ = last_redirect;
-    ex_load_this_cycle_ = false;
+    // True iff the LAST committed cycle dispatched a load (per-cycle resets
+    // this every cycle and only a load's StageEx sets it).
+    ex_load_this_cycle_ = load_dispatch_cycle == cycle_;
+    ex_load_rd_ = ex_load_rd;
+    if (sb_mem_any) {
+      // Live pending op (valid, wait 1) or the stale payload of the last
+      // completed one (valid false, wait 0) — both byte-identical to what
+      // per-cycle StageMem would have left in the latch.
+      ex_mem_ = sb_pend;
+    }
     icache_.CreditHits(icache_hits);
     predecode_.CreditHits(predecode_hits);
+    dcache_.CreditHits(dcache_hits);
+    mmu_.tlb().CreditHits(tlb_hits);
     id_ex_.valid = ex_valid;
     id_ex_.pc = ex_pc;
     id_ex_.d = ex_d;
@@ -894,10 +1365,18 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
     if_id_.metal = id_metal;
     if_id_.fault = id_fault;
     if_id_.fault_addr = id_fault_addr;
-    if (fetched_any) {
-      // In-window, every fetch writes fetch_buffer_ and IF/ID identically and
-      // nothing else touches the IF/ID payload, so the last-fetch payload IS
-      // the IF/ID shadow payload.
+    if (buf_from_trace) {
+      // The last started fetch was a trace fetch tracked by sh_buf — under
+      // a live skid its word differs from the IF/ID payload.
+      fetch_buffer_.pc = buf_pc;
+      fetch_buffer_.raw = buf_raw;
+      fetch_buffer_.d = buf_d;
+      fetch_buffer_.metal = false;
+      fetch_buffer_.fault = ExcCause::kNone;
+      fetch_buffer_.fault_addr = 0;
+    } else if (fetched_any) {
+      // Generic-loop fetches deliver same-cycle: the buffer payload and the
+      // IF/ID payload are the same word.
       fetch_buffer_.pc = id_pc;
       fetch_buffer_.raw = id_raw;
       fetch_buffer_.d = id_d;
@@ -905,7 +1384,9 @@ uint64_t Core::StepFast(uint64_t max_cycles, uint64_t max_retires) {
       fetch_buffer_.fault = ExcCause::kNone;
       fetch_buffer_.fault_addr = 0;
     }
-    fetch_buffer_.valid = false;  // entry guard + in-window writes keep it so
+    // Held (valid) only when the window broke mid-skid; any committed
+    // redirect or same-cycle delivery leaves it empty.
+    fetch_buffer_.valid = buf_valid;
     fetch_pc_ = pc;
     // Catch the devices up to the current cycle in one tick. Sound because no
     // committed cycle reached the horizon: the tick observes the new cycle

@@ -27,19 +27,11 @@ ExcCause FaultCause(AccessType type) {
   return ExcCause::kPageFaultLoad;
 }
 
-}  // namespace
-
-TranslateResult Mmu::Translate(uint32_t vaddr, AccessType type, uint16_t asid,
-                               uint32_t keyperm) {
+// Shared post-lookup half of Translate/ProbeTranslate: permission and
+// page-key checks plus frame math for a resident entry.
+TranslateResult ResolveEntry(const TlbEntry* entry, uint32_t vaddr, AccessType type,
+                             uint32_t keyperm) {
   TranslateResult result;
-  const TlbEntry* entry = tlb_.Lookup(vaddr, asid);
-  if (entry == nullptr) {
-    if (tracer_ != nullptr) {
-      tracer_->Emit(TraceEventKind::kTlbMiss, vaddr, static_cast<uint32_t>(type));
-    }
-    result.fault = MissCause(type);
-    return result;
-  }
   const uint32_t pte = entry->pte;
   const bool allowed = (type == AccessType::kFetch && (pte & kPteX) != 0) ||
                        (type == AccessType::kLoad && (pte & kPteR) != 0) ||
@@ -63,6 +55,33 @@ TranslateResult Mmu::Translate(uint32_t vaddr, AccessType type, uint16_t asid,
   }
   result.ok = true;
   return result;
+}
+
+}  // namespace
+
+TranslateResult Mmu::Translate(uint32_t vaddr, AccessType type, uint16_t asid,
+                               uint32_t keyperm) {
+  const TlbEntry* entry = tlb_.Lookup(vaddr, asid);
+  if (entry == nullptr) {
+    if (tracer_ != nullptr) {
+      tracer_->Emit(TraceEventKind::kTlbMiss, vaddr, static_cast<uint32_t>(type));
+    }
+    TranslateResult result;
+    result.fault = MissCause(type);
+    return result;
+  }
+  return ResolveEntry(entry, vaddr, type, keyperm);
+}
+
+TranslateResult Mmu::ProbeTranslate(uint32_t vaddr, AccessType type, uint16_t asid,
+                                    uint32_t keyperm) const {
+  const TlbEntry* entry = tlb_.PeekLookup(vaddr, asid);
+  if (entry == nullptr) {
+    TranslateResult result;
+    result.fault = MissCause(type);
+    return result;
+  }
+  return ResolveEntry(entry, vaddr, type, keyperm);
 }
 
 }  // namespace msim

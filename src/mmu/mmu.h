@@ -37,6 +37,15 @@ class Mmu {
   TranslateResult Translate(uint32_t vaddr, AccessType type, uint16_t asid,
                             uint32_t keyperm);
 
+  // Side-effect-free twin of Translate for speculative fast paths
+  // (Core::StepFast, superblock memory slots): same outcome, but no TLB
+  // hit/miss counting and no kTlbMiss trace event. A fast path that commits
+  // a translation replays the hit via tlb().CreditHits; one that observes
+  // !ok must fall back to the per-cycle machinery, whose Translate call then
+  // counts the miss and emits the event.
+  TranslateResult ProbeTranslate(uint32_t vaddr, AccessType type, uint16_t asid,
+                                 uint32_t keyperm) const;
+
   // Attaches the core's tracer; TLB misses emit kTlbMiss events.
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 

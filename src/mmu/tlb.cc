@@ -28,6 +28,15 @@ const TlbEntry* Tlb::Lookup(uint32_t vaddr, uint16_t asid) {
   return nullptr;
 }
 
+const TlbEntry* Tlb::PeekLookup(uint32_t vaddr, uint16_t asid) const {
+  for (const TlbEntry& entry : entries_) {
+    if (Matches(entry, vaddr, asid)) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
 void Tlb::Insert(uint32_t vaddr, uint32_t pte, uint16_t asid) {
   const bool superpage = (pte & kPteSuper) != 0;
   const uint32_t shift = superpage ? kSuperPageShift : kPageShift;

@@ -75,6 +75,15 @@ class Tlb {
   // hit/miss statistics.
   const TlbEntry* Lookup(uint32_t vaddr, uint16_t asid);
 
+  // Side-effect-free twin of Lookup for speculative fast paths
+  // (Core::StepFast): identical match, no statistics. Lookup's only mutation
+  // is the hit/miss counters (replacement state moves on Insert alone), so
+  // PeekLookup + CreditHits for the committed hits is exactly equivalent.
+  const TlbEntry* PeekLookup(uint32_t vaddr, uint16_t asid) const;
+
+  // Replays hit counts committed against PeekLookup-based fast paths.
+  void CreditHits(uint64_t n) { stats_.hits += n; }
+
   // Inserts a mapping (tlbwr). Replaces an existing entry for the same page
   // if present, else uses round-robin replacement.
   void Insert(uint32_t vaddr, uint32_t pte, uint16_t asid);

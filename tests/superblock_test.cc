@@ -282,6 +282,144 @@ TEST(SuperblockInvalidationTest, SelfModifyingStoreKillsAffectedTrace) {
   EXPECT_GT(traced.superblocks().stats().invalidations, 0u);
 }
 
+// A store *inside* the straight line that targets a word a couple of slots
+// AHEAD of it in the same trace. With rung-2 memory slots the sw executes on
+// the trace fast path as a pending MemOp; the very next trace fetch of the
+// patched word must see the store's bytes (the pending-store fetch-merge
+// path), detect the raw-word mismatch, and exit + invalidate before the
+// cycle commits. The branch warms the trace first so the store really does
+// land mid-trace, not on a cold build.
+constexpr const char* kStoreAheadProgram = R"(
+  _start:
+    la t0, target
+    la t1, patch
+    lw t1, 0(t1)
+    li s0, 8
+    li s1, 0
+  loop:
+    addi s1, s1, 1
+    li t2, 4
+    bne s0, t2, target
+    sw t1, 0(t0)
+  target:
+    addi s1, s1, 2
+    addi s0, s0, -1
+    bne s0, zero, loop
+    halt s1
+  patch:
+    addi s1, s1, 9
+)";
+
+TEST(SuperblockInvalidationTest, StoreIntoExecutingTraceAheadOfPcIsByteExact) {
+  Core traced;  // defaults
+  Core window(NoSuperblockConfig());
+  Core percycle(PerCycleConfig());
+  const Program program = MustAssemble(kStoreAheadProgram);
+  std::vector<Retire> a, b, c;
+  RecordRetires(traced, &a);
+  RecordRetires(window, &b);
+  RecordRetires(percycle, &c);
+  std::vector<RunResult> results;
+  for (Core* core : {&traced, &window, &percycle}) {
+    ASSERT_OK(core->LoadProgram(program));
+    results.push_back(core->Run(100000));
+  }
+  // The per-cycle machine defines whether the patched word is visible on the
+  // patching iteration itself; the tiers must agree byte-for-byte rather
+  // than match a hand-computed constant.
+  for (const RunResult& r : results) {
+    EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+    EXPECT_EQ(r.exit_code, results[0].exit_code);
+  }
+  ExpectSameRetires(a, b);
+  ExpectSameRetires(a, c);
+  EXPECT_GT(traced.superblocks().stats().executions, 0u);
+  EXPECT_GT(traced.superblocks().stats().mem_fast_hits, 0u);
+  EXPECT_GT(traced.superblocks().stats().invalidations, 0u);
+}
+
+// TLB eviction between trace executions: an mroutine drops the data page's
+// mapping, so the next trace entry reaches its lw slot with ProbeTranslate
+// missing — the memory slot must force a slow exit (uncommitted) and replay
+// per-cycle, where the architectural TLB miss fires and the delegated
+// handler refills. Byte-exact against the window and per-cycle references.
+constexpr const char* kTlbEvictMcode = R"(
+    .mentry 10, tlb_miss
+  tlb_miss:
+    rcr t0, 2            # MBADVADDR
+    li t1, -4096
+    and t1, t0, t1       # frame = page base (identity)
+    ori t1, t1, 0x38     # R|W|X
+    tlbwr t0, t1
+    mexit                # retry the faulting access
+    .mentry 11, evict
+  evict:
+    tlbinv t0            # caller leaves the vaddr to evict in t0
+    mexit
+)";
+
+constexpr const char* kTlbEvictProgram = R"(
+  _start:
+    la t6, buf
+    li s0, 120
+    li s1, 0
+  loop:
+    li t3, 6
+  spin:
+    lw t1, 0(t6)
+    addi t1, t1, 1
+    sw t1, 0(t6)
+    addi s1, s1, 1
+    addi t3, t3, -1
+    bne t3, zero, spin
+    mv t0, t6
+    menter 11            # evict the data page mid-run
+    addi s0, s0, -1
+    bne s0, zero, loop
+    lw a0, 0(t6)
+    halt a0
+    .data
+  buf:
+    .word 0
+)";
+
+TEST(SuperblockInvalidationTest, TlbEvictionForcesMidTraceSlowExit) {
+  CoreConfig traced_config;
+  CoreConfig window_config = NoSuperblockConfig();
+  CoreConfig percycle_config = PerCycleConfig();
+  MetalSystem traced(traced_config);
+  MetalSystem window(window_config);
+  MetalSystem percycle(percycle_config);
+  std::vector<Retire> a, b, c;
+  std::vector<Retire>* streams[] = {&a, &b, &c};
+  MetalSystem* systems[] = {&traced, &window, &percycle};
+  std::vector<RunResult> results;
+  for (int i = 0; i < 3; ++i) {
+    MetalSystem& s = *systems[i];
+    s.AddMcode(kTlbEvictMcode);
+    ASSERT_OK(s.LoadProgramSource(kTlbEvictProgram));
+    ASSERT_OK(s.Boot());
+    Core& core = s.core();
+    core.metal().Delegate(ExcCause::kTlbMissLoad, 10);
+    core.metal().Delegate(ExcCause::kTlbMissStore, 10);
+    core.metal().Delegate(ExcCause::kTlbMissFetch, 10);
+    core.metal().WriteCreg(kCrPgEnable, 1);
+    RecordRetires(core, streams[i]);
+    results.push_back(s.Run(5'000'000));
+  }
+  for (const RunResult& r : results) {
+    EXPECT_EQ(r.reason, RunResult::Reason::kHalted);
+    EXPECT_EQ(r.exit_code, results[0].exit_code);
+  }
+  ExpectSameRetires(a, b);
+  ExpectSameRetires(a, c);
+  // The hot spin loop's memory slots ran the fast path between evictions and
+  // hit the missing-translation slow exit right after each one.
+  EXPECT_GT(traced.core().superblocks().stats().executions, 0u);
+  EXPECT_GT(traced.core().superblocks().stats().mem_fast_hits, 0u);
+  EXPECT_GT(traced.core().superblocks().stats().mem_slow_exits, 0u);
+}
+
 // Accumulates into MRAM data with mld/mst (same mroutine as predecode_test):
 // MRAM activity alongside hot DRAM traces.
 constexpr const char* kCounterMcode = R"(

@@ -199,7 +199,7 @@ GeneratedCase Generate(uint64_t seed) {
   const unsigned blocks = (unsigned)rng.Range(5, 12);
   unsigned next_label = 0;
   for (unsigned b = 0; b < blocks; ++b) {
-    switch (rng.Below(5)) {
+    switch (rng.Below(7)) {
       case 0: {  // bounded loop, body may re-enter Metal mode (the hot path)
         const unsigned label = next_label++;
         result.program += StrFormat("  li s11, %u\nloop%u:\n", (unsigned)rng.Range(2, 8), label);
@@ -227,6 +227,44 @@ GeneratedCase Generate(uint64_t seed) {
               StrFormat("  lw %s, %u(t6)\n", PickReg(rng), (unsigned)rng.Below(16) * 4);
         }
         break;
+      case 3: {  // load/store-dense straight-line run: every width, mixed
+                 // with occasional immediate load-use pairs so superblock
+                 // memory slots exercise both the non-stall dispatch and the
+                 // skid/stall path (docs/performance.md).
+        static const struct {
+          const char* op;
+          unsigned width;
+          bool store;
+        } kMemOps[] = {{"lb", 1, false}, {"lbu", 1, false}, {"lh", 2, false},
+                       {"lhu", 2, false}, {"lw", 4, false}, {"sb", 1, true},
+                       {"sh", 2, true},  {"sw", 4, true}};
+        const unsigned count = (unsigned)rng.Range(4, 10);
+        for (unsigned i = 0; i < count; ++i) {
+          const auto& m = kMemOps[rng.Below(8)];
+          const unsigned offset = (unsigned)rng.Below(64 / m.width) * m.width;
+          const char* reg = PickReg(rng);
+          result.program += StrFormat("  %s %s, %u(t6)\n", m.op, reg, offset);
+          if (!m.store && rng.Chance(1, 3)) {
+            result.program += StrFormat("  add %s, %s, %s\n", PickReg(rng), reg, reg);
+          }
+        }
+        break;
+      }
+      case 4: {  // store aliasing the code segment: the target words sit
+                 // behind the program counter (nothing branches back to
+                 // _start), so executed semantics are unchanged — but the
+                 // predecode cache and any superblock trace built over those
+                 // words must invalidate on the write-generation bump.
+        static const struct {
+          const char* op;
+          unsigned width;
+        } kStores[] = {{"sb", 1}, {"sh", 2}, {"sw", 4}};
+        const auto& s = kStores[rng.Below(3)];
+        const unsigned offset = (unsigned)rng.Below(8 / s.width) * s.width;
+        result.program += StrFormat("  la s10, _start\n  %s %s, %u(s10)\n", s.op,
+                                    PickReg(rng), offset);
+        break;
+      }
       default: {
         const unsigned count = (unsigned)rng.Range(1, 3);
         for (unsigned i = 0; i < count; ++i) {

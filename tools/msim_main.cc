@@ -101,7 +101,8 @@ int Usage() {
                "usage:\n"
                "  msim run <program.s> [--mcode file.s]... [--storage mram|dram-cached|"
                "dram-uncached]\n"
-               "           [--no-fast] [--no-fast-step] [--no-superblocks] [--max-cycles N]\n"
+               "           [--no-fast] [--no-fast-step] [--no-superblocks]\n"
+               "           [--superblock-max-trees N] [--max-cycles N]\n"
                "           [--trace-stats] [--trace [N]]\n"
                "           [--stats-json FILE] [--trace-json FILE] [--profile-mroutines]\n"
                "           [--inject SPEC]... [--list-fault-targets] [--fault-seed N]\n"
@@ -297,6 +298,12 @@ int CmdRun(const std::vector<std::string>& args) {
       config.fast_step = false;
     } else if (arg == "--no-superblocks") {
       config.superblocks = false;
+    } else if (arg == "--superblock-max-trees" && i + 1 < args.size()) {
+      uint64_t trees = 0;
+      if (!ParseU64Flag("--superblock-max-trees", args[++i], &trees)) {
+        return 2;
+      }
+      config.superblock_max_trees = static_cast<uint32_t>(trees);
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
@@ -789,6 +796,12 @@ int CmdReplay(const std::vector<std::string>& args) {
       config_a.fast_step = false;
     } else if (arg == "--no-superblocks") {
       config_a.superblocks = false;
+    } else if (arg == "--superblock-max-trees" && i + 1 < args.size()) {
+      uint64_t trees = 0;
+      if (!ParseU64Flag("--superblock-max-trees", args[++i], &trees)) {
+        return 2;
+      }
+      config_a.superblock_max_trees = static_cast<uint32_t>(trees);
     } else if (arg == "--max-cycles" && i + 1 < args.size()) {
       if (!ParseU64Flag("--max-cycles", args[++i], &max_cycles)) {
         return 2;
